@@ -1,0 +1,25 @@
+"""Ablation — significance level α (Eq. 5)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, publish
+
+from repro.eval.experiments import ablation_alpha
+
+_result = None
+
+
+def compute():
+    global _result
+    if _result is None:
+        _result = ablation_alpha.run(seed=BENCH_SEED, scale=BENCH_SCALE)
+        publish("ablation_alpha", _result.render())
+    return _result
+
+
+def test_ablation_alpha_regenerate(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    f1s = [f1 for _, f1, _, _ in result.rows]
+    # an interior alpha is at least as good as the loosest setting
+    assert max(f1s) >= f1s[-1]
+    assert max(f1s) >= 0.6

@@ -1,0 +1,27 @@
+"""Ablation — predicate evaluation order (footnote 5)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, publish
+
+from repro.eval.experiments import ablation_predicate_order
+
+_result = None
+
+
+def compute():
+    global _result
+    if _result is None:
+        _result = ablation_predicate_order.run(
+            seed=BENCH_SEED, scale=BENCH_SCALE
+        )
+        publish("ablation_predicate_order", _result.render())
+    return _result
+
+
+def test_ablation_order_regenerate(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    # answers are order-invariant; cost is not
+    assert all(same for _, _, same in result.rows)
+    assert result.cost("selective") <= result.cost("anti")
+    assert result.cost("selective") <= result.cost("user")

@@ -1,0 +1,28 @@
+"""Figure 4 — number of result sequences vs clip size."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, publish
+
+from repro.eval.experiments import fig4_clip_size
+
+_result = None
+
+
+def compute():
+    global _result
+    if _result is None:
+        _result = fig4_clip_size.run(seed=BENCH_SEED, scale=BENCH_SCALE)
+        publish("fig4_clip_size", _result.render())
+    return _result
+
+
+def test_fig4_regenerate(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for label in result.sequences:
+        for algo, counts in result.sequences[label].items():
+            # smaller clips fragment results into at least as many sequences
+            assert counts[0] >= counts[-1] - 1, (label, algo, counts)
+        for algo, frames in result.frames[label].items():
+            # ... while the frames reported stay roughly stable
+            assert max(frames) <= 2.0 * max(1, min(frames)), (label, algo)

@@ -1,0 +1,25 @@
+"""Figure 5 — frame-level F1 vs clip size (flat by design)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, publish
+
+from repro.eval.experiments import fig5_frame_f1
+
+_result = None
+
+
+def compute():
+    global _result
+    if _result is None:
+        _result = fig5_frame_f1.run(seed=BENCH_SEED, scale=BENCH_SCALE)
+        publish("fig5_frame_f1", _result.render())
+    return _result
+
+
+def test_fig5_regenerate(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for label in result.series:
+        for algo in result.series[label]:
+            assert result.spread(label, algo) <= 0.25, (label, algo)
+            assert min(result.series[label][algo]) >= 0.5

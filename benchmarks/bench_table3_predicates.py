@@ -1,0 +1,30 @@
+"""Table 3 — F1 with varying object predicates."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, publish
+
+from repro.eval.experiments import table3_predicates
+
+_result = None
+
+
+def compute():
+    global _result
+    if _result is None:
+        _result = table3_predicates.run(seed=BENCH_SEED, scale=BENCH_SCALE)
+        publish("table3_predicates", _result.render())
+    return _result
+
+
+def test_table3_regenerate(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert len(result.rows) == 12
+    # A highly accurate, correlated predicate (person) must not hurt the
+    # composite query, while stacking noisy predicates costs a little.
+    for action in ("blowing leaves", "washing dishes"):
+        base = result.f1_for(f"a={action}")
+        person = result.f1_for(f"a={action}, o1=person")
+        assert person >= base - 0.1
+    for _, svaq, svaqd in result.rows:
+        assert svaqd >= 0.55

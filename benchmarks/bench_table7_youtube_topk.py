@@ -1,0 +1,30 @@
+"""Table 7 — offline top-K over the multi-video YouTube sets q1/q2, K=5."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, BENCH_SEED, publish
+
+from repro.eval.experiments import table7_youtube_topk
+
+_result = None
+
+
+def compute():
+    global _result
+    if _result is None:
+        _result = table7_youtube_topk.run(
+            seed=BENCH_SEED, scale=min(0.15, BENCH_SCALE)
+        )
+        publish("table7_youtube_topk", _result.render())
+    return _result
+
+
+def test_table7_regenerate(benchmark):
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for qid in result.measurements:
+        fa = result.measurement(qid, "fa")
+        rvaq = result.measurement(qid, "rvaq")
+        traverse = result.measurement(qid, "pq-traverse")
+        assert fa.random_accesses > rvaq.random_accesses, qid
+        assert rvaq.random_accesses <= traverse.random_accesses, qid
+        assert fa.runtime_ms > rvaq.runtime_ms, qid

@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark module regenerates one table or figure of the paper by
+calling its experiment driver (``repro.eval.experiments.*``) at benchmark
+scale, times it with pytest-benchmark, prints the rendered rows, and writes
+them to ``benchmarks/results/<name>.txt`` so the reproduction artefacts
+survive the terminal.
+
+``REPRO_BENCH_SCALE`` (default 0.25) scales all dataset sizes; 1.0
+reproduces the paper's full video volumes (minutes per Table 1 / Table 2)
+at proportionally longer runtimes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Global dataset scale for all benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+#: Seed for all benchmark datasets.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def publish(name: str, rendered: str) -> None:
+    """Print a rendered experiment table and persist it as an artefact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+    print(f"\n{rendered}\n")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED

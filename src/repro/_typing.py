@@ -1,0 +1,19 @@
+"""Shared type aliases used across the package.
+
+Centralising these keeps signatures short and consistent: a *clip id* is an
+``int``, a *label* (object type or action category) is a ``str``, and scores
+are ``float`` in ``[0, 1]`` unless a scoring function says otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+ClipId = int
+FrameIndex = int
+ShotIndex = int
+TrackId = int
+VideoId = str
+Label = str
+Score = float
+Seed = Union[int, None]

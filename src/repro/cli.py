@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    Build a small synthetic scene and run a streaming query on it.
+``query "<sql>" --movie <title> [--scale S] [--k-override K]``
+    Parse a query in the paper's SQL dialect and execute it against a
+    synthesized Table-2 movie: MERGE-only queries stream online;
+    ``ORDER BY RANK ... LIMIT K`` queries ingest the movie and run RVAQ.
+``experiment <name> [--scale S] [--seed N]``
+    Run one table/figure driver from :mod:`repro.eval.experiments` and
+    print the rendered rows.
+``list``
+    List available experiments and datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="svq-act: querying for actions over videos (reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run a small streaming-query demo")
+
+    query = sub.add_parser("query", help="execute a SQL-dialect query")
+    query.add_argument("sql", help="query text in the paper's dialect")
+    query.add_argument(
+        "--movie", default="Coffee and Cigarettes",
+        help="Table-2 movie to synthesize and query",
+    )
+    query.add_argument("--scale", type=float, default=0.1)
+    query.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("name", help="driver name, e.g. table6_movie_topk")
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write one markdown report"
+    )
+    report.add_argument("--out", default="REPORT.md")
+    report.add_argument("--scale", type=float, default=0.15)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--only", nargs="*", default=None,
+        help="restrict to these driver names",
+    )
+
+    sub.add_parser("list", help="list experiments and datasets")
+    return parser
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import OnlineEngine, Query, SceneSpec, TrackSpec, synthesize_video
+    from repro.eval.metrics import match_sequences
+
+    video = synthesize_video(
+        SceneSpec(
+            video_id="demo",
+            duration_s=240.0,
+            tracks=(
+                TrackSpec(label="washing dishes", kind="action",
+                          occupancy=0.25, mean_duration_s=20.0),
+                TrackSpec(label="faucet", kind="object",
+                          correlate_with="washing dishes", correlation=0.9,
+                          occupancy=0.05),
+            ),
+        ),
+        seed=7,
+    )
+    query = Query(objects=["faucet"], action="washing dishes")
+    truth = video.truth.query_clips(
+        query.objects, query.action, video.meta.geometry
+    )
+    result = OnlineEngine().run(query, video)
+    report = match_sequences(result.sequences, truth)
+    print(f"query        : {query.describe()}")
+    print(f"ground truth : {truth.as_tuples()}")
+    print(f"found        : {result.sequences.as_tuples()}")
+    print(f"F1           : {report.f1:.2f}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro import OfflineEngine, OnlineEngine, parse, plan
+    from repro.detectors.zoo import default_zoo
+    from repro.video.datasets import DISTRACTOR_OBJECTS, build_movie, movie_by_title
+
+    compiled = plan(parse(args.sql))
+    spec = movie_by_title(args.movie)
+    video = build_movie(spec, seed=args.seed, scale=args.scale)
+    print(f"plan : mode={compiled.mode} "
+          f"query={(compiled.query or compiled.compound).describe()}")
+
+    if compiled.mode == "online":
+        engine = OnlineEngine(zoo=default_zoo(seed=args.seed))
+        result = compiled.execute_online(engine, video)
+        print(f"sequences: {result.sequences.as_tuples()}")
+        return 0
+
+    engine = OfflineEngine(zoo=default_zoo(seed=args.seed))
+    engine.ingest(
+        video,
+        object_labels=[*spec.objects, "person", *DISTRACTOR_OBJECTS],
+        action_labels=[spec.action],
+    )
+    result = compiled.execute_offline(engine)
+    for video_id, start, end, score in engine.localized(result):
+        print(f"{video_id}: clips [{start}, {end}]  score={score:.1f}")
+    stats = result.stats
+    print(f"cost: {stats.random_accesses} random + "
+          f"{stats.sequential_accesses} sequential accesses")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments
+
+    name = args.name
+    if name not in experiments.__all__:
+        print(f"unknown experiment {name!r}; see `repro list`", file=sys.stderr)
+        return 2
+    module = getattr(experiments, name)
+    kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        import inspect
+
+        if "scale" in inspect.signature(module.run).parameters:
+            kwargs["scale"] = args.scale
+    result = module.run(**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.eval import experiments
+    from repro.video.datasets import MOVIES, YOUTUBE_QUERY_SETS
+
+    print("experiments:")
+    for name in experiments.__all__:
+        print(f"  {name}")
+    print("\nYouTube query sets (Table 1):")
+    for spec in YOUTUBE_QUERY_SETS:
+        objects = ", ".join(spec.objects)
+        print(f"  {spec.qid}: {spec.action} [{objects}] ({spec.minutes} min)")
+    print("\nmovies (Table 2):")
+    for movie in MOVIES:
+        objects = ", ".join(movie.objects)
+        print(f"  {movie.title}: {movie.action} [{objects}] "
+              f"({movie.minutes} min)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import generate
+
+    names = tuple(args.only) if args.only else None
+    path = generate(args.out, scale=args.scale, seed=args.seed, names=names)
+    print(f"report written to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "query": _cmd_query,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — normal exit.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Configuration objects for the online and offline engines.
+
+Groups the paper's tunables in one place:
+
+* detection thresholds ``T_obj`` / ``T_act`` (§2) — by default taken from
+  the deployed model profiles;
+* the scan-statistics significance level ``α`` and horizon ``N`` (Eq. 5);
+* SVAQ's static background probabilities / SVAQD's initial estimates and
+  kernel bandwidth (§3.3);
+* evaluation-facing knobs such as the ground-truth clip-coverage fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Shared configuration of SVAQ and SVAQD.
+
+    ``horizon_ou`` is the ``N`` of Eq. 5 — the number of occurrence units
+    the scan notionally spans.  The paper leaves it implicit; we default to
+    five minutes of frames at 25 fps (the scale of one benchmark video),
+    and expose it because ``k_crit`` depends on it only logarithmically
+    (the ratio ``L = N/w`` enters through an exponent).
+
+    ``object_p0`` / ``action_p0`` are the background probabilities: static
+    for SVAQ (Algorithm 1's ``k_crit_*_init`` derive from them), initial
+    values for SVAQD.  ``kernel_bandwidth_ou`` is SVAQD's kernel volume
+    ``u`` in occurrence units.
+    """
+
+    alpha: float = 0.01
+    horizon_ou: int = 7_500
+    object_p0: float = 1e-4
+    action_p0: float = 1e-4
+    kernel_bandwidth_ou: float = 2_500.0
+    object_threshold: float | None = None  # None = the detector profile's
+    action_threshold: float | None = None
+    #: SVAQD background-update policy.  §3.2 defines the background as the
+    #: prediction distribution "when the query predicates are not satisfied",
+    #: so the default folds only background-looking clips into the estimator
+    #: (signal clips advance the clock with rate-preserving imputation).
+    #: "all" folds every evaluated clip (estimates the marginal rate);
+    #: "positive" is the literal Algorithm 3 line-7 trigger.
+    update_on: str = "negative"
+    #: Two-threshold contamination guard for the "negative" policy: a clip's
+    #: counts feed the background estimator only when they are *below* the
+    #: critical value at this lenient significance level (i.e. the clip
+    #: looks like plain background).  Clips in the gray zone between the two
+    #: quotas neither fire the predicate nor contaminate the background —
+    #: without this, clips just under ``k_crit`` inside genuine event
+    #: regions drag the background estimate up until the predicate can
+    #: never fire again (a one-way ratchet).
+    alpha_background: float = 0.5
+    #: SVAQD probe cadence: every Nth clip is evaluated *without*
+    #: short-circuiting so that predicates late in the evaluation order
+    #: still observe null data — otherwise an early predicate that fails on
+    #: most background clips starves the later predicates' background
+    #: estimators (their quotas then collapse to 1 and any single spurious
+    #: firing passes).  Costs 1/N extra inference; 0 disables probing.
+    probe_every: int = 8
+    #: Bursty-noise prior for the critical values (footnote 7): detector
+    #: errors arrive in runs of roughly this mean length, so quotas are
+    #: computed under a Markov model (exact FMCE at small windows,
+    #: declumping at large ones) instead of i.i.d. Bernoulli.  ``None`` or
+    #: 1.0 keeps the paper's i.i.d. Eq. 5.
+    markov_burstiness: float | None = None
+    #: Predicate evaluation order (footnote 5).  "user" evaluates in query
+    #: order as the paper does; "selective" reorders by empirical clip-level
+    #: selectivity (estimated from the probe clips) so the predicate most
+    #: likely to fail is checked first, maximising short-circuit savings.
+    #: With static quotas (SVAQ) answers are identical either way; with
+    #: dynamic quotas the order decides which predicates observe
+    #: short-circuited clips, so borderline decisions can differ slightly.
+    predicate_order: str = "user"
+
+    def __post_init__(self) -> None:
+        require_probability(self.alpha, "alpha")
+        require_positive_int(self.horizon_ou, "horizon_ou")
+        require_probability(self.object_p0, "object_p0", open_interval=True)
+        require_probability(self.action_p0, "action_p0", open_interval=True)
+        require_positive(self.kernel_bandwidth_ou, "kernel_bandwidth_ou")
+        for name, value in (
+            ("object_threshold", self.object_threshold),
+            ("action_threshold", self.action_threshold),
+        ):
+            if value is not None:
+                require_probability(value, name, open_interval=True)
+        if self.update_on not in ("negative", "all", "positive"):
+            raise ConfigurationError(
+                f"update_on must be negative/all/positive; got {self.update_on!r}"
+            )
+        require_probability(self.alpha_background, "alpha_background")
+        if self.probe_every < 0:
+            raise ConfigurationError("probe_every must be >= 0")
+        if self.markov_burstiness is not None and self.markov_burstiness < 1.0:
+            raise ConfigurationError("markov_burstiness must be >= 1")
+        if self.predicate_order not in ("user", "selective"):
+            raise ConfigurationError(
+                f"predicate_order must be user/selective; "
+                f"got {self.predicate_order!r}"
+            )
+
+    def with_p0(self, p0: float) -> "OnlineConfig":
+        """Both background probabilities set to ``p0`` (Figure 2's sweep)."""
+        return replace(self, object_p0=p0, action_p0=p0)
+
+
+@dataclass(frozen=True)
+class RankingConfig:
+    """Configuration of the offline phase (ingestion + RVAQ).
+
+    Ingestion reuses an :class:`OnlineConfig` to derive the per-label
+    individual sequences with SVAQD (§4.2).  ``count_bound_refresh`` bounds
+    how many sequences have their bounds re-estimated per iterator step —
+    the paper refreshes all of them; keeping it configurable makes the
+    asymptotic trade-off measurable.
+    """
+
+    online: OnlineConfig = field(default_factory=OnlineConfig)
+    default_k: int = 5
+    require_exact_scores: bool = False  # §4.3: skip clips of decided top-K
+                                        # sequences unless exact scores asked
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.default_k, "default_k")

@@ -1,0 +1,145 @@
+"""Dynamic background-probability management shared by SVAQD and the
+compound-query executor.
+
+One :class:`QuotaManager` owns, per query predicate, a kernel rate
+estimator (§3.3) plus the critical-value tables for the detection quota
+(Eq. 5 at ``alpha``) and the lenient background quota (at
+``alpha_background``).  The update policy — which clips count as null data
+— is documented on :meth:`QuotaManager.update`; SVAQD (Algorithm 3) and
+:class:`repro.core.compound.CompoundOnline` drive it identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.config import OnlineConfig
+from repro.core.indicators import PredicateOutcome
+from repro.scanstats.critical import CriticalValueTable
+from repro.scanstats.kernel import KernelRateEstimator
+from repro.video.model import VideoGeometry
+
+
+@dataclass
+class PredicateTracker:
+    """Estimator + critical-value tables for one predicate.
+
+    ``table`` yields the detection quota ``k_crit``; ``bg_table`` yields
+    the lenient background quota ``k_bg`` below which a clip's counts are
+    trusted as null data for the estimator.
+    """
+
+    estimator: KernelRateEstimator
+    table: CriticalValueTable
+    bg_table: CriticalValueTable
+    k_crit: int = 0
+    k_bg: int = 0
+
+    def refresh(self) -> None:
+        rate = self.estimator.rate
+        self.k_crit = self.table.lookup(rate)
+        self.k_bg = self.bg_table.lookup(rate)
+
+
+class QuotaManager:
+    """Per-predicate dynamic quotas for one streaming run."""
+
+    def __init__(
+        self,
+        frame_labels: Iterable[str],
+        action_labels: Iterable[str],
+        geometry: VideoGeometry,
+        config: OnlineConfig,
+    ) -> None:
+        self._config = config
+        frames_per_clip = geometry.frames_per_clip
+        shots_per_clip = geometry.shots_per_clip
+        shot_horizon = max(
+            shots_per_clip, config.horizon_ou // geometry.frames_per_shot
+        )
+        shot_bandwidth = max(
+            1.0, config.kernel_bandwidth_ou / geometry.frames_per_shot
+        )
+        self._trackers: dict[str, PredicateTracker] = {}
+        for label in frame_labels:
+            self._trackers[label] = self._make_tracker(
+                bandwidth=config.kernel_bandwidth_ou,
+                initial_p=config.object_p0,
+                w=frames_per_clip,
+                n=config.horizon_ou,
+            )
+        for label in action_labels:
+            self._trackers[label] = self._make_tracker(
+                bandwidth=shot_bandwidth,
+                initial_p=config.action_p0,
+                w=shots_per_clip,
+                n=shot_horizon,
+            )
+
+    def _make_tracker(
+        self, bandwidth: float, initial_p: float, w: int, n: int
+    ) -> PredicateTracker:
+        burstiness = self._config.markov_burstiness
+        tracker = PredicateTracker(
+            estimator=KernelRateEstimator(bandwidth=bandwidth, initial_p=initial_p),
+            table=CriticalValueTable(
+                w=w, n=n, alpha=self._config.alpha, burstiness=burstiness
+            ),
+            bg_table=CriticalValueTable(
+                w=w, n=n, alpha=self._config.alpha_background,
+                burstiness=burstiness,
+            ),
+        )
+        tracker.refresh()
+        return tracker
+
+    # -- queries -----------------------------------------------------------------
+
+    def quotas(self) -> dict[str, int]:
+        """Current ``k_crit`` per predicate label."""
+        return {label: t.k_crit for label, t in self._trackers.items()}
+
+    def rates(self) -> dict[str, float]:
+        """Current background-probability estimates per label."""
+        return {label: t.estimator.rate for label, t in self._trackers.items()}
+
+    def tracker(self, label: str) -> PredicateTracker:
+        return self._trackers[label]
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(
+        self,
+        outcomes: Mapping[str, PredicateOutcome],
+        *,
+        positive: bool,
+        in_guard_band: bool,
+    ) -> None:
+        """Fold one clip into the estimators and refresh quotas.
+
+        Under the default ``update_on="negative"`` policy a predicate's
+        counts feed its estimator only when the clip is credibly null data
+        (§3.2 defines the background over stretches where the query
+        predicates are not satisfied): the clip is query-negative and not
+        adjacent to a detection (``in_guard_band``).  Everything else —
+        including short-circuit-skipped predicates — advances the
+        estimator clock with rate-preserving imputation.
+        """
+        policy = self._config.update_on
+        for label, tracker in self._trackers.items():
+            outcome = outcomes.get(label)
+            if outcome is not None and outcome.evaluated:
+                if policy == "all":
+                    fold = True
+                elif policy == "positive":
+                    fold = positive
+                else:
+                    fold = not in_guard_band and not positive
+                if fold:
+                    tracker.estimator.observe_batch(outcome.count, outcome.units)
+                else:
+                    tracker.estimator.advance(outcome.units)
+            else:
+                tracker.estimator.advance(tracker.table.w)
+            tracker.refresh()

@@ -1,0 +1,146 @@
+"""High-level engine facades.
+
+:class:`OnlineEngine` answers streaming queries (SVAQ / SVAQD) over one or
+many labelled videos; :class:`OfflineEngine` owns a repository, runs the
+ingestion phase, and answers top-K queries with RVAQ or the baselines.
+These are the objects the SQL layer's planner drives and the examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.core.baselines import fagin_baseline, pq_traverse, rvaq_noskip
+from repro.core.config import OnlineConfig, RankingConfig
+from repro.core.query import CompoundQuery, Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.compound import CompoundResult
+from repro.core.rvaq import RVAQ, TopKResult
+from repro.core.scoring import PaperScoring, ScoringScheme
+from repro.core.svaq import SVAQ, OnlineResult
+from repro.core.svaqd import SVAQD
+from repro.detectors.zoo import ModelZoo, default_zoo
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.ingest import ingest_video
+from repro.storage.repository import VideoRepository
+from repro.video.synthesis import LabeledVideo
+
+OnlineAlgorithm = Literal["svaq", "svaqd"]
+OfflineAlgorithm = Literal["rvaq", "rvaq-noskip", "fa", "pq-traverse"]
+
+
+@dataclass
+class OnlineEngine:
+    """Streaming query execution over labelled videos."""
+
+    zoo: ModelZoo = field(default_factory=default_zoo)
+    config: OnlineConfig = field(default_factory=OnlineConfig)
+
+    def run(
+        self,
+        query: Query,
+        video: LabeledVideo,
+        algorithm: OnlineAlgorithm = "svaqd",
+    ) -> OnlineResult:
+        """Process one video stream and return its result sequences."""
+        if algorithm == "svaq":
+            return SVAQ(self.zoo, query, self.config).run(video)
+        if algorithm == "svaqd":
+            return SVAQD(self.zoo, query, self.config).run(video)
+        raise ConfigurationError(f"unknown online algorithm {algorithm!r}")
+
+    def run_many(
+        self,
+        query: Query,
+        videos: Iterable[LabeledVideo],
+        algorithm: OnlineAlgorithm = "svaqd",
+    ) -> dict[str, OnlineResult]:
+        """Process a collection of streams (e.g. one Table-1 query set)."""
+        return {
+            video.video_id: self.run(query, video, algorithm)
+            for video in videos
+        }
+
+    def run_compound(
+        self,
+        compound: "CompoundQuery",
+        video: LabeledVideo,
+        algorithm: OnlineAlgorithm = "svaqd",
+    ) -> "CompoundResult":
+        """Process a CNF query (OR / multi-action forms, footnotes 3–4)."""
+        from repro.core.compound import CompoundOnline
+
+        return CompoundOnline(
+            self.zoo, compound, self.config, dynamic=(algorithm == "svaqd")
+        ).run(video)
+
+
+@dataclass
+class OfflineEngine:
+    """Repository ownership + top-K query execution (§4)."""
+
+    zoo: ModelZoo = field(default_factory=default_zoo)
+    scoring: ScoringScheme = field(default_factory=PaperScoring)
+    config: RankingConfig = field(default_factory=RankingConfig)
+    repository: VideoRepository = field(default_factory=VideoRepository)
+    _videos: dict[str, LabeledVideo] = field(default_factory=dict, repr=False)
+
+    def ingest(
+        self,
+        video: LabeledVideo,
+        object_labels: Sequence[str],
+        action_labels: Sequence[str],
+    ) -> None:
+        """Run the one-time ingestion phase for a video (§4.2)."""
+        ingest = ingest_video(
+            video,
+            self.zoo,
+            object_labels=object_labels,
+            action_labels=action_labels,
+            scoring=self.scoring,
+            config=self.config.online,
+        )
+        self.repository.add(ingest)
+        self._videos[video.video_id] = video
+
+    def remove(self, video_id: str) -> None:
+        self.repository.remove(video_id)
+        self._videos.pop(video_id, None)
+
+    def video(self, video_id: str) -> LabeledVideo:
+        try:
+            return self._videos[video_id]
+        except KeyError:
+            raise StorageError(f"video {video_id!r} not ingested here") from None
+
+    def top_k(
+        self,
+        query: Query,
+        k: int | None = None,
+        algorithm: OfflineAlgorithm = "rvaq",
+    ) -> TopKResult:
+        """Answer a top-K query with RVAQ or one of the §5.1 baselines."""
+        k = k or self.config.default_k
+        if algorithm == "rvaq":
+            return RVAQ(self.repository, self.scoring, self.config).top_k(query, k)
+        if algorithm == "rvaq-noskip":
+            return rvaq_noskip(self.repository, query, k, self.scoring, self.config)
+        if algorithm == "fa":
+            return fagin_baseline(self.repository, query, k, self.scoring)
+        if algorithm == "pq-traverse":
+            return pq_traverse(self.repository, query, k, self.scoring)
+        raise ConfigurationError(f"unknown offline algorithm {algorithm!r}")
+
+    def localized(self, result: TopKResult) -> list[tuple[str, int, int, float]]:
+        """Render a result as ``(video_id, start_clip, end_clip, score)``
+        rows in rank order — the human-facing answer format."""
+        rows = []
+        for ranked in result.ranked:
+            video_id, start = self.repository.to_local(ranked.interval.start)
+            _, end = self.repository.to_local(ranked.interval.end)
+            rows.append((video_id, start, end, ranked.score))
+        return rows

@@ -1,0 +1,186 @@
+"""Per-clip predicate evaluation — Algorithm 2 and Eqs. 1–3.
+
+For each queried object type the detector's per-frame indicators are
+counted inside the clip and compared against the predicate's critical value
+(Eq. 1); for the action the per-shot indicators are counted (Eq. 2); the
+clip indicator is their conjunction (Eq. 3).  Predicates are evaluated
+sequentially and the evaluation *short-circuits* on the first negative
+(Algorithm 2, lines 6–8), saving model invocations — the effect measured by
+the predicate-order ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import OnlineConfig
+from repro.core.query import Query
+from repro.detectors.zoo import ModelZoo
+from repro.errors import QueryError
+from repro.video.ground_truth import GroundTruth
+from repro.video.model import VideoMeta
+
+
+@dataclass(frozen=True)
+class PredicateOutcome:
+    """What happened for one predicate on one clip.
+
+    ``evaluated`` is False when short-circuiting skipped the predicate;
+    ``count``/``units`` are the positive predictions and occurrence units
+    inside the clip (valid only when evaluated); ``indicator`` is
+    ``1_{o_i}(c)`` / ``1_a(c)``.
+    """
+
+    label: str
+    kind: str  # "object" | "action"
+    evaluated: bool
+    count: int = 0
+    units: int = 0
+    indicator: bool = False
+
+
+@dataclass(frozen=True)
+class ClipEvaluation:
+    """Result of Algorithm 2 on one clip: the clip indicator ``1_q(c)``
+    plus per-predicate detail for SVAQD updates and noise metrics."""
+
+    clip_id: int
+    positive: bool
+    outcomes: tuple[PredicateOutcome, ...]
+
+    def outcome(self, label: str) -> PredicateOutcome:
+        for item in self.outcomes:
+            if item.label == label:
+                return item
+        raise QueryError(f"no predicate {label!r} in this evaluation")
+
+
+class ClipEvaluator:
+    """Evaluates query predicates clip-by-clip against the deployed models.
+
+    The evaluator is bound to one ``(video, truth, query, zoo)`` tuple; the
+    per-clip critical values arrive per call because SVAQD changes them as
+    the stream evolves.
+    """
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        video: VideoMeta,
+        truth: GroundTruth,
+        query: Query,
+        config: OnlineConfig | None = None,
+    ) -> None:
+        self._zoo = zoo
+        self._video = video
+        self._truth = truth
+        self._query = query
+        self._config = config or OnlineConfig()
+        query.validate_against(
+            zoo.detector.declared_vocabulary, zoo.recognizer.declared_vocabulary
+        )
+        self._object_threshold = (
+            self._config.object_threshold
+            if self._config.object_threshold is not None
+            else zoo.detector.threshold
+        )
+        self._action_threshold = (
+            self._config.action_threshold
+            if self._config.action_threshold is not None
+            else zoo.recognizer.threshold
+        )
+
+    @property
+    def video(self) -> VideoMeta:
+        return self._video
+
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    @property
+    def frames_per_clip(self) -> int:
+        return self._video.geometry.frames_per_clip
+
+    @property
+    def shots_per_clip(self) -> int:
+        return self._video.geometry.shots_per_clip
+
+    # -- per-predicate counting --------------------------------------------------
+
+    def object_count(self, label: str, clip_id: int) -> tuple[int, int]:
+        """Positive frame predictions of ``label`` in the clip and the
+        number of frames (Eq. 1's sum and |V(c)|); charges inference."""
+        scores = self._zoo.detector.score_clip(
+            self._video, self._truth, label, clip_id
+        )
+        return int(np.count_nonzero(scores >= self._object_threshold)), len(scores)
+
+    def action_count(self, label: str, clip_id: int) -> tuple[int, int]:
+        """Positive shot predictions in the clip and the number of shots
+        (Eq. 2's sum and |S(c)|); charges inference."""
+        scores = self._zoo.recognizer.score_clip(
+            self._video, self._truth, label, clip_id
+        )
+        return int(np.count_nonzero(scores >= self._action_threshold)), len(scores)
+
+    # -- Algorithm 2 ----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        clip_id: int,
+        k_crit: Mapping[str, int],
+        *,
+        short_circuit: bool = True,
+        order: Sequence[str] | None = None,
+    ) -> ClipEvaluation:
+        """Algorithm 2 on one clip.
+
+        ``k_crit`` maps every predicate label to its current critical value.
+        ``order`` overrides the evaluation order (default: objects and
+        relationship indicators in user order, then actions, as in the
+        paper's listing); the predicate-order ablation passes
+        selectivity-sorted orders here.
+        """
+        labels = list(order) if order is not None else [
+            *self._query.frame_level_labels,
+            *self._query.actions,
+        ]
+        expected = set(self._query.all_labels)
+        if set(labels) != expected:
+            raise QueryError(
+                f"evaluation order {labels} does not cover the query "
+                f"predicates {sorted(expected)}"
+            )
+
+        outcomes: list[PredicateOutcome] = []
+        positive = True
+        skipping = False
+        action_set = set(self._query.actions)
+        for label in labels:
+            kind = "action" if label in action_set else "object"
+            if skipping:
+                outcomes.append(PredicateOutcome(label, kind, evaluated=False))
+                continue
+            if kind == "action":
+                count, units = self.action_count(label, clip_id)
+            else:
+                count, units = self.object_count(label, clip_id)
+            quota = k_crit[label]
+            indicator = count >= quota
+            outcomes.append(
+                PredicateOutcome(
+                    label, kind, evaluated=True,
+                    count=count, units=units, indicator=indicator,
+                )
+            )
+            if not indicator:
+                positive = False
+                if short_circuit:
+                    skipping = True
+        return ClipEvaluation(
+            clip_id=clip_id, positive=positive, outcomes=tuple(outcomes)
+        )

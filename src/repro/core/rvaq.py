@@ -1,0 +1,313 @@
+"""RVAQ — ranked top-K video action queries over a pre-processed store
+(Algorithm 4).
+
+Given the per-label individual sequences and clip score tables produced at
+ingestion (§4.2), RVAQ
+
+1. intersects the individual sequences into the query's result sequences
+   ``P_q`` (Eq. 12, an interval sweep);
+2. maintains, per sequence, upper and lower score bounds refined by each
+   ``(c_top, c_btm)`` pair the TBClip iterator yields (Eqs. 13–14);
+3. tracks the decision frontier with the two priority sets
+   ``PQ_lo^K`` / ``PQ_up^¬K`` and stops as soon as the K best lower bounds
+   dominate every other sequence's upper bound (Eq. 15);
+4. grows the skip set ``C_skip`` with the clips of sequences decided either
+   way, sparing TBClip any further work on them (§4.3).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.config import RankingConfig
+from repro.core.query import Query
+from repro.core.scoring import PaperScoring, ScoringScheme
+from repro.core.tbclip import TBClipIterator
+from repro.errors import QueryError
+from repro.storage.access import AccessStats
+from repro.storage.repository import VideoRepository
+from repro.utils.intervals import Interval, IntervalSet, intersect_all
+
+
+@dataclass(frozen=True)
+class RankedSequence:
+    """One answer sequence with its (possibly bounded) score."""
+
+    interval: Interval
+    lower_bound: float
+    upper_bound: float
+
+    @property
+    def exact(self) -> bool:
+        return self.lower_bound == self.upper_bound
+
+    @property
+    def score(self) -> float:
+        """The ranking score: the proven lower bound (exact when closed)."""
+        return self.lower_bound
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Output of one RVAQ (or baseline) execution."""
+
+    query: Query
+    ranked: tuple[RankedSequence, ...]
+    stats: AccessStats
+    p_q: IntervalSet
+    iterations: int = 0
+
+    @property
+    def sequences(self) -> IntervalSet:
+        return IntervalSet(r.interval for r in self.ranked)
+
+
+@dataclass
+class _SequenceState:
+    """Mutable bound-tracking state for one sequence of ``P_q``."""
+
+    interval: Interval
+    up_partial: float  # S_up: aggregated scores of processed top clips
+    lo_partial: float  # S_lo: aggregated scores of processed bottom clips
+    up_missing: int  # L_up: clips not yet counted into the upper bound
+    lo_missing: int  # L_lo: clips not yet counted into the lower bound
+    upper: float = float("inf")
+    lower: float = float("-inf")
+    decided_in: bool = False
+    decided_out: bool = False
+
+
+class RVAQ:
+    """Algorithm 4 over a :class:`VideoRepository`."""
+
+    def __init__(
+        self,
+        repository: VideoRepository,
+        scoring: ScoringScheme | None = None,
+        config: RankingConfig | None = None,
+        *,
+        enable_skip: bool = True,
+    ) -> None:
+        self._repo = repository
+        self._scoring = scoring or PaperScoring()
+        self._config = config or RankingConfig()
+        self._enable_skip = enable_skip
+
+    # -- public API ----------------------------------------------------------------
+
+    @staticmethod
+    def _split_labels(query: Query) -> tuple[str, list[str]]:
+        """The primary action plus every other predicate label.
+
+        Extra actions (the footnote-3 multi-action extension) rank through
+        the same machinery as object predicates: their per-clip scores
+        enter ``g`` alongside the object scores, and their individual
+        sequences join the Eq. 12 intersection.
+        """
+        if not query.actions:
+            raise QueryError("RVAQ expects at least one action predicate")
+        primary, *extra = query.actions
+        return primary, [*extra, *query.objects, *query.relationships]
+
+    def result_sequences(self, query: Query) -> IntervalSet:
+        """``P_q = P_a ⊗ P_o1 ⊗ … ⊗ P_oI`` (Eq. 12) in global clip ids."""
+        primary, others = self._split_labels(query)
+        sets = [self._repo.sequences(primary)]
+        sets.extend(self._repo.sequences(label) for label in others)
+        return intersect_all(sets)
+
+    def top_k(self, query: Query, k: int | None = None) -> TopKResult:
+        """The K highest-scoring result sequences (Algorithm 4)."""
+        if k is None:
+            k = self._config.default_k
+        if k <= 0:
+            raise QueryError(f"k must be positive; got {k}")
+        scoring = self._scoring
+        p_q = self.result_sequences(query)
+        stats = AccessStats()
+        if not p_q:
+            return TopKResult(query=query, ranked=(), stats=stats, p_q=p_q)
+
+        states = [
+            _SequenceState(
+                interval=iv,
+                up_partial=scoring.identity,
+                lo_partial=scoring.identity,
+                up_missing=len(iv),
+                lo_missing=len(iv),
+            )
+            for iv in p_q
+        ]
+        starts = [st.interval.start for st in states]
+
+        # C_skip starts as every repository clip outside P_q (§4.3).
+        skip: set[int] = set(
+            self._repo.all_clips().difference(p_q).points()
+        )
+        primary, others = self._split_labels(query)
+        iterator = TBClipIterator(
+            action_table=self._repo.table(primary),
+            object_tables=[self._repo.table(label) for label in others],
+            scoring=scoring,
+            skip=skip,
+            stats=stats,
+            # With K >= |P_q| membership is settled and only score
+            # exactness remains, which the top drain alone provides.
+            need_bottom=len(states) > k,
+        )
+
+        iterations = 0
+        while True:
+            c_top, s_top, c_btm, s_btm = iterator.next_pair()
+            iterations += 1
+            if c_top is None and c_btm is None and iterator.exhausted:
+                break  # every clip of P_q processed: bounds are exact
+            if c_top is not None:
+                self._fold_top(states, starts, c_top, s_top)
+            if c_btm is not None:
+                self._fold_bottom(states, starts, c_btm, s_btm)
+            self._refresh_bounds(states, s_top, s_btm, c_top, c_btm)
+            if self._apply_decisions(states, skip, k):
+                break
+
+        ranked = sorted(
+            states, key=lambda st: (st.lower, st.upper), reverse=True
+        )[:k]
+        return TopKResult(
+            query=query,
+            ranked=tuple(
+                RankedSequence(
+                    interval=st.interval,
+                    lower_bound=st.lower,
+                    upper_bound=st.upper,
+                )
+                for st in ranked
+            ),
+            stats=stats,
+            p_q=p_q,
+            iterations=iterations,
+        )
+
+    # -- bound maintenance ----------------------------------------------------------
+
+    @staticmethod
+    def _locate(starts: list[int], states: list[_SequenceState], cid: int) -> int | None:
+        """Index of the sequence containing a clip id (binary search)."""
+        pos = bisect_right(starts, cid) - 1
+        if pos >= 0 and cid in states[pos].interval:
+            return pos
+        return None
+
+    def _fold_top(
+        self, states: list[_SequenceState], starts: list[int], cid: int, score: float
+    ) -> None:
+        pos = self._locate(starts, states, cid)
+        if pos is None:
+            return
+        st = states[pos]
+        st.up_partial = self._scoring.combine(st.up_partial, score)
+        st.up_missing -= 1
+
+    def _fold_bottom(
+        self, states: list[_SequenceState], starts: list[int], cid: int, score: float
+    ) -> None:
+        pos = self._locate(starts, states, cid)
+        if pos is None:
+            return
+        st = states[pos]
+        st.lo_partial = self._scoring.combine(st.lo_partial, score)
+        st.lo_missing -= 1
+
+    def _refresh_bounds(
+        self,
+        states: list[_SequenceState],
+        s_top: float,
+        s_btm: float,
+        c_top: int | None,
+        c_btm: int | None,
+    ) -> None:
+        """Eqs. 13–14, plus the sub-sequence dominance strengthening.
+
+        Upper bound: every clip not yet seen from the top scores at most
+        ``s_top`` (Eq. 13).  Lower bound: the best of
+
+        * Eq. 14 — every clip not yet seen from the bottom scores at least
+          ``s_btm``;
+        * the aggregate of the clips already folded from either direction —
+          a *sub-sequence* of the sequence, whose score the full sequence
+          dominates by the §4.1 contract.  This makes the leader's lower
+          bound grow with the fast top walk instead of waiting for the
+          bottom walk to reach its (high-scoring) clips, which is what lets
+          ``C_skip`` prune losing sequences early.
+        """
+        for st in states:
+            if st.decided_in or st.decided_out:
+                continue
+            if c_top is not None:
+                st.upper = self._scoring.combine(
+                    self._scoring.repeat(s_top, st.up_missing), st.up_partial
+                )
+            if st.up_missing == 0:
+                st.upper = st.up_partial
+            lower = max(st.up_partial, st.lo_partial)
+            if c_btm is not None:
+                lower = max(
+                    lower,
+                    self._scoring.combine(
+                        self._scoring.repeat(s_btm, st.lo_missing),
+                        st.lo_partial,
+                    ),
+                )
+            if st.lo_missing == 0:
+                lower = max(lower, st.lo_partial)
+            if st.up_missing == 0:
+                lower = st.upper  # all clips folded from the top: exact
+            st.lower = max(st.lower, lower)
+
+    # -- decision frontier ---------------------------------------------------------------
+
+    def _apply_decisions(
+        self, states: list[_SequenceState], skip: set[int], k: int
+    ) -> bool:
+        """Maintain ``PQ_lo^K`` / ``PQ_up^¬K``, grow ``C_skip`` and test the
+        stopping condition (Eq. 15)."""
+        order = sorted(range(len(states)), key=lambda i: states[i].lower, reverse=True)
+        top_set = set(order[:k])
+        b_lo_k = (
+            states[order[k - 1]].lower if len(order) >= k else float("-inf")
+        )
+        rest = order[k:]
+        b_up_not_k = max(
+            (states[i].upper for i in rest), default=float("-inf")
+        )
+
+        if self._enable_skip:
+            for i, st in enumerate(states):
+                if st.decided_in or st.decided_out:
+                    continue
+                if st.upper < b_lo_k:
+                    st.decided_out = True
+                    skip.update(iter(st.interval))
+                elif (
+                    rest
+                    and i in top_set
+                    and st.lower > b_up_not_k
+                    and not self._config.require_exact_scores
+                ):
+                    st.decided_in = True
+                    skip.update(iter(st.interval))
+
+        if len(states) <= k:
+            # Every sequence is in the answer; keep refining until scores
+            # are exact — this is why RVAQ converges to Pq-Traverse as K
+            # approaches the number of result sequences (Table 8's last
+            # column).
+            return all(st.lower == st.upper for st in states)
+        if b_lo_k < b_up_not_k:
+            return False
+        if self._config.require_exact_scores:
+            # Membership is decided; keep refining the winners until their
+            # scores (and hence their order) are exact.
+            return all(states[i].lower == states[i].upper for i in top_set)
+        return True

@@ -1,0 +1,145 @@
+"""Scoring functions for the offline ranking framework (§4.1).
+
+The framework is agnostic to the concrete functions as long as they satisfy
+the §4.1 contract:
+
+* ``f`` (sequence score from clip scores) is monotone in every clip score,
+  dominates sub-sequences, and decomposes over a split via an aggregation
+  operator ``⊙`` (Eq. 11);
+* ``g`` (clip score from per-predicate scores) is monotone in each
+  predicate score;
+* ``h`` (per-predicate clip score from raw model scores) is unconstrained.
+
+:class:`ScoringScheme` captures that contract as a strategy object, and
+:class:`PaperScoring` provides the instantiation used in the paper's §5
+experiments::
+
+    h: S_a(c)  = Σ_s S_a(s)          S_o(c) = Σ_v Σ_t S_o^t(v)
+    g: S_q(c)  = S_a(c) · Σ_i S_oi(c)
+    f: S_q(z)  = Σ_c S_q(c)            (⊙ = +)
+
+RVAQ's bound arithmetic needs two derived operations: ``combine`` (the ⊙
+operator) and ``repeat`` (``f`` applied to a multiset of identical clip
+scores — how upper/lower bounds extrapolate unseen clips, Eqs. 13–14).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class ScoringScheme(ABC):
+    """Strategy object bundling the paper's ``f``, ``g`` and ``h``."""
+
+    # -- h: per-predicate clip scores -------------------------------------------
+
+    @abstractmethod
+    def object_clip_score(self, track_scores: Iterable[float]) -> float:
+        """``h`` for objects: combine all tracked instance scores in a clip
+        (Eq. 7)."""
+
+    @abstractmethod
+    def action_clip_score(self, shot_scores: Iterable[float]) -> float:
+        """``h`` for actions: combine all shot scores in a clip (Eq. 8)."""
+
+    # -- g: clip score -------------------------------------------------------------
+
+    @abstractmethod
+    def clip_score(
+        self, action_score: float, object_scores: Sequence[float]
+    ) -> float:
+        """``g``: overall clip score from the per-predicate scores (Eq. 9)."""
+
+    # -- f: sequence score -----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def identity(self) -> float:
+        """Neutral element of ``⊙`` (the score of an empty sub-sequence)."""
+
+    @abstractmethod
+    def combine(self, left: float, right: float) -> float:
+        """The ⊙ aggregation operator over sub-sequence scores (Eq. 11)."""
+
+    @abstractmethod
+    def repeat(self, clip_score: float, times: int) -> float:
+        """``f(s, s, ..., s)`` with ``times`` copies — the extrapolation
+        primitive of the RVAQ bounds (Eqs. 13–14)."""
+
+    def aggregate(self, clip_scores: Iterable[float]) -> float:
+        """``f``: the score of a sequence from its clip scores (Eq. 10)."""
+        total = self.identity
+        for score in clip_scores:
+            total = self.combine(total, score)
+        return total
+
+
+class PaperScoring(ScoringScheme):
+    """The additive/multiplicative instantiation of §5 (see module docs)."""
+
+    @property
+    def identity(self) -> float:
+        return 0.0
+
+    def object_clip_score(self, track_scores: Iterable[float]) -> float:
+        return float(sum(track_scores))
+
+    def action_clip_score(self, shot_scores: Iterable[float]) -> float:
+        return float(sum(shot_scores))
+
+    def clip_score(
+        self, action_score: float, object_scores: Sequence[float]
+    ) -> float:
+        if action_score < 0 or any(s < 0 for s in object_scores):
+            raise ConfigurationError(
+                "PaperScoring expects non-negative predicate scores"
+            )
+        if not object_scores:
+            # A pure-action query ranks by the action evidence alone.
+            return float(action_score)
+        return float(action_score) * float(sum(object_scores))
+
+    def combine(self, left: float, right: float) -> float:
+        return left + right
+
+    def repeat(self, clip_score: float, times: int) -> float:
+        if times < 0:
+            raise ConfigurationError(f"repeat times must be >= 0; got {times}")
+        return clip_score * times
+
+
+class MaxScoring(ScoringScheme):
+    """An alternative monotone scheme: a sequence scores its best clip.
+
+    Satisfies the same §4.1 contract with ``⊙ = max`` — included to
+    demonstrate (and property-test) that RVAQ is scoring-scheme agnostic.
+    Sequence length stops mattering; ranking favours peak evidence.
+    """
+
+    @property
+    def identity(self) -> float:
+        return 0.0
+
+    def object_clip_score(self, track_scores: Iterable[float]) -> float:
+        return float(max(track_scores, default=0.0))
+
+    def action_clip_score(self, shot_scores: Iterable[float]) -> float:
+        return float(max(shot_scores, default=0.0))
+
+    def clip_score(
+        self, action_score: float, object_scores: Sequence[float]
+    ) -> float:
+        if not object_scores:
+            return float(action_score)
+        return float(action_score) * float(max(object_scores))
+
+    def combine(self, left: float, right: float) -> float:
+        return max(left, right)
+
+    def repeat(self, clip_score: float, times: int) -> float:
+        if times < 0:
+            raise ConfigurationError(f"repeat times must be >= 0; got {times}")
+        return clip_score if times > 0 else 0.0

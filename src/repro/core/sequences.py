@@ -1,0 +1,79 @@
+"""Result-sequence assembly (Eq. 4) for streaming and batch use.
+
+Positive clips are merged into maximal runs — the *result sequences*
+``P_q = {(c_l, c_r)}``.  The batch form is a one-liner over
+:class:`repro.utils.intervals.IntervalSet`; the streaming form below tracks
+the open run so the online engines can *emit* each sequence the moment it
+closes, which is what "reporting results as the video streams" requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import VideoModelError
+from repro.utils.intervals import Interval, IntervalSet
+
+
+@dataclass
+class SequenceAssembler:
+    """Streaming merger of per-clip indicators into result sequences.
+
+    Feed ``push(clip_id, positive)`` in clip order; completed sequences are
+    appended to :attr:`closed` (and passed to ``on_emit`` if given) as soon
+    as the first negative clip after a positive run arrives.  ``finish()``
+    closes a run that reaches the end of the stream.
+    """
+
+    on_emit: Callable[[Interval], None] | None = None
+    closed: list[Interval] = field(default_factory=list)
+    _run_start: int | None = field(default=None, repr=False)
+    _last_clip: int | None = field(default=None, repr=False)
+    _finished: bool = field(default=False, repr=False)
+
+    def push(self, clip_id: int, positive: bool) -> Interval | None:
+        """Record one clip; returns the sequence this clip just closed,
+        if any."""
+        if self._finished:
+            raise VideoModelError("push() after finish()")
+        if self._last_clip is not None and clip_id != self._last_clip + 1:
+            raise VideoModelError(
+                f"clips must arrive in order; got {clip_id} after {self._last_clip}"
+            )
+        self._last_clip = clip_id
+        emitted: Interval | None = None
+        if positive:
+            if self._run_start is None:
+                self._run_start = clip_id
+        elif self._run_start is not None:
+            emitted = Interval(self._run_start, clip_id - 1)
+            self._emit(emitted)
+            self._run_start = None
+        return emitted
+
+    def finish(self) -> Interval | None:
+        """Close the stream; returns the final open sequence, if any."""
+        if self._finished:
+            return None
+        self._finished = True
+        if self._run_start is None or self._last_clip is None:
+            return None
+        emitted = Interval(self._run_start, self._last_clip)
+        self._emit(emitted)
+        self._run_start = None
+        return emitted
+
+    def _emit(self, interval: Interval) -> None:
+        self.closed.append(interval)
+        if self.on_emit is not None:
+            self.on_emit(interval)
+
+    def result(self) -> IntervalSet:
+        """All sequences emitted so far as an interval set (``P_q``)."""
+        return IntervalSet(self.closed)
+
+
+def merge_indicators(flags: Iterable[bool], offset: int = 0) -> IntervalSet:
+    """Batch Eq. 4: merge an indicator sequence into result sequences."""
+    return IntervalSet.from_indicator(list(flags), offset=offset)

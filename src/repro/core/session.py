@@ -1,0 +1,270 @@
+"""Resumable streaming sessions.
+
+A surveillance deployment runs SVAQD for days; the process will restart.
+:class:`SvaqdSession` is the incremental form of Algorithm 3: feed clips
+one at a time, checkpoint the complete dynamic state to a JSON-serialisable
+dict at any clip boundary, and resume later (possibly in a new process)
+with bit-identical behaviour — the resumed stream produces exactly the
+sequences the uninterrupted run would have.
+
+``SVAQD.run`` is a thin loop over this session; user code that owns its
+own event loop drives the session directly::
+
+    session = SvaqdSession(zoo, query, video, config)
+    while not stream.end():
+        session.process(stream.next())
+        if time_to_checkpoint:
+            save(json.dumps(session.state_dict()))
+    result = session.finish()
+"""
+
+from __future__ import annotations
+
+from repro.core.config import OnlineConfig
+from repro.core.dynamics import QuotaManager
+from repro.core.indicators import ClipEvaluation, ClipEvaluator, PredicateOutcome
+from repro.core.query import Query
+from repro.core.sequences import SequenceAssembler
+from repro.core.svaq import OnlineResult
+from repro.detectors.zoo import ModelZoo
+from repro.errors import ConfigurationError
+from repro.utils.intervals import Interval
+from repro.video.model import ClipView
+from repro.video.synthesis import LabeledVideo
+
+
+def _outcome_to_dict(outcome: PredicateOutcome) -> dict:
+    return {
+        "label": outcome.label,
+        "kind": outcome.kind,
+        "evaluated": outcome.evaluated,
+        "count": outcome.count,
+        "units": outcome.units,
+        "indicator": outcome.indicator,
+    }
+
+
+def _outcome_from_dict(state: dict) -> PredicateOutcome:
+    return PredicateOutcome(
+        label=state["label"],
+        kind=state["kind"],
+        evaluated=state["evaluated"],
+        count=state["count"],
+        units=state["units"],
+        indicator=state["indicator"],
+    )
+
+
+def _evaluation_to_dict(evaluation: ClipEvaluation) -> dict:
+    return {
+        "clip_id": evaluation.clip_id,
+        "positive": evaluation.positive,
+        "outcomes": [_outcome_to_dict(o) for o in evaluation.outcomes],
+    }
+
+
+def _evaluation_from_dict(state: dict) -> ClipEvaluation:
+    return ClipEvaluation(
+        clip_id=state["clip_id"],
+        positive=state["positive"],
+        outcomes=tuple(_outcome_from_dict(o) for o in state["outcomes"]),
+    )
+
+
+class SvaqdSession:
+    """Incremental SVAQD over one video stream (see module docs)."""
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        query: Query,
+        video: LabeledVideo,
+        config: OnlineConfig | None = None,
+    ) -> None:
+        self._zoo = zoo
+        self._query = query
+        self._video = video
+        self._config = config or OnlineConfig()
+        self._evaluator = ClipEvaluator(
+            zoo, video.meta, video.truth, query, self._config
+        )
+        self._quotas = QuotaManager(
+            query.frame_level_labels,
+            query.actions,
+            video.meta.geometry,
+            self._config,
+        )
+        self._assembler = SequenceAssembler()
+        self._evaluations: list[ClipEvaluation] = []
+        self._pending: ClipEvaluation | None = None
+        self._prev_positive = False
+        self._clip_index = 0
+        self._finished = False
+        # Selectivity statistics from probe clips (footnote 5): per label,
+        # (indicator fired, evaluations) — probes evaluate every predicate,
+        # so these rates are unbiased by the evaluation order itself.
+        self._fired: dict[str, int] = {l: 0 for l in query.all_labels}
+        self._probed: dict[str, int] = {l: 0 for l in query.all_labels}
+
+    # -- streaming --------------------------------------------------------------
+
+    @property
+    def clip_index(self) -> int:
+        """Number of clips processed so far (= the next expected clip id)."""
+        return self._clip_index
+
+    def quotas(self) -> dict[str, int]:
+        """Current per-predicate critical values."""
+        return self._quotas.quotas()
+
+    def evaluation_order(self) -> list[str]:
+        """The predicate order the next clip will be evaluated in.
+
+        ``config.predicate_order = "selective"`` sorts predicates by their
+        empirical clip-level selectivity (ascending firing rate — the
+        predicate most likely to fail first) once at least three probe
+        clips have been observed; before that, and under ``"user"``, the
+        query's own order stands (footnote 5).
+        """
+        user_order = [*self._query.frame_level_labels, *self._query.actions]
+        if self._config.predicate_order != "selective":
+            return user_order
+        if min(self._probed.values(), default=0) < 3:
+            return user_order
+        rates = {
+            label: self._fired[label] / self._probed[label]
+            for label in user_order
+        }
+        return sorted(user_order, key=lambda label: rates[label])
+
+    def selectivity_estimates(self) -> dict[str, float]:
+        """Empirical per-predicate firing rates from probe clips."""
+        return {
+            label: (self._fired[label] / self._probed[label])
+            if self._probed[label]
+            else float("nan")
+            for label in self._query.all_labels
+        }
+
+    def process(self, clip: ClipView, *, short_circuit: bool = True) -> ClipEvaluation:
+        """Evaluate one clip and fold it into the dynamic state."""
+        if self._finished:
+            raise ConfigurationError("session already finished")
+        probe_every = self._config.probe_every
+        probing = probe_every > 0 and self._clip_index % probe_every == 0
+        evaluation = self._evaluator.evaluate(
+            clip.clip_id,
+            self._quotas.quotas(),
+            short_circuit=short_circuit and not probing,
+            order=self.evaluation_order(),
+        )
+        self._clip_index += 1
+        if probing:
+            for outcome in evaluation.outcomes:
+                if outcome.evaluated:
+                    self._probed[outcome.label] += 1
+                    self._fired[outcome.label] += int(outcome.indicator)
+        self._evaluations.append(evaluation)
+        self._assembler.push(clip.clip_id, evaluation.positive)
+        if self._pending is not None:
+            self._quotas.update(
+                {o.label: o for o in self._pending.outcomes},
+                positive=self._pending.positive,
+                in_guard_band=self._prev_positive or evaluation.positive,
+            )
+            self._prev_positive = self._pending.positive
+        self._pending = evaluation
+        return evaluation
+
+    def finish(self) -> OnlineResult:
+        """Close the stream and return the run's result."""
+        if not self._finished:
+            if self._pending is not None:
+                self._quotas.update(
+                    {o.label: o for o in self._pending.outcomes},
+                    positive=self._pending.positive,
+                    in_guard_band=self._prev_positive,
+                )
+                self._pending = None
+            self._assembler.finish()
+            self._finished = True
+        return OnlineResult(
+            query=self._query,
+            video_id=self._video.video_id,
+            sequences=self._assembler.result(),
+            evaluations=tuple(self._evaluations),
+            final_rates=self._quotas.rates(),
+        )
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete dynamic state, JSON-serialisable.
+
+        Captures everything that influences future decisions: the per-label
+        estimator states, the open result run, the guard-band lookahead and
+        the probe counter.  Already-emitted sequences are included so the
+        resumed session's final result is the full stream's.
+        """
+        if self._finished:
+            raise ConfigurationError("cannot checkpoint a finished session")
+        return {
+            "clip_index": self._clip_index,
+            "prev_positive": self._prev_positive,
+            "pending": (
+                _evaluation_to_dict(self._pending)
+                if self._pending is not None
+                else None
+            ),
+            "estimators": {
+                label: self._quotas.tracker(label).estimator.state_dict()
+                for label in self._query.all_labels
+            },
+            "assembler": {
+                "closed": [iv.as_tuple() for iv in self._assembler.closed],
+                "run_start": self._assembler._run_start,
+                "last_clip": self._assembler._last_clip,
+            },
+            "selectivity": {"fired": self._fired, "probed": self._probed},
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict,
+        zoo: ModelZoo,
+        query: Query,
+        video: LabeledVideo,
+        config: OnlineConfig | None = None,
+    ) -> "SvaqdSession":
+        """Rebuild a session from :meth:`state_dict` output.
+
+        The deterministic components (models, video, query, config) are
+        reconstructed by the caller; this restores the dynamic state on
+        top of them.
+        """
+        from repro.scanstats.kernel import KernelRateEstimator
+
+        session = cls(zoo, query, video, config)
+        session._clip_index = int(state["clip_index"])
+        session._prev_positive = bool(state["prev_positive"])
+        pending = state["pending"]
+        session._pending = (
+            _evaluation_from_dict(pending) if pending is not None else None
+        )
+        for label, estimator_state in state["estimators"].items():
+            tracker = session._quotas.tracker(label)
+            tracker.estimator = KernelRateEstimator.from_state_dict(
+                estimator_state
+            )
+            tracker.refresh()
+        assembler_state = state["assembler"]
+        session._assembler.closed.extend(
+            Interval(start, end) for start, end in assembler_state["closed"]
+        )
+        session._assembler._run_start = assembler_state["run_start"]
+        session._assembler._last_clip = assembler_state["last_clip"]
+        selectivity = state.get("selectivity", {})
+        session._fired.update(selectivity.get("fired", {}))
+        session._probed.update(selectivity.get("probed", {}))
+        return session

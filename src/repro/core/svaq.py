@@ -1,0 +1,128 @@
+"""Algorithm 1 — SVAQ: streaming video action queries with static critical
+values.
+
+SVAQ derives one critical value per query predicate from an *a-priori*
+background probability (Eq. 5) and evaluates every incoming clip with
+Algorithm 2, merging positive clips into result sequences (Eq. 4).  Its
+accuracy therefore depends on how well the assumed ``p₀`` matches the
+stream — the sensitivity the paper's Figure 2 quantifies and SVAQD removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.config import OnlineConfig
+from repro.core.indicators import ClipEvaluation, ClipEvaluator
+from repro.core.query import Query
+from repro.core.sequences import SequenceAssembler
+from repro.detectors.zoo import ModelZoo
+from repro.scanstats.critical import critical_value
+from repro.utils.intervals import IntervalSet
+from repro.video.stream import ClipStream
+from repro.video.synthesis import LabeledVideo
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Output of one streaming run: the result sequences ``P_q`` plus the
+    per-clip evaluations (used by the noise/selectivity analyses)."""
+
+    query: Query
+    video_id: str
+    sequences: IntervalSet
+    evaluations: tuple[ClipEvaluation, ...]
+    k_crit_trace: tuple[Mapping[str, int], ...] = ()
+    #: SVAQD only: the background-probability estimates when the stream
+    #: ended (diagnostics for the adaptivity experiments).
+    final_rates: Mapping[str, float] = ()
+
+    @property
+    def n_clips(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def positive_clips(self) -> int:
+        return sum(1 for ev in self.evaluations if ev.positive)
+
+    def predicate_indicator_rate(self, label: str) -> float:
+        """Fraction of evaluated clips on which a predicate's indicator
+        fired — its empirical clip-level selectivity."""
+        evaluated = fired = 0
+        for ev in self.evaluations:
+            outcome = ev.outcome(label)
+            if outcome.evaluated:
+                evaluated += 1
+                fired += int(outcome.indicator)
+        return fired / evaluated if evaluated else 0.0
+
+
+@dataclass
+class SVAQ:
+    """Algorithm 1.  Construct once per query; ``run`` per video stream.
+
+    ``k_crit_overrides`` lets callers pin critical values per label
+    (Algorithm 1 allows "each [predicate] may have its own initial
+    values"); otherwise they derive from ``config.object_p0`` /
+    ``config.action_p0`` via Eq. 5.
+    """
+
+    zoo: ModelZoo
+    query: Query
+    config: OnlineConfig = field(default_factory=OnlineConfig)
+    k_crit_overrides: Mapping[str, int] = field(default_factory=dict)
+
+    def initial_critical_values(self, video_geometry) -> dict[str, int]:
+        """``k_crit_o_init`` / ``k_crit_a_init`` for every predicate."""
+        frames_per_clip = video_geometry.frames_per_clip
+        shots_per_clip = video_geometry.shots_per_clip
+        shot_horizon = max(
+            shots_per_clip, self.config.horizon_ou // video_geometry.frames_per_shot
+        )
+        values: dict[str, int] = {}
+        for label in self.query.frame_level_labels:
+            values[label] = self.k_crit_overrides.get(label) or critical_value(
+                self.config.object_p0,
+                frames_per_clip,
+                self.config.horizon_ou,
+                self.config.alpha,
+            )
+        for label in self.query.actions:
+            values[label] = self.k_crit_overrides.get(label) or critical_value(
+                self.config.action_p0,
+                shots_per_clip,
+                shot_horizon,
+                self.config.alpha,
+            )
+        return values
+
+    def run(
+        self,
+        video: LabeledVideo,
+        *,
+        stream: ClipStream | None = None,
+        short_circuit: bool = True,
+    ) -> OnlineResult:
+        """Process a stream and return the result sequences (Eq. 4)."""
+        evaluator = ClipEvaluator(
+            self.zoo, video.meta, video.truth, self.query, self.config
+        )
+        k_crit = self.initial_critical_values(video.meta.geometry)
+        clips = stream if stream is not None else ClipStream(video.meta)
+        assembler = SequenceAssembler()
+        evaluations: list[ClipEvaluation] = []
+        while not clips.end():
+            clip = clips.next()
+            evaluation = evaluator.evaluate(
+                clip.clip_id, k_crit, short_circuit=short_circuit
+            )
+            evaluations.append(evaluation)
+            assembler.push(clip.clip_id, evaluation.positive)
+        assembler.finish()
+        return OnlineResult(
+            query=self.query,
+            video_id=video.video_id,
+            sequences=assembler.result(),
+            evaluations=tuple(evaluations),
+        )

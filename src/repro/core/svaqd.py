@@ -1,0 +1,82 @@
+"""Algorithm 3 — SVAQD: SVAQ with dynamic background-probability updates.
+
+Every query predicate owns an exponential-kernel rate estimator (§3.3,
+Eq. 6).  Per clip, SVAQD evaluates the predicates against the *current*
+critical values, folds the observed event counts into the estimators, and
+recomputes the critical values from the refreshed background probabilities
+(Algorithm 3, lines 7–9).  The initial probabilities ``p_obj₀ / p_act₀``
+only matter for the first ~bandwidth occurrence units — the insensitivity
+Figure 2 demonstrates — and sudden stream changes are absorbed within the
+kernel bandwidth while gradual drift is smoothed (concept-drift handling).
+
+Three implementation decisions the paper leaves open, all configurable via
+:class:`repro.core.config.OnlineConfig` (see there for rationale):
+
+* **which clips are null data** (``update_on`` + the one-clip guard band
+  around detections) — §3.2 defines the background as the prediction
+  distribution "when the query predicates are not satisfied";
+* **probe cadence** (``probe_every``) — periodic full evaluation so
+  short-circuiting cannot starve later predicates' estimators;
+* the lenient background quota (``alpha_background``) separating "null"
+  from "gray-zone" clips.
+
+The quota machinery itself lives in :mod:`repro.core.dynamics` and is
+shared with the compound-query executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.config import OnlineConfig
+from repro.core.query import Query
+from repro.core.svaq import OnlineResult
+from repro.detectors.zoo import ModelZoo
+from repro.video.stream import ClipStream
+from repro.video.synthesis import LabeledVideo
+
+
+@dataclass
+class SVAQD:
+    """Algorithm 3.  Construct once per query; ``run`` per video stream."""
+
+    zoo: ModelZoo
+    query: Query
+    config: OnlineConfig = field(default_factory=OnlineConfig)
+
+    def run(
+        self,
+        video: LabeledVideo,
+        *,
+        stream: ClipStream | None = None,
+        short_circuit: bool = True,
+        record_trace: bool = False,
+    ) -> OnlineResult:
+        """Process a stream with dynamic parameter adjustment.
+
+        ``record_trace`` captures the critical values in force at every
+        clip (used by the adaptivity experiments); it costs memory
+        proportional to the number of clips.
+        """
+        from repro.core.session import SvaqdSession
+
+        session = SvaqdSession(self.zoo, self.query, video, self.config)
+        clips = stream if stream is not None else ClipStream(video.meta)
+        trace: list[Mapping[str, int]] = []
+        while not clips.end():
+            clip = clips.next()
+            if record_trace:
+                trace.append(session.quotas())
+            session.process(clip, short_circuit=short_circuit)
+        result = session.finish()
+        if record_trace:
+            result = OnlineResult(
+                query=result.query,
+                video_id=result.video_id,
+                sequences=result.sequences,
+                evaluations=result.evaluations,
+                k_crit_trace=tuple(trace),
+                final_rates=result.final_rates,
+            )
+        return result

@@ -1,0 +1,48 @@
+"""Simulated inference-cost accounting.
+
+The paper reports that >98% of online query latency is model inference
+(§5.2, "Runtime Superiority").  Without a GPU we cannot measure real
+inference, so every simulated model charges its profile's per-unit latency
+to a :class:`CostMeter`; the runtime-decomposition experiment then reports
+the same inference/algorithm split the paper does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostMeter:
+    """Accumulates simulated inference milliseconds per model."""
+
+    _ms: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    _units: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, model: str, units: int, ms_per_unit: float) -> None:
+        """Charge ``units`` inferences of ``model`` at ``ms_per_unit``."""
+        if units < 0:
+            raise ValueError(f"units must be >= 0; got {units}")
+        self._ms[model] += units * ms_per_unit
+        self._units[model] += units
+
+    def ms(self, model: str | None = None) -> float:
+        """Accumulated milliseconds for one model (or all models)."""
+        if model is not None:
+            return self._ms.get(model, 0.0)
+        return sum(self._ms.values())
+
+    def units(self, model: str | None = None) -> int:
+        """Accumulated inference invocations."""
+        if model is not None:
+            return self._units.get(model, 0)
+        return sum(self._units.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Milliseconds per model, for reporting."""
+        return dict(self._ms)
+
+    def reset(self) -> None:
+        self._ms.clear()
+        self._units.clear()

@@ -1,0 +1,113 @@
+"""Temporally correlated detection-noise processes.
+
+Real detector errors are bursty: a false positive on one frame makes one on
+the next likelier (the object that fooled the detector is still in view),
+and misses cluster around occlusions.  We model the *thresholded* firing
+indicator of a detector as a two-state renewal process with geometric state
+durations, which has two calibration knobs per regime:
+
+* the marginal firing rate (the TPR inside ground-truth presence, the FPR
+  outside it), and
+* the mean firing-run length (``burst``), controlling correlation.
+
+Scores are then drawn conditionally on the (firing, truly-present) pair, so
+thresholding at the profile's operating threshold reproduces the calibrated
+TPR/FPR exactly while true detections still rank above false alarms —
+which is what the offline ranking experiments need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DetectorError
+
+
+def alternating_indicator(
+    rng: np.random.Generator,
+    n: int,
+    rate: float,
+    mean_run: float,
+) -> np.ndarray:
+    """A 0/1 process of length ``n`` with marginal P(1) = ``rate`` and mean
+    1-run length ``mean_run`` (geometric on/off durations).
+
+    Vectorised: enough alternating run lengths are drawn at once and
+    repeated into a dense array, so long movies cost microseconds per label.
+    """
+    if n < 0:
+        raise DetectorError(f"sequence length must be >= 0; got {n}")
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if rate <= 0.0:
+        return np.zeros(n, dtype=bool)
+    if rate >= 1.0:
+        return np.ones(n, dtype=bool)
+    mean_on = max(1.0, float(mean_run))
+    mean_off = mean_on * (1.0 - rate) / rate
+    if mean_off < 1.0:
+        # Geometric runs are at least one unit long; preserve the marginal
+        # rate by lengthening the on-runs instead of flooring the off-runs.
+        mean_off = 1.0
+        mean_on = rate / (1.0 - rate)
+
+    # Expected runs needed, padded generously; top up in the rare shortfall.
+    pieces: list[np.ndarray] = []
+    produced = 0
+    start_on = bool(rng.random() < rate)
+    while produced < n:
+        expected_pairs = int((n - produced) / (mean_on + mean_off)) + 8
+        ons = rng.geometric(1.0 / mean_on, size=expected_pairs)
+        offs = rng.geometric(1.0 / mean_off, size=expected_pairs)
+        if start_on:
+            runs = np.empty(2 * expected_pairs, dtype=np.int64)
+            runs[0::2], runs[1::2] = ons, offs
+            states = np.tile([True, False], expected_pairs)
+        else:
+            runs = np.empty(2 * expected_pairs, dtype=np.int64)
+            runs[0::2], runs[1::2] = offs, ons
+            states = np.tile([False, True], expected_pairs)
+        chunk = np.repeat(states, runs)
+        pieces.append(chunk)
+        produced += len(chunk)
+        start_on = not bool(states[-1])  # continue with the opposite state
+    return np.concatenate(pieces)[:n]
+
+
+def conditional_scores(
+    rng: np.random.Generator,
+    firing: np.ndarray,
+    present: np.ndarray,
+    threshold: float,
+    sharpness: float,
+) -> np.ndarray:
+    """Scores consistent with the firing indicator at ``threshold``.
+
+    * firing & present  — true detection: Beta(sharpness, 1) mapped to
+      ``[threshold, 1]`` (confident, concentrated near 1 for good models);
+    * firing & absent   — false alarm: Beta(1, sharpness) mapped to
+      ``[threshold, 1]`` (barely above threshold);
+    * quiet & present   — miss: Beta(2, 2) mapped to ``[0, threshold)``
+      (the detector saw *something*);
+    * quiet & absent    — background: Beta(1, 4) mapped to ``[0, threshold)``.
+    """
+    if firing.shape != present.shape:
+        raise DetectorError("firing/present masks must have the same shape")
+    if not 0.0 < threshold < 1.0:
+        raise DetectorError(f"threshold must be in (0, 1); got {threshold}")
+    n = firing.shape[0]
+    scores = np.empty(n, dtype=np.float64)
+
+    tp = firing & present
+    fp = firing & ~present
+    miss = ~firing & present
+    bg = ~firing & ~present
+    scores[tp] = threshold + (1.0 - threshold) * rng.beta(sharpness, 1.0, tp.sum())
+    scores[fp] = threshold + (1.0 - threshold) * rng.beta(1.0, sharpness, fp.sum())
+    scores[miss] = threshold * rng.beta(2.0, 2.0, miss.sum())
+    scores[bg] = threshold * rng.beta(1.0, 4.0, bg.sum())
+    # Guard the open interval so thresholding is unambiguous.
+    np.clip(scores, 0.0, 1.0, out=scores)
+    scores[firing] = np.maximum(scores[firing], np.nextafter(threshold, 1.0))
+    scores[~firing] = np.minimum(scores[~firing], np.nextafter(threshold, 0.0))
+    return scores

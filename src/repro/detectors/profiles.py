@@ -1,0 +1,190 @@
+"""Calibrated noise profiles for the paper's model line-up.
+
+Absolute accuracies of the real models depend on dataset and operating
+point; what the paper's experiments rely on is the *ordering* and rough
+gaps — Mask R-CNN more accurate than YOLOv3 (Table 4), "person" detected
+much more reliably than small objects like faucets (Table 3), I3D solid on
+Kinetics categories, and an Ideal model matching ground truth exactly.  The
+numbers below are calibrated so the end-to-end F1 bands land where §5.2
+reports them; they are plain data and easy to re-tune.
+
+Inference costs (``ms_per_unit``) approximate published single-GPU
+latencies and only feed the runtime-decomposition experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LabelAccuracy:
+    """Per-label operating characteristics of a detector at its default
+    threshold.
+
+    ``tpr`` applies near ground-truth episode boundaries (the first/last
+    ``edge_units`` occurrence units of an episode, where targets are
+    entering or leaving view and real models are least reliable);
+    ``interior_tpr`` applies deep inside an episode and defaults to ``tpr``.
+    ``fpr`` applies outside episodes.  ``burst_on`` / ``burst_off`` are the
+    mean lengths of firing runs inside / outside episodes, controlling the
+    temporal correlation of errors.
+    """
+
+    tpr: float
+    fpr: float
+    burst_on: float = 8.0
+    burst_off: float = 6.0
+    interior_tpr: float | None = None
+    edge_units: int = 0
+
+    def __post_init__(self) -> None:
+        checks = [("tpr", self.tpr), ("fpr", self.fpr)]
+        if self.interior_tpr is not None:
+            checks.append(("interior_tpr", self.interior_tpr))
+        for name, value in checks:
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]; got {value}")
+        if self.burst_on <= 0 or self.burst_off <= 0:
+            raise ConfigurationError("burst lengths must be positive")
+        if self.edge_units < 0:
+            raise ConfigurationError("edge_units must be >= 0")
+
+    @property
+    def effective_interior_tpr(self) -> float:
+        return self.tpr if self.interior_tpr is None else self.interior_tpr
+
+
+@dataclass(frozen=True)
+class DetectorProfile:
+    """Full noise profile of one simulated model."""
+
+    name: str
+    kind: str  # "object" | "action" | "tracker"
+    default: LabelAccuracy
+    overrides: Mapping[str, LabelAccuracy] = field(default_factory=dict)
+    threshold: float = 0.5
+    score_sharpness: float = 5.0
+    ms_per_unit: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("object", "action", "tracker"):
+            raise ConfigurationError(f"unknown profile kind {self.kind!r}")
+        if not 0.0 < self.threshold < 1.0:
+            raise ConfigurationError("threshold must be in (0, 1)")
+        if self.score_sharpness <= 0:
+            raise ConfigurationError("score_sharpness must be positive")
+        if self.ms_per_unit < 0:
+            raise ConfigurationError("ms_per_unit must be >= 0")
+
+    def accuracy_for(self, label: str) -> LabelAccuracy:
+        """Operating characteristics for one label (override or default)."""
+        return self.overrides.get(label, self.default)
+
+    def with_overrides(self, overrides: Mapping[str, LabelAccuracy]) -> "DetectorProfile":
+        merged = dict(self.overrides)
+        merged.update(overrides)
+        return DetectorProfile(
+            name=self.name,
+            kind=self.kind,
+            default=self.default,
+            overrides=merged,
+            threshold=self.threshold,
+            score_sharpness=self.score_sharpness,
+            ms_per_unit=self.ms_per_unit,
+        )
+
+
+#: "person" is by far the best-detected COCO class; the Table 3 experiments
+#: rely on a high-accuracy correlated predicate lifting composite F1.
+_PERSON = LabelAccuracy(
+    tpr=0.94, fpr=0.008, burst_on=20.0, burst_off=2.0,
+    interior_tpr=0.995, edge_units=10,
+)
+
+MASK_RCNN = DetectorProfile(
+    name="MaskRCNN",
+    kind="object",
+    default=LabelAccuracy(
+        tpr=0.82, fpr=0.030, burst_on=12.0, burst_off=2.5,
+        interior_tpr=0.985, edge_units=15,
+    ),
+    overrides={"person": _PERSON},
+    score_sharpness=6.0,
+    ms_per_unit=90.0,  # two-stage detector, ~11 fps on a single GPU
+)
+
+YOLOV3 = DetectorProfile(
+    name="YOLOv3",
+    kind="object",
+    default=LabelAccuracy(
+        tpr=0.74, fpr=0.055, burst_on=10.0, burst_off=3.0,
+        interior_tpr=0.93, edge_units=18,
+    ),
+    overrides={
+        "person": LabelAccuracy(
+            tpr=0.90, fpr=0.015, burst_on=18.0, burst_off=2.0,
+            interior_tpr=0.99, edge_units=12,
+        )
+    },
+    score_sharpness=4.0,
+    ms_per_unit=19.0,  # one-stage detector, ~50 fps
+)
+
+I3D = DetectorProfile(
+    name="I3D",
+    kind="action",
+    default=LabelAccuracy(
+        tpr=0.70, fpr=0.020, burst_on=6.0, burst_off=1.5,
+        interior_tpr=0.995, edge_units=2,
+    ),
+    score_sharpness=5.0,
+    ms_per_unit=140.0,  # per shot (two-stream 3D ConvNet)
+)
+
+CENTERTRACK = DetectorProfile(
+    name="CenterTrack",
+    kind="tracker",
+    default=LabelAccuracy(tpr=0.92, fpr=0.015, burst_on=15.0, burst_off=4.0),
+    overrides={"person": LabelAccuracy(tpr=0.97, fpr=0.006, burst_on=25.0, burst_off=3.0)},
+    score_sharpness=6.0,
+    ms_per_unit=25.0,
+)
+
+#: Ideal models replicate ground truth exactly (Table 4's sanity rows).
+IDEAL_OBJECT = DetectorProfile(
+    name="IdealObject",
+    kind="object",
+    default=LabelAccuracy(tpr=1.0, fpr=0.0, burst_on=1.0, burst_off=1.0),
+    score_sharpness=50.0,
+    ms_per_unit=0.0,
+)
+
+IDEAL_ACTION = DetectorProfile(
+    name="IdealAction",
+    kind="action",
+    default=LabelAccuracy(tpr=1.0, fpr=0.0, burst_on=1.0, burst_off=1.0),
+    score_sharpness=50.0,
+    ms_per_unit=0.0,
+)
+
+IDEAL_TRACKER = DetectorProfile(
+    name="IdealTracker",
+    kind="tracker",
+    default=LabelAccuracy(tpr=1.0, fpr=0.0, burst_on=1.0, burst_off=1.0),
+    score_sharpness=50.0,
+    ms_per_unit=0.0,
+)
+
+ALL_PROFILES: tuple[DetectorProfile, ...] = (
+    MASK_RCNN,
+    YOLOV3,
+    I3D,
+    CENTERTRACK,
+    IDEAL_OBJECT,
+    IDEAL_ACTION,
+    IDEAL_TRACKER,
+)

@@ -1,0 +1,256 @@
+"""Simulated object detectors and action recognisers.
+
+Each model is a deterministic function of ``(profile, seed, video, label)``:
+the whole per-frame (or per-shot) score vector for a video/label pair is
+materialised lazily on first use and cached, so online streaming, repeated
+experiments and the ingestion phase all observe *the same* noisy model
+outputs — exactly as they would with a real frozen network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import GroundTruth
+from repro.detectors.cost import CostMeter
+from repro.detectors.noise import alternating_indicator, conditional_scores
+from repro.detectors.profiles import DetectorProfile
+from repro.errors import DetectorError
+from repro.utils.intervals import IntervalSet
+from repro.utils.rng import derive_rng
+from repro.video.model import VideoMeta
+
+
+def presence_mask(spans: IntervalSet, n: int) -> np.ndarray:
+    """Boolean per-unit mask of an interval set over ``[0, n)``."""
+    mask = np.zeros(n, dtype=bool)
+    for iv in spans:
+        mask[max(0, iv.start) : min(n, iv.end + 1)] = True
+    return mask
+
+
+def edge_mask(spans: IntervalSet, n: int, edge_units: int) -> np.ndarray:
+    """Units inside an episode but within ``edge_units`` of its boundary —
+    the zone where detectors run at their (lower) edge TPR."""
+    mask = np.zeros(n, dtype=bool)
+    if edge_units <= 0:
+        return mask
+    for iv in spans:
+        lo, hi = max(0, iv.start), min(n - 1, iv.end)
+        if hi < lo:
+            continue
+        mask[lo : min(n, lo + edge_units)] = True
+        mask[max(0, hi - edge_units + 1) : hi + 1] = True
+    return mask
+
+
+class _SimulatedModel:
+    """Shared machinery: vocabulary checks, caching, noisy score synthesis."""
+
+    def __init__(
+        self,
+        profile: DetectorProfile,
+        seed: int = 0,
+        vocabulary: frozenset[str] | None = None,
+        cost_meter: CostMeter | None = None,
+    ) -> None:
+        self._profile = profile
+        self._seed = seed
+        self._vocabulary = vocabulary
+        self._cost = cost_meter
+        self._cache: dict[tuple[str, str, int], np.ndarray] = {}
+
+    @property
+    def name(self) -> str:
+        return self._profile.name
+
+    @property
+    def profile(self) -> DetectorProfile:
+        return self._profile
+
+    @property
+    def threshold(self) -> float:
+        return self._profile.threshold
+
+    @property
+    def vocabulary(self) -> frozenset[str]:
+        if self._vocabulary is None:
+            raise DetectorError(
+                f"{self.name} was built with an open vocabulary; "
+                "pass an explicit vocabulary to enumerate it"
+            )
+        return self._vocabulary
+
+    @property
+    def declared_vocabulary(self) -> frozenset[str] | None:
+        """The configured vocabulary, or ``None`` for an open vocabulary."""
+        return self._vocabulary
+
+    def supports(self, label: str) -> bool:
+        return self._vocabulary is None or label in self._vocabulary
+
+    def _check_label(self, label: str) -> None:
+        if not self.supports(label):
+            raise DetectorError(
+                f"label {label!r} outside the vocabulary of {self.name}"
+            )
+
+    def _charge(self, units: int) -> None:
+        if self._cost is not None:
+            self._cost.record(self.name, units, self._profile.ms_per_unit)
+
+    def _synthesize(
+        self,
+        video_id: str,
+        label: str,
+        truth_spans: IntervalSet,
+        n_units: int,
+        outage_spans: IntervalSet | None = None,
+    ) -> np.ndarray:
+        key = (video_id, label, n_units)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        accuracy = self._profile.accuracy_for(label)
+        rng = derive_rng(self._seed, "model", self.name, video_id, label)
+        present = presence_mask(truth_spans, n_units)
+        interior_tpr = accuracy.effective_interior_tpr
+        if accuracy.tpr >= 1.0 and interior_tpr >= 1.0 and accuracy.fpr <= 0.0:
+            firing = present.copy()
+        else:
+            edge = edge_mask(truth_spans, n_units, accuracy.edge_units)
+            edge_hits = alternating_indicator(
+                rng, n_units, accuracy.tpr, accuracy.burst_on
+            )
+            interior_hits = alternating_indicator(
+                rng, n_units, interior_tpr, accuracy.burst_on
+            )
+            alarms = alternating_indicator(
+                rng, n_units, accuracy.fpr, accuracy.burst_off
+            )
+            firing = np.where(
+                present, np.where(edge, edge_hits, interior_hits), alarms
+            )
+        scores = conditional_scores(
+            rng, firing, present, self._profile.threshold,
+            self._profile.score_sharpness,
+        )
+        if outage_spans is not None and outage_spans:
+            # Failure injection: during a recording outage no model can see
+            # anything — scores collapse to zero regardless of ground truth.
+            scores[presence_mask(outage_spans, n_units)] = 0.0
+        self._cache[key] = scores
+        return scores
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+
+class SimulatedObjectDetector(_SimulatedModel):
+    """Per-frame object-type scorer (implements
+    :class:`repro.detectors.base.ObjectDetector`)."""
+
+    def __init__(
+        self,
+        profile: DetectorProfile,
+        seed: int = 0,
+        vocabulary: frozenset[str] | None = None,
+        cost_meter: CostMeter | None = None,
+    ) -> None:
+        if profile.kind != "object":
+            raise DetectorError(
+                f"profile {profile.name!r} is a {profile.kind} profile, "
+                "not an object-detector profile"
+            )
+        super().__init__(profile, seed, vocabulary, cost_meter)
+
+    def score_video(
+        self, video: VideoMeta, truth: GroundTruth, label: str
+    ) -> np.ndarray:
+        self._check_label(label)
+        return self._synthesize(
+            video.video_id,
+            label,
+            truth.object_frames(label),
+            video.usable_frames,
+            outage_spans=truth.outage_frames,
+        )
+
+    def score_frame(
+        self, video: VideoMeta, truth: GroundTruth, label: str, frame: int
+    ) -> float:
+        scores = self.score_video(video, truth, label)
+        if not 0 <= frame < len(scores):
+            raise DetectorError(
+                f"frame {frame} outside video {video.video_id!r}"
+            )
+        self._charge(1)
+        return float(scores[frame])
+
+    def score_clip(
+        self, video: VideoMeta, truth: GroundTruth, label: str, clip_id: int
+    ) -> np.ndarray:
+        """All frame scores of one clip (the per-clip inner loop of
+        Algorithm 2, vectorised); charges one inference per frame."""
+        frames = video.geometry.frames_of_clip(clip_id)
+        scores = self.score_video(video, truth, label)
+        self._charge(len(frames))
+        return scores[frames.start : frames.end + 1]
+
+
+class SimulatedActionRecognizer(_SimulatedModel):
+    """Per-shot action-category scorer (implements
+    :class:`repro.detectors.base.ActionRecognizer`)."""
+
+    def __init__(
+        self,
+        profile: DetectorProfile,
+        seed: int = 0,
+        vocabulary: frozenset[str] | None = None,
+        cost_meter: CostMeter | None = None,
+    ) -> None:
+        if profile.kind != "action":
+            raise DetectorError(
+                f"profile {profile.name!r} is a {profile.kind} profile, "
+                "not an action-recognizer profile"
+            )
+        super().__init__(profile, seed, vocabulary, cost_meter)
+
+    def score_video(
+        self, video: VideoMeta, truth: GroundTruth, label: str
+    ) -> np.ndarray:
+        self._check_label(label)
+        shot_spans = truth.action_shots(label, video.geometry)
+        outage_shots = (
+            video.geometry.frame_set_to_shots(truth.outage_frames)
+            if truth.outage_frames
+            else None
+        )
+        return self._synthesize(
+            # Shot indexing depends on the shot length, so the cache key must
+            # include it; _synthesize keys on n_units which differs per
+            # geometry, plus we tag the video id with the shot length.
+            f"{video.video_id}@shot{video.geometry.frames_per_shot}",
+            label,
+            shot_spans,
+            video.n_shots,
+            outage_spans=outage_shots,
+        )
+
+    def score_shot(
+        self, video: VideoMeta, truth: GroundTruth, label: str, shot: int
+    ) -> float:
+        scores = self.score_video(video, truth, label)
+        if not 0 <= shot < len(scores):
+            raise DetectorError(f"shot {shot} outside video {video.video_id!r}")
+        self._charge(1)
+        return float(scores[shot])
+
+    def score_clip(
+        self, video: VideoMeta, truth: GroundTruth, label: str, clip_id: int
+    ) -> np.ndarray:
+        """All shot scores of one clip; charges one inference per shot."""
+        shots = video.geometry.shots_of_clip(clip_id)
+        scores = self.score_video(video, truth, label)
+        self._charge(len(shots))
+        return scores[shots.start : shots.end + 1]

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the svq-act reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  Sub-classes are
+grouped by the layer that raises them (configuration, data model, query
+language, storage, statistics).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An engine, detector or dataset was configured with invalid values."""
+
+
+class IntervalError(ReproError, ValueError):
+    """An interval was constructed or combined in an invalid way."""
+
+
+class VideoModelError(ReproError, ValueError):
+    """Frame/shot/clip geometry is inconsistent (e.g. clip not a multiple
+    of the shot length)."""
+
+
+class GroundTruthError(ReproError, ValueError):
+    """Ground-truth annotations are malformed (unknown label, interval
+    outside the video, overlapping spans for one label)."""
+
+
+class DetectorError(ReproError, RuntimeError):
+    """A simulated detection model was used incorrectly (e.g. asked to score
+    a label outside its vocabulary)."""
+
+
+class QueryError(ReproError, ValueError):
+    """A query object is malformed (no action, duplicate predicates, labels
+    outside the deployed models' vocabularies)."""
+
+
+class ScanStatisticsError(ReproError, ValueError):
+    """Scan-statistics routines received out-of-domain parameters
+    (probabilities outside (0, 1), non-positive window sizes, ...)."""
+
+
+class StorageError(ReproError, RuntimeError):
+    """Offline storage misuse: unknown video/label tables, access to a
+    table row that does not exist, repository state violations."""
+
+
+class IngestError(StorageError):
+    """The ingestion phase failed (video already ingested, empty video)."""
+
+
+class SqlSyntaxError(ReproError, ValueError):
+    """The SQL-like query text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class PlanningError(ReproError, ValueError):
+    """A parsed query could not be translated into an executable plan."""
+
+
+class EvaluationError(ReproError, ValueError):
+    """Metric computation received inconsistent inputs."""

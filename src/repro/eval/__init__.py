@@ -1,0 +1,15 @@
+"""Evaluation harness: the paper's metrics (§5.1) and experiment drivers."""
+
+from repro.eval.metrics import (
+    MatchReport,
+    frame_level_f1,
+    match_sequences,
+    sequence_f1,
+)
+
+__all__ = [
+    "MatchReport",
+    "match_sequences",
+    "sequence_f1",
+    "frame_level_f1",
+]

@@ -1,0 +1,44 @@
+"""Experiment drivers — one module per table/figure of the paper's §5.
+
+Every driver exposes ``run(seed=..., scale=...) -> <Result>`` where the
+result dataclass carries the raw rows/series plus a ``render()`` method
+printing the same table the paper reports.  The corresponding benchmark in
+``benchmarks/`` simply calls ``run`` and prints the rendering; tests call
+``run`` at a smaller scale and assert the shape targets in DESIGN.md.
+"""
+
+from repro.eval.experiments import (  # noqa: F401 (re-export for discovery)
+    ablation_alpha,
+    ablation_kernel_bandwidth,
+    ablation_markov,
+    ablation_predicate_order,
+    fig2_background_prob,
+    fig3_f1_all_queries,
+    fig4_clip_size,
+    fig5_frame_f1,
+    runtime_decomposition,
+    table3_predicates,
+    table4_models,
+    table5_noise,
+    table6_movie_topk,
+    table7_youtube_topk,
+    table8_speedup,
+)
+
+__all__ = [
+    "fig2_background_prob",
+    "fig3_f1_all_queries",
+    "table3_predicates",
+    "table4_models",
+    "table5_noise",
+    "fig4_clip_size",
+    "fig5_frame_f1",
+    "runtime_decomposition",
+    "table6_movie_topk",
+    "table7_youtube_topk",
+    "table8_speedup",
+    "ablation_alpha",
+    "ablation_kernel_bandwidth",
+    "ablation_markov",
+    "ablation_predicate_order",
+]

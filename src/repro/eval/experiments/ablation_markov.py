@@ -1,0 +1,92 @@
+"""Ablation — i.i.d. vs Markov-dependent critical values (footnote 7).
+
+Detector errors are bursty, violating the i.i.d. Bernoulli assumption of
+the Naus machinery.  The finite-Markov-chain-embedding extension
+(:mod:`repro.scanstats.markov`) computes exact critical values under a
+two-state Markov noise model.  This ablation compares, across burstiness
+levels:
+
+* the critical value each model prescribes at equal marginal rate, and
+* the realised false-positive rate of windows at those critical values.
+
+Expected shape: the Markov critical value is ≥ the i.i.d. one, and at high
+burstiness the i.i.d. quota under-controls the false positive rate while
+the Markov quota keeps it at ``α``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.detectors.noise import alternating_indicator
+from repro.scanstats.critical import critical_value
+from repro.scanstats.markov import MarkovChainSpec, markov_critical_value
+from repro.utils.rng import derive_rng
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class MarkovAblationRow:
+    burstiness: float
+    k_iid: int
+    k_markov: int
+    fpr_at_iid: float
+    fpr_at_markov: float
+
+
+@dataclass(frozen=True)
+class MarkovAblationResult:
+    alpha: float
+    rows: tuple[MarkovAblationRow, ...]
+
+    def render(self) -> str:
+        return render_table(
+            ["burstiness", "k (iid)", "k (markov)", "FPR @ iid k", "FPR @ markov k"],
+            [
+                (r.burstiness, r.k_iid, r.k_markov, r.fpr_at_iid, r.fpr_at_markov)
+                for r in self.rows
+            ],
+            title=f"Ablation — iid vs Markov critical values (α={self.alpha})",
+            precision=4,
+        )
+
+
+def _window_fpr(
+    events: np.ndarray, w: int, k: int
+) -> float:
+    """Fraction of length-``w`` windows whose event count reaches ``k``."""
+    sums = np.convolve(events.astype(np.int32), np.ones(w, dtype=np.int32), "valid")
+    return float(np.mean(sums >= k))
+
+
+def run(
+    seed: int = 0,
+    p: float = 0.05,
+    w: int = 12,
+    n: int = 240,
+    alpha: float = 0.05,
+    burstiness_grid: Sequence[float] = (1.0, 3.0, 6.0, 10.0),
+    stream_length: int = 200_000,
+) -> MarkovAblationResult:
+    rng = derive_rng(seed, "markov-ablation")
+    rows = []
+    k_iid = critical_value(p, w, n, alpha)
+    for burstiness in burstiness_grid:
+        chain = MarkovChainSpec.from_marginal(p, burstiness)
+        k_markov = markov_critical_value(chain, w, n, alpha)
+        # Simulate the chain: its mean on-run length is 1 / (1 - p11).
+        mean_on = 1.0 / max(1e-9, 1.0 - chain.p11)
+        events = alternating_indicator(rng, stream_length, p, mean_run=mean_on)
+        rows.append(
+            MarkovAblationRow(
+                burstiness=burstiness,
+                k_iid=k_iid,
+                k_markov=k_markov,
+                fpr_at_iid=_window_fpr(events, w, k_iid),
+                fpr_at_markov=_window_fpr(events, w, k_markov),
+            )
+        )
+    return MarkovAblationResult(alpha=alpha, rows=tuple(rows))

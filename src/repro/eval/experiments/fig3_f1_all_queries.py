@@ -1,0 +1,63 @@
+"""Figure 3 — F1 of SVAQ and SVAQD on all twelve YouTube queries.
+
+Paper shape target: SVAQD ≥ SVAQ on (essentially) every query, with F1
+values in the ~0.75–0.95 band.  SVAQ runs at its best static setting
+(``p₀ = 10⁻⁴`` in the paper; here the detectors' noise floor, see the
+Figure 2 driver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import OnlineConfig
+from repro.detectors.zoo import default_zoo
+from repro.eval.harness import compare_algorithms
+from repro.utils.tables import render_table
+from repro.video.datasets import YOUTUBE_QUERY_SETS, QuerySetSpec, build_youtube_set
+
+#: SVAQ's fixed background probability (the paper fixes 10⁻⁴ after Fig. 2;
+#: our detectors' noise floor sits at ~10⁻² — see DESIGN.md).
+SVAQ_P0 = 1e-2
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    rows: tuple[tuple[str, str, float, float], ...]  # qid, action, svaq, svaqd
+
+    def render(self) -> str:
+        return render_table(
+            ["query", "action", "SVAQ F1", "SVAQD F1"],
+            self.rows,
+            title="Figure 3 — F1 across the twelve YouTube queries",
+        )
+
+    def f1(self, qid: str, algorithm: str) -> float:
+        for row in self.rows:
+            if row[0] == qid:
+                return row[2] if algorithm == "svaq" else row[3]
+        raise KeyError(qid)
+
+    @property
+    def mean_gain(self) -> float:
+        """Average SVAQD − SVAQ F1 gap across queries."""
+        gaps = [svaqd - svaq for _, _, svaq, svaqd in self.rows]
+        return sum(gaps) / len(gaps)
+
+
+def run(
+    seed: int = 0,
+    scale: float = 0.12,
+    specs: Sequence[QuerySetSpec] = YOUTUBE_QUERY_SETS,
+) -> Fig3Result:
+    zoo = default_zoo(seed=seed)
+    config = OnlineConfig().with_p0(SVAQ_P0)
+    rows = []
+    for spec in specs:
+        query_set = build_youtube_set(spec, seed, scale)
+        reports = compare_algorithms(zoo, spec.query, query_set.videos, config)
+        rows.append(
+            (spec.qid, spec.action, reports["svaq"].f1, reports["svaqd"].f1)
+        )
+    return Fig3Result(rows=tuple(rows))

@@ -1,0 +1,114 @@
+"""Exact computation of the discrete scan statistic tail by dynamic
+programming over window states.
+
+Used as the ground-truth validator for the Naus closed form
+(:mod:`repro.scanstats.naus`) and as the engine behind the Markov-dependent
+extension (:mod:`repro.scanstats.markov`).  The state is the bitmask of the
+last ``w − 1`` trial outcomes (most recent outcome in bit 0); a path is
+*absorbed* the first time the count of successes in the current length-``w``
+window reaches the quota ``k``.  The returned value is
+``P(S_w(N) >= k) = 1 − P(never absorbed)``.
+
+Complexity is ``O(N · 2^(w−1))``; practical for ``w <= ~18``, which is ample
+for validation (the approximation is what production code uses).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ScanStatisticsError
+
+#: Largest window size the exact DP accepts (2^(w-1) states).
+MAX_EXACT_WINDOW = 20
+
+
+def _popcounts(n_states: int) -> np.ndarray:
+    counts = np.zeros(n_states, dtype=np.int64)
+    for state in range(1, n_states):
+        counts[state] = counts[state >> 1] + (state & 1)
+    return counts
+
+
+def exact_scan_tail(
+    k: int,
+    w: int,
+    n: int,
+    p: float | None = None,
+    *,
+    transition: Callable[[int], float] | None = None,
+    initial_success: float | None = None,
+) -> float:
+    """Exact ``P(S_w(N) >= k)`` for Bernoulli trials.
+
+    ``p`` gives the i.i.d. success probability.  Alternatively,
+    ``transition(last_outcome) -> P(next = 1)`` defines a first-order Markov
+    chain (used by :mod:`repro.scanstats.markov`), with ``initial_success``
+    the probability that the very first trial succeeds.
+    """
+    if w <= 0 or n <= 0:
+        raise ScanStatisticsError("w and N must be positive")
+    if w > MAX_EXACT_WINDOW:
+        raise ScanStatisticsError(
+            f"exact DP supports w <= {MAX_EXACT_WINDOW}; got {w}"
+        )
+    if (p is None) == (transition is None):
+        raise ScanStatisticsError("provide exactly one of p or transition")
+    if k <= 0:
+        return 1.0
+    if k > w or k > n:
+        return 0.0
+
+    if p is not None:
+        if not 0.0 <= p <= 1.0:
+            raise ScanStatisticsError(f"p must be in [0, 1]; got {p}")
+        fixed_p = float(p)
+        transition = lambda _last: fixed_p  # noqa: E731 - tiny local closure
+        initial_success = fixed_p
+    if initial_success is None:
+        raise ScanStatisticsError("initial_success required with transition")
+
+    width = w - 1
+    n_states = 1 << width if width > 0 else 1
+    mask = n_states - 1
+    window_counts = _popcounts(n_states)
+
+    # prob[s] = probability of being in window-state s and never absorbed.
+    prob = np.zeros(n_states, dtype=np.float64)
+    prob[0] = 1.0
+
+    # Pre-computed transition targets (independent of probabilities).
+    states = np.arange(n_states, dtype=np.int64)
+    next_on_zero = ((states << 1) & mask).astype(np.int64)
+    next_on_one = (((states << 1) | 1) & mask).astype(np.int64)
+    absorbs_on_one = window_counts + 1 >= k  # success pushes window to quota
+
+    p_one = np.empty(n_states, dtype=np.float64)
+    for step in range(n):
+        if step == 0:
+            p_one.fill(float(initial_success))
+        else:
+            # The previous outcome is bit 0 of the state (or 0 when w == 1,
+            # where there is no remembered history).
+            if width > 0:
+                last = (states & 1).astype(bool)
+                p_one[last] = transition(1)
+                p_one[~last] = transition(0)
+            else:
+                p_one.fill(transition(0))
+        new_prob = np.zeros(n_states, dtype=np.float64)
+        # Failure branch never absorbs (count can only drop).
+        np.add.at(new_prob, next_on_zero, prob * (1.0 - p_one))
+        # Success branch survives only below quota.
+        survivors = ~absorbs_on_one
+        np.add.at(
+            new_prob,
+            next_on_one[survivors],
+            prob[survivors] * p_one[survivors],
+        )
+        prob = new_prob
+
+    survival = float(prob.sum())
+    return min(1.0, max(0.0, 1.0 - survival))

@@ -1,0 +1,23 @@
+"""The paper's SQL-like declarative query dialect.
+
+Grammar (both §1 and §2 example forms are accepted)::
+
+    SELECT MERGE(clipID) AS Sequence [, RANK(act, obj)]
+    FROM (PROCESS <video> PRODUCE clipID,
+          obj USING <ObjectDetector|ObjectTracker>,
+          act USING <ActionRecognizer>)
+    WHERE act = '<action>' AND obj.include('<o1>', '<o2>', ...)
+    [ORDER BY RANK(act, obj) LIMIT <K>]
+
+``obj.inc(...)`` is accepted as an alias of ``obj.include(...)``; ``AND``
+over multiple ``act =`` predicates expresses the multiple-action extension;
+``OR`` between predicates lowers to a :class:`repro.core.query.CompoundQuery`.
+A query with an ``ORDER BY RANK ... LIMIT K`` tail plans to the offline
+top-K engine; without it, to the online streaming engine.
+"""
+
+from repro.sql.ast import ProcessClause, SelectStatement
+from repro.sql.parser import parse
+from repro.sql.planner import Plan, plan
+
+__all__ = ["parse", "plan", "Plan", "SelectStatement", "ProcessClause"]

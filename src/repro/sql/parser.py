@@ -1,0 +1,207 @@
+"""Recursive-descent parser for the SQL-like dialect.
+
+Grammar (informal)::
+
+    statement   := SELECT select_list FROM '(' process ')' WHERE expr
+                   [ORDER BY rank] [LIMIT number]
+    select_list := select_item (',' select_item)*
+    select_item := MERGE '(' ident ')' [AS ident]
+                 | RANK '(' ident_list ')' [AS ident]
+                 | ident
+    process     := PROCESS ident PRODUCE produced (',' produced)*
+    produced    := ident [USING ident]
+    expr        := term (OR term)*
+    term        := factor (AND factor)*
+    factor      := ident '=' string
+                 | ident '.' ident '(' string_list ')'
+                 | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast import (
+    ActionEquals,
+    BooleanExpr,
+    ObjectsInclude,
+    OrderBy,
+    Predicate,
+    ProcessClause,
+    ProducedStream,
+    SelectItem,
+    SelectStatement,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+#: method names accepted for the object-inclusion predicate
+_INCLUDE_METHODS = frozenset({"include", "inc"})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers ---------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.END:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType, text: str | None = None) -> Token:
+        token = self._peek()
+        matches = token.type is token_type and (
+            text is None or token.upper == text
+        )
+        if not matches:
+            expected = text or token_type.name
+            raise SqlSyntaxError(
+                f"expected {expected}, found {token.text!r}", token.position
+            )
+        return self._advance()
+
+    def _accept(self, token_type: TokenType, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.type is token_type and (text is None or token.upper == text):
+            return self._advance()
+        return None
+
+    # -- grammar -------------------------------------------------------------------
+
+    def statement(self) -> SelectStatement:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        select = self._select_list()
+        self._expect(TokenType.KEYWORD, "FROM")
+        self._expect(TokenType.LPAREN)
+        source = self._process()
+        self._expect(TokenType.RPAREN)
+        self._expect(TokenType.KEYWORD, "WHERE")
+        where = self._expr()
+        order_by = None
+        limit = None
+        if self._accept(TokenType.KEYWORD, "ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            order_by = self._rank()
+        if self._accept(TokenType.KEYWORD, "LIMIT"):
+            number = self._expect(TokenType.NUMBER)
+            limit = int(number.text)
+            if limit <= 0:
+                raise SqlSyntaxError("LIMIT must be positive", number.position)
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {end.text!r}", end.position
+            )
+        return SelectStatement(
+            select=select, source=source, where=where,
+            order_by=order_by, limit=limit,
+        )
+
+    def _select_list(self) -> tuple[SelectItem, ...]:
+        items = [self._select_item()]
+        while self._accept(TokenType.COMMA):
+            items.append(self._select_item())
+        return tuple(items)
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.upper in ("MERGE", "RANK"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            args = [self._expect(TokenType.IDENT).text]
+            while self._accept(TokenType.COMMA):
+                args.append(self._expect(TokenType.IDENT).text)
+            self._expect(TokenType.RPAREN)
+            alias = None
+            if self._accept(TokenType.KEYWORD, "AS"):
+                alias = self._expect(TokenType.IDENT).text
+            return SelectItem(
+                function=token.upper, arguments=tuple(args), alias=alias
+            )
+        ident = self._expect(TokenType.IDENT)
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENT).text
+        return SelectItem(function="COLUMN", arguments=(ident.text,), alias=alias)
+
+    def _process(self) -> ProcessClause:
+        self._expect(TokenType.KEYWORD, "PROCESS")
+        video = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.KEYWORD, "PRODUCE")
+        streams = [self._produced()]
+        while self._accept(TokenType.COMMA):
+            streams.append(self._produced())
+        aliases = [s.alias for s in streams]
+        if len(set(aliases)) != len(aliases):
+            raise SqlSyntaxError("duplicate aliases in PRODUCE clause")
+        return ProcessClause(video=video, streams=tuple(streams))
+
+    def _produced(self) -> ProducedStream:
+        alias = self._expect(TokenType.IDENT).text
+        model = None
+        if self._accept(TokenType.KEYWORD, "USING"):
+            model = self._expect(TokenType.IDENT).text
+        return ProducedStream(alias=alias, model=model)
+
+    def _rank(self) -> OrderBy:
+        self._expect(TokenType.KEYWORD, "RANK")
+        self._expect(TokenType.LPAREN)
+        args = [self._expect(TokenType.IDENT).text]
+        while self._accept(TokenType.COMMA):
+            args.append(self._expect(TokenType.IDENT).text)
+        self._expect(TokenType.RPAREN)
+        return OrderBy(function="RANK", arguments=tuple(args))
+
+    # -- predicate expressions ---------------------------------------------------------
+
+    def _expr(self) -> Predicate:
+        operands = [self._term()]
+        while self._accept(TokenType.KEYWORD, "OR"):
+            operands.append(self._term())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr(op="OR", operands=tuple(operands))
+
+    def _term(self) -> Predicate:
+        operands = [self._factor()]
+        while self._accept(TokenType.KEYWORD, "AND"):
+            operands.append(self._factor())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr(op="AND", operands=tuple(operands))
+
+    def _factor(self) -> Predicate:
+        if self._accept(TokenType.LPAREN):
+            inner = self._expr()
+            self._expect(TokenType.RPAREN)
+            return inner
+        alias = self._expect(TokenType.IDENT)
+        if self._accept(TokenType.EQ):
+            value = self._expect(TokenType.STRING)
+            return ActionEquals(alias=alias.text, action=value.text)
+        if self._accept(TokenType.DOT):
+            method = self._expect(TokenType.IDENT)
+            if method.text.lower() not in _INCLUDE_METHODS:
+                raise SqlSyntaxError(
+                    f"unknown predicate method {method.text!r}", method.position
+                )
+            self._expect(TokenType.LPAREN)
+            labels = [self._expect(TokenType.STRING).text]
+            while self._accept(TokenType.COMMA):
+                labels.append(self._expect(TokenType.STRING).text)
+            self._expect(TokenType.RPAREN)
+            return ObjectsInclude(alias=alias.text, labels=tuple(labels))
+        raise SqlSyntaxError(
+            f"expected '=' or '.include(...)' after {alias.text!r}",
+            alias.position,
+        )
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse query text into a :class:`SelectStatement`."""
+    return _Parser(tokenize(text)).statement()

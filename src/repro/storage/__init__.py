@@ -1,0 +1,20 @@
+"""Offline storage substrate: clip score tables, ingestion, repository.
+
+§4.2's metadata layer.  The paper measures offline query cost in *random
+disk accesses* to the clip score tables; here the tables are in memory but
+every access is metered through :class:`repro.storage.access.AccessStats`,
+so the Table 6–8 comparisons count identically.
+"""
+
+from repro.storage.access import AccessStats
+from repro.storage.ingest import VideoIngest, ingest_video
+from repro.storage.repository import VideoRepository
+from repro.storage.table import ClipScoreTable
+
+__all__ = [
+    "AccessStats",
+    "ClipScoreTable",
+    "VideoIngest",
+    "ingest_video",
+    "VideoRepository",
+]

@@ -1,0 +1,261 @@
+"""Multi-video repository (§4.2, "Multiple videos are handled ... by
+associating a video identifier to each clip identifier").
+
+Each ingested video gets a contiguous range in a *global clip-id space*
+with a one-id gap between videos, so that
+
+* interval algebra (and hence Eq. 12's ``⊗``) works unchanged across the
+  whole repository, and
+* result sequences can never merge across a video boundary.
+
+The repository lazily materialises repository-level clip score tables
+(per-video tables shifted into global ids and merged) and repository-level
+individual sequences; adding or removing a video just invalidates those
+caches — the cheap maintenance story the paper highlights.
+
+Persistence: :meth:`VideoRepository.save` / :meth:`load` round-trip the
+ingested metadata (not the synthetic videos) through ``.npz`` + JSON files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.ingest import VideoIngest
+from repro.storage.table import ClipScoreTable
+from repro.utils.intervals import Interval, IntervalSet
+
+
+class VideoRepository:
+    """An ordered collection of ingested videos in one global id space."""
+
+    #: Gap inserted between consecutive videos' clip-id ranges.
+    GAP = 1
+
+    def __init__(self) -> None:
+        self._ingests: dict[str, VideoIngest] = {}
+        self._offsets: dict[str, int] = {}
+        self._next_offset = 0
+        self._table_cache: dict[str, ClipScoreTable] = {}
+        self._sequence_cache: dict[str, IntervalSet] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    def add(self, ingest: VideoIngest) -> None:
+        """Register an ingested video, assigning it a global id range."""
+        if ingest.video_id in self._ingests:
+            raise StorageError(f"video {ingest.video_id!r} already in repository")
+        self._ingests[ingest.video_id] = ingest
+        self._offsets[ingest.video_id] = self._next_offset
+        self._next_offset += ingest.n_clips + self.GAP
+        self._invalidate()
+
+    def remove(self, video_id: str) -> None:
+        """Drop a video; its global id range is retired, not reused."""
+        if video_id not in self._ingests:
+            raise StorageError(f"video {video_id!r} not in repository")
+        del self._ingests[video_id]
+        del self._offsets[video_id]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._table_cache.clear()
+        self._sequence_cache.clear()
+
+    @property
+    def video_ids(self) -> tuple[str, ...]:
+        return tuple(self._ingests.keys())
+
+    @property
+    def n_videos(self) -> int:
+        return len(self._ingests)
+
+    @property
+    def total_clips(self) -> int:
+        return sum(ing.n_clips for ing in self._ingests.values())
+
+    def ingest_of(self, video_id: str) -> VideoIngest:
+        ingest = self._ingests.get(video_id)
+        if ingest is None:
+            raise StorageError(f"video {video_id!r} not in repository")
+        return ingest
+
+    # -- id translation ------------------------------------------------------------
+
+    def offset_of(self, video_id: str) -> int:
+        offset = self._offsets.get(video_id)
+        if offset is None:
+            raise StorageError(f"video {video_id!r} not in repository")
+        return offset
+
+    def to_global(self, video_id: str, clip_id: int) -> int:
+        ingest = self.ingest_of(video_id)
+        if not 0 <= clip_id < ingest.n_clips:
+            raise StorageError(
+                f"clip {clip_id} outside video {video_id!r} "
+                f"(0..{ingest.n_clips - 1})"
+            )
+        return self.offset_of(video_id) + clip_id
+
+    def to_local(self, global_cid: int) -> tuple[str, int]:
+        """Map a global clip id back to ``(video_id, clip_id)``."""
+        for video_id, offset in self._offsets.items():
+            n = self._ingests[video_id].n_clips
+            if offset <= global_cid < offset + n:
+                return video_id, global_cid - offset
+        raise StorageError(f"global clip id {global_cid} maps to no video")
+
+    def local_sequences(self, spans: IntervalSet) -> dict[str, IntervalSet]:
+        """Split a global-id interval set back into per-video sets."""
+        out: dict[str, list[Interval]] = {}
+        for iv in spans:
+            video_id, start = self.to_local(iv.start)
+            end_video, end = self.to_local(iv.end)
+            if end_video != video_id:
+                raise StorageError(
+                    "interval crosses a video boundary — repository corrupted"
+                )
+            out.setdefault(video_id, []).append(Interval(start, end))
+        return {vid: IntervalSet(ivs) for vid, ivs in out.items()}
+
+    # -- repository-level metadata ----------------------------------------------------
+
+    def table(self, label: str) -> ClipScoreTable:
+        """The repository-wide clip score table for one label (cached).
+
+        Videos ingested without the label contribute no rows: the paper
+        ingests every model-supported label per video, but a repository
+        assembled from differently-ingested videos stays queryable — query
+        results are then confined to videos that carry all query labels
+        (their intersection ``P_q`` excludes the others anyway).
+        """
+        cached = self._table_cache.get(label)
+        if cached is not None:
+            return cached
+        if not self._ingests:
+            raise StorageError("repository is empty")
+        parts = []
+        for video_id, ingest in self._ingests.items():
+            if label in ingest.labels:
+                parts.append(
+                    ingest.table_for(label).shifted(self._offsets[video_id])
+                )
+        if not parts:
+            raise StorageError(f"no ingested video carries label {label!r}")
+        merged = ClipScoreTable.merged(label, parts)
+        self._table_cache[label] = merged
+        return merged
+
+    def sequences(self, label: str) -> IntervalSet:
+        """Repository-wide individual sequences for one label (cached);
+        videos ingested without the label contribute none."""
+        cached = self._sequence_cache.get(label)
+        if cached is not None:
+            return cached
+        spans: list[Interval] = []
+        for video_id, ingest in self._ingests.items():
+            if label not in ingest.labels:
+                continue
+            offset = self._offsets[video_id]
+            spans.extend(iv.shift(offset) for iv in ingest.sequences_for(label))
+        merged = IntervalSet(spans)
+        self._sequence_cache[label] = merged
+        return merged
+
+    def all_clips(self) -> IntervalSet:
+        """Every (global) clip id currently in the repository — the ``C(X)``
+        universe that initialises RVAQ's skip set."""
+        return IntervalSet(
+            Interval(offset, offset + self._ingests[vid].n_clips - 1)
+            for vid, offset in self._offsets.items()
+        )
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Write the ingested metadata to ``directory``."""
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = {"videos": []}
+        for video_id, ingest in self._ingests.items():
+            safe = _safe_name(video_id)
+            manifest["videos"].append({"video_id": video_id, "file": f"{safe}.npz"})
+            arrays: dict[str, np.ndarray] = {}
+            meta = {
+                "video_id": video_id,
+                "n_clips": ingest.n_clips,
+                "object_labels": list(ingest.object_tables.keys()),
+                "action_labels": list(ingest.action_tables.keys()),
+                "object_sequences": {
+                    k: v.as_tuples() for k, v in ingest.object_sequences.items()
+                },
+                "action_sequences": {
+                    k: v.as_tuples() for k, v in ingest.action_sequences.items()
+                },
+                "ingest_cost_ms": ingest.ingest_cost_ms,
+            }
+            for kind, tables in (
+                ("obj", ingest.object_tables),
+                ("act", ingest.action_tables),
+            ):
+                for i, (label, table) in enumerate(tables.items()):
+                    rows = np.array(
+                        [(cid, table.random_access(cid)) for cid in table.clip_ids()],
+                        dtype=np.float64,
+                    ).reshape(-1, 2)
+                    arrays[f"{kind}_{i}"] = rows
+            np.savez_compressed(root / f"{safe}.npz", **arrays)
+            (root / f"{safe}.json").write_text(json.dumps(meta))
+        (root / "manifest.json").write_text(json.dumps(manifest))
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "VideoRepository":
+        """Reconstruct a repository previously written with :meth:`save`."""
+        root = Path(directory)
+        manifest_path = root / "manifest.json"
+        if not manifest_path.exists():
+            raise StorageError(f"no repository manifest under {root}")
+        manifest = json.loads(manifest_path.read_text())
+        repo = cls()
+        for entry in manifest["videos"]:
+            safe = _safe_name(entry["video_id"])
+            meta = json.loads((root / f"{safe}.json").read_text())
+            arrays = np.load(root / f"{safe}.npz")
+            object_tables = {}
+            for i, label in enumerate(meta["object_labels"]):
+                rows = arrays[f"obj_{i}"]
+                object_tables[label] = ClipScoreTable(
+                    label, [(int(c), float(s)) for c, s in rows]
+                )
+            action_tables = {}
+            for i, label in enumerate(meta["action_labels"]):
+                rows = arrays[f"act_{i}"]
+                action_tables[label] = ClipScoreTable(
+                    label, [(int(c), float(s)) for c, s in rows]
+                )
+            repo.add(
+                VideoIngest(
+                    video_id=meta["video_id"],
+                    n_clips=int(meta["n_clips"]),
+                    object_tables=object_tables,
+                    action_tables=action_tables,
+                    object_sequences={
+                        k: IntervalSet(tuple(map(tuple, v)))
+                        for k, v in meta["object_sequences"].items()
+                    },
+                    action_sequences={
+                        k: IntervalSet(tuple(map(tuple, v)))
+                        for k, v in meta["action_sequences"].items()
+                    },
+                    ingest_cost_ms=float(meta.get("ingest_cost_ms", 0.0)),
+                )
+            )
+        return repo
+
+
+def _safe_name(video_id: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in video_id)

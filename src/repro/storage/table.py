@@ -1,0 +1,116 @@
+"""Clip score tables (§4.2): ``table_o / table_a : {cid, Score}``.
+
+One table per label per ingested scope, with rows **ordered by score
+descending** — the layout TBClip's parallel sorted access requires.  Three
+access paths, each metered:
+
+* ``sorted_row(i)`` — the i-th best row (sequential scan from the top);
+* ``reverse_row(i)`` — the i-th worst row (sequential scan from the bottom);
+* ``random_access(cid)`` — the score of a specific clip (a seek).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.access import AccessStats
+
+
+class ClipScoreTable:
+    """Immutable score-sorted table of ``(clip_id, score)`` rows."""
+
+    __slots__ = ("_cids", "_scores", "_by_cid", "label")
+
+    def __init__(self, label: str, rows: Iterable[tuple[int, float]]) -> None:
+        pairs = list(rows)
+        self.label = label
+        if pairs:
+            cids = np.asarray([cid for cid, _ in pairs], dtype=np.int64)
+            scores = np.asarray([score for _, score in pairs], dtype=np.float64)
+        else:
+            cids = np.zeros(0, dtype=np.int64)
+            scores = np.zeros(0, dtype=np.float64)
+        if len(np.unique(cids)) != len(cids):
+            raise StorageError(f"duplicate clip ids in table {label!r}")
+        # Stable sort by descending score; ties break by ascending clip id so
+        # table layout is deterministic.
+        order = np.lexsort((cids, -scores))
+        self._cids = cids[order]
+        self._scores = scores[order]
+        self._by_cid = {int(c): float(s) for c, s in zip(self._cids, self._scores)}
+
+    # -- metadata ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cids)
+
+    def __contains__(self, cid: int) -> bool:
+        return cid in self._by_cid
+
+    def clip_ids(self) -> Iterator[int]:
+        """All clip ids in score order (no access charges: metadata scan
+        used by offline maintenance, not query processing)."""
+        return iter(int(c) for c in self._cids)
+
+    @property
+    def max_score(self) -> float:
+        return float(self._scores[0]) if len(self) else 0.0
+
+    @property
+    def min_score(self) -> float:
+        return float(self._scores[-1]) if len(self) else 0.0
+
+    # -- metered access paths ------------------------------------------------------
+
+    def sorted_row(self, index: int, stats: AccessStats | None = None) -> tuple[int, float]:
+        """The ``index``-th row from the top (0-based; highest score first)."""
+        if not 0 <= index < len(self):
+            raise StorageError(
+                f"sorted access past table end: row {index} of {len(self)} "
+                f"in table {self.label!r}"
+            )
+        if stats is not None:
+            stats.charge_sorted()
+        return int(self._cids[index]), float(self._scores[index])
+
+    def reverse_row(self, index: int, stats: AccessStats | None = None) -> tuple[int, float]:
+        """The ``index``-th row from the bottom (0-based; lowest score first)."""
+        if not 0 <= index < len(self):
+            raise StorageError(
+                f"reverse access past table end: row {index} of {len(self)} "
+                f"in table {self.label!r}"
+            )
+        if stats is not None:
+            stats.charge_reverse()
+        pos = len(self) - 1 - index
+        return int(self._cids[pos]), float(self._scores[pos])
+
+    def random_access(self, cid: int, stats: AccessStats | None = None) -> float:
+        """The score of clip ``cid`` (a random I/O)."""
+        score = self._by_cid.get(int(cid))
+        if score is None:
+            raise StorageError(f"clip {cid} not in table {self.label!r}")
+        if stats is not None:
+            stats.charge_random()
+        return score
+
+    # -- offline maintenance ----------------------------------------------------------
+
+    def shifted(self, offset: int) -> "ClipScoreTable":
+        """A copy with all clip ids translated by ``offset`` — how the
+        repository maps per-video tables into the global clip-id space."""
+        return ClipScoreTable(
+            self.label,
+            [(int(c) + offset, float(s)) for c, s in zip(self._cids, self._scores)],
+        )
+
+    @staticmethod
+    def merged(label: str, tables: Iterable["ClipScoreTable"]) -> "ClipScoreTable":
+        """Merge disjoint-cid tables into one (repository-level tables)."""
+        rows: list[tuple[int, float]] = []
+        for table in tables:
+            rows.extend(zip(table._cids.tolist(), table._scores.tolist()))
+        return ClipScoreTable(label, rows)

@@ -1,0 +1,13 @@
+"""Utility helpers: interval algebra, RNG plumbing, table rendering."""
+
+from repro.utils.intervals import Interval, IntervalSet, intersect_all, merge_positive
+from repro.utils.rng import derive_rng, spawn_seed
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "intersect_all",
+    "merge_positive",
+    "derive_rng",
+    "spawn_seed",
+]

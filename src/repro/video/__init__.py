@@ -1,0 +1,28 @@
+"""Synthetic video substrate.
+
+The paper's algorithms never look at pixels: they consume per-frame object
+detections and per-shot action classifications, organised by the
+frame → shot → clip → sequence hierarchy of §2.  This subpackage provides
+that hierarchy (:mod:`repro.video.model`), ground-truth annotations
+(:mod:`repro.video.ground_truth`), a scripted scene generator
+(:mod:`repro.video.synthesis`), deterministic builders for the paper's two
+evaluation datasets (:mod:`repro.video.datasets`) and a clip-granularity
+stream iterator (:mod:`repro.video.stream`).
+"""
+
+from repro.video.ground_truth import GroundTruth
+from repro.video.model import ClipView, VideoGeometry, VideoMeta
+from repro.video.stream import ClipStream
+from repro.video.synthesis import LabeledVideo, SceneSpec, TrackSpec, synthesize_video
+
+__all__ = [
+    "VideoGeometry",
+    "VideoMeta",
+    "ClipView",
+    "GroundTruth",
+    "ClipStream",
+    "LabeledVideo",
+    "SceneSpec",
+    "TrackSpec",
+    "synthesize_video",
+]

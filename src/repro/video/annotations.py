@@ -1,0 +1,83 @@
+"""Ground-truth annotation import/export.
+
+The paper's evaluation relies on manually labelled temporal boundaries
+(§5.1).  This module round-trips :class:`GroundTruth` annotations through a
+plain JSON document so labelled datasets can be stored, exchanged and
+re-used independently of the scene generator that produced them::
+
+    {"n_frames": 7500,
+     "objects":  {"faucet": [[100, 400], [600, 700]]},
+     "actions":  {"washing dishes": [[150, 450]]},
+     "instances": {"faucet": [[[100, 400]], [[250, 300]]]},
+     "outage_frames": [[1000, 1100]]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GroundTruthError
+from repro.utils.intervals import IntervalSet
+from repro.video.ground_truth import GroundTruth
+
+
+def ground_truth_to_dict(truth: GroundTruth) -> dict:
+    """A JSON-serialisable representation of the annotations."""
+    return {
+        "n_frames": truth.n_frames,
+        "objects": {
+            label: spans.as_tuples() for label, spans in truth.objects.items()
+        },
+        "actions": {
+            label: spans.as_tuples() for label, spans in truth.actions.items()
+        },
+        "instances": {
+            label: [spans.as_tuples() for spans in per_instance]
+            for label, per_instance in truth.instances.items()
+        },
+        "outage_frames": truth.outage_frames.as_tuples(),
+    }
+
+
+def ground_truth_from_dict(payload: dict) -> GroundTruth:
+    """Rebuild annotations from :func:`ground_truth_to_dict` output."""
+    try:
+        return GroundTruth(
+            n_frames=int(payload["n_frames"]),
+            objects={
+                label: IntervalSet(tuple(map(tuple, spans)))
+                for label, spans in payload.get("objects", {}).items()
+            },
+            actions={
+                label: IntervalSet(tuple(map(tuple, spans)))
+                for label, spans in payload.get("actions", {}).items()
+            },
+            instances={
+                label: tuple(
+                    IntervalSet(tuple(map(tuple, spans)))
+                    for spans in per_instance
+                )
+                for label, per_instance in payload.get("instances", {}).items()
+            },
+            outage_frames=IntervalSet(
+                tuple(map(tuple, payload.get("outage_frames", [])))
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GroundTruthError(f"malformed annotation document: {exc}") from exc
+
+
+def save_annotations(truth: GroundTruth, path: str | Path) -> Path:
+    """Write annotations as JSON; returns the written path."""
+    target = Path(path)
+    target.write_text(json.dumps(ground_truth_to_dict(truth), indent=1))
+    return target
+
+
+def load_annotations(path: str | Path) -> GroundTruth:
+    """Read annotations written by :func:`save_annotations`."""
+    source = Path(path)
+    if not source.exists():
+        raise GroundTruthError(f"no annotation file at {source}")
+    return ground_truth_from_dict(json.loads(source.read_text()))

@@ -1,0 +1,65 @@
+"""Object-relationship predicates (footnote 2).
+
+The paper supports predicates like "person left of the car" by reducing
+them to *binary per-frame indicators* produced by an upstream (orthogonal)
+spatial-reasoning component; the query engine then treats a relationship
+exactly like another frame-level event stream.
+
+This module provides the synthetic stand-in for that upstream component:
+:func:`derive_relationship` produces a relationship's ground-truth frame
+intervals from the co-presence of its two participant objects, holding on a
+(seeded) random portion of each co-presence episode — mirroring how a real
+spatial relation holds for part of the time two objects share the frame.
+The simulated object detector then scores the relationship label like any
+other, which is precisely footnote 2's "binary output per frame" contract;
+queries reference it via ``Query(relationships=[...])``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GroundTruthError
+from repro.utils.intervals import Interval, IntervalSet
+from repro.utils.rng import derive_rng
+from repro.video.ground_truth import GroundTruth
+
+
+def derive_relationship(
+    truth: GroundTruth,
+    name: str,
+    subject: str,
+    target: str,
+    *,
+    hold_fraction: float = 0.6,
+    seed: int = 0,
+) -> GroundTruth:
+    """Add a relationship label derived from two objects' co-presence.
+
+    For every maximal interval where ``subject`` and ``target`` are both
+    visible, the relationship holds over a contiguous random sub-span
+    covering ``hold_fraction`` of it in expectation.  Returns a new
+    :class:`GroundTruth` whose ``objects`` map carries the relationship as
+    a frame-level label (the footnote-2 binary indicator stream).
+    """
+    if not 0.0 < hold_fraction <= 1.0:
+        raise GroundTruthError(
+            f"hold_fraction must be in (0, 1]; got {hold_fraction}"
+        )
+    if name in truth.objects or name in truth.actions:
+        raise GroundTruthError(f"label {name!r} already annotated")
+    co_presence = truth.object_frames(subject).intersect(
+        truth.object_frames(target)
+    )
+    rng = derive_rng(seed, "relationship", name, subject, target)
+    spans: list[Interval] = []
+    for episode in co_presence:
+        length = max(1, int(round(hold_fraction * len(episode))))
+        slack = len(episode) - length
+        offset = int(rng.integers(0, slack + 1)) if slack > 0 else 0
+        start = episode.start + offset
+        spans.append(Interval(start, start + length - 1))
+    return GroundTruth(
+        n_frames=truth.n_frames,
+        objects={**dict(truth.objects), name: IntervalSet(spans)},
+        actions=truth.actions,
+        instances=truth.instances,
+    )

@@ -1,0 +1,308 @@
+"""Scripted synthetic video generation.
+
+The reproduction's stand-in for real footage (see DESIGN.md, substitutions):
+a video is a *scene script* assigning each label (object type or action
+category) a set of ground-truth presence intervals.  The generator controls
+exactly the temporal properties the paper's evaluation varies:
+
+* **occupancy** — the fraction of the video in which a label is present,
+  which drives each predicate's background probability;
+* **episode length** — presence runs are sampled with geometric-ish
+  (exponential) durations, like real appearances;
+* **correlation** — a track can be anchored to another label's episodes
+  (e.g. a faucet is visible whenever dishes are being washed), reproducing
+  the predicate-correlation effects of Table 3;
+* **drift** — occupancy can change across phases of the video (the
+  surveillance-camera rush-hour scenario motivating SVAQD, §3.3).
+
+Everything is a pure function of the :class:`SceneSpec` and a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GroundTruthError
+from repro.utils.intervals import Interval, IntervalSet
+from repro.utils.rng import derive_rng
+from repro.video.ground_truth import GroundTruth
+from repro.video.model import VideoGeometry, VideoMeta
+
+
+@dataclass(frozen=True)
+class TrackSpec:
+    """Generation recipe for one label inside a scene.
+
+    Parameters
+    ----------
+    label / kind:
+        Label name and whether it is an ``"object"`` or an ``"action"``.
+    occupancy:
+        Target fraction of the video during which the label is present
+        (ignored for frames governed by an anchor, see below).
+    mean_duration_s:
+        Mean length of one presence episode, in seconds.
+    correlate_with / correlation:
+        When ``correlate_with`` names another track, each of that anchor's
+        episodes is covered by this label with probability ``correlation``
+        (with boundary jitter), modelling co-occurring predicates; the
+        ``occupancy`` then only applies *outside* anchor episodes.
+    jitter_s:
+        Std-dev of the start/end jitter applied to anchored episodes.
+    phases:
+        Optional occupancy drift: ``((fraction, occupancy), ...)`` splits
+        the video into consecutive spans of the given fractions, each with
+        its own background occupancy.  Fractions must sum to 1.
+    max_instances:
+        Upper bound on simultaneous object instances per episode (drives the
+        simulated tracker's track-id assignment).
+    """
+
+    label: str
+    kind: Literal["object", "action"] = "object"
+    occupancy: float = 0.2
+    mean_duration_s: float = 8.0
+    correlate_with: str | None = None
+    correlation: float = 0.9
+    jitter_s: float = 1.0
+    phases: tuple[tuple[float, float], ...] = ()
+    max_instances: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("object", "action"):
+            raise ConfigurationError(f"kind must be object/action; got {self.kind}")
+        if not 0.0 <= self.occupancy < 1.0:
+            raise ConfigurationError(
+                f"occupancy must be in [0, 1); got {self.occupancy}"
+            )
+        if self.mean_duration_s <= 0:
+            raise ConfigurationError("mean_duration_s must be positive")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ConfigurationError("correlation must be in [0, 1]")
+        if self.phases:
+            total = sum(fraction for fraction, _ in self.phases)
+            if abs(total - 1.0) > 1e-9:
+                raise ConfigurationError(
+                    f"phase fractions must sum to 1; got {total}"
+                )
+            for _, occ in self.phases:
+                if not 0.0 <= occ < 1.0:
+                    raise ConfigurationError("phase occupancy must be in [0, 1)")
+        if self.max_instances < 1:
+            raise ConfigurationError("max_instances must be >= 1")
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """A full synthetic video: identity, duration and its label tracks.
+
+    ``outages_s`` lists recording outages as ``(start_s, end_s)`` spans:
+    the scene keeps happening but nothing is observable there (failure
+    injection; see :class:`repro.video.ground_truth.GroundTruth`).
+    """
+
+    video_id: str
+    duration_s: float
+    tracks: tuple[TrackSpec, ...]
+    geometry: VideoGeometry = field(default_factory=VideoGeometry)
+    title: str = ""
+    outages_s: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        for start, end in self.outages_s:
+            if not 0.0 <= start < end <= self.duration_s:
+                raise ConfigurationError(
+                    f"outage ({start}, {end}) outside (0, {self.duration_s})"
+                )
+        labels = [t.label for t in self.tracks]
+        if len(labels) != len(set(labels)):
+            raise ConfigurationError(f"duplicate track labels in {self.video_id!r}")
+        known = set(labels)
+        for track in self.tracks:
+            if track.correlate_with is not None and track.correlate_with not in known:
+                raise ConfigurationError(
+                    f"track {track.label!r} anchored to unknown label "
+                    f"{track.correlate_with!r}"
+                )
+
+
+@dataclass(frozen=True)
+class LabeledVideo:
+    """A synthetic video with its ground-truth annotations."""
+
+    meta: VideoMeta
+    truth: GroundTruth
+
+    @property
+    def video_id(self) -> str:
+        return self.meta.video_id
+
+
+def _sample_episodes(
+    rng: np.random.Generator,
+    start: int,
+    end: int,
+    occupancy: float,
+    mean_len: float,
+) -> list[Interval]:
+    """Alternating off/on episodes over frames ``[start, end)``.
+
+    On-lengths are exponential with the requested mean; off-lengths are
+    exponential with the mean implied by the target occupancy.  The first
+    state is off/on with probability matching the occupancy so that short
+    spans are unbiased.
+    """
+    if occupancy <= 0.0 or end <= start:
+        return []
+    mean_on = max(1.0, mean_len)
+    mean_off = max(1.0, mean_on * (1.0 - occupancy) / occupancy)
+    episodes: list[Interval] = []
+    cursor = start
+    on = bool(rng.random() < occupancy)
+    while cursor < end:
+        mean = mean_on if on else mean_off
+        length = max(1, int(round(rng.exponential(mean))))
+        if on:
+            episodes.append(Interval(cursor, min(end - 1, cursor + length - 1)))
+        cursor += length
+        on = not on
+    return episodes
+
+
+def _anchored_episodes(
+    rng: np.random.Generator,
+    anchors: IntervalSet,
+    correlation: float,
+    jitter: float,
+    n_frames: int,
+) -> list[Interval]:
+    """Episodes covering anchor episodes with the requested probability."""
+    episodes: list[Interval] = []
+    for anchor in anchors:
+        if rng.random() >= correlation:
+            continue
+        start = anchor.start + int(round(rng.normal(0.0, jitter)))
+        end = anchor.end + int(round(rng.normal(0.0, jitter)))
+        start = max(0, min(n_frames - 1, start))
+        end = max(start, min(n_frames - 1, end))
+        episodes.append(Interval(start, end))
+    return episodes
+
+
+def _instance_spans(
+    rng: np.random.Generator,
+    presence: IntervalSet,
+    max_instances: int,
+) -> tuple[IntervalSet, ...]:
+    """Split presence intervals into per-instance spans for the tracker.
+
+    Instance 0 always covers the full episode (so the union matches the
+    label's ground truth); extra instances cover random sub-spans, which is
+    how multiple simultaneous objects of one type manifest.
+    """
+    per_instance: list[list[Interval]] = [[] for _ in range(max_instances)]
+    for episode in presence:
+        count = int(rng.integers(1, max_instances + 1))
+        per_instance[0].append(episode)
+        for extra in range(1, count):
+            if len(episode) < 2:
+                break
+            length = int(rng.integers(1, len(episode) + 1))
+            offset = int(rng.integers(0, len(episode) - length + 1))
+            sub_start = episode.start + offset
+            per_instance[extra].append(Interval(sub_start, sub_start + length - 1))
+    return tuple(IntervalSet(spans) for spans in per_instance if spans)
+
+
+def synthesize_video(spec: SceneSpec, seed: int = 0) -> LabeledVideo:
+    """Materialise a scene script into a video + ground truth.
+
+    Tracks are generated in dependency order (anchors before anchored
+    tracks); each label draws from an independent RNG stream derived from
+    the seed and the label so that adding a track never perturbs others.
+    """
+    n_frames = spec.geometry.seconds_to_frames(spec.duration_s)
+    if n_frames < spec.geometry.frames_per_clip:
+        raise GroundTruthError(
+            f"video {spec.video_id!r} shorter than one clip"
+        )
+    meta = VideoMeta(
+        video_id=spec.video_id,
+        n_frames=n_frames,
+        geometry=spec.geometry,
+        title=spec.title or spec.video_id,
+    )
+
+    resolved: dict[str, IntervalSet] = {}
+    instances: dict[str, tuple[IntervalSet, ...]] = {}
+    pending = list(spec.tracks)
+    # Anchors are plain tracks, so one dependency pass suffices (SceneSpec
+    # rejects unknown anchors; cycles would be self-references, also caught).
+    ordered = sorted(pending, key=lambda t: t.correlate_with is not None)
+    for track in ordered:
+        rng = derive_rng(seed, "scene", spec.video_id, track.label)
+        mean_len = spec.geometry.seconds_to_frames(track.mean_duration_s)
+        episodes: list[Interval] = []
+        if track.correlate_with is not None:
+            anchors = resolved[track.correlate_with]
+            episodes.extend(
+                _anchored_episodes(
+                    rng,
+                    anchors,
+                    track.correlation,
+                    spec.geometry.seconds_to_frames(track.jitter_s),
+                    n_frames,
+                )
+            )
+            background_domain = IntervalSet.single(0, n_frames - 1).difference(anchors)
+            for span in background_domain:
+                episodes.extend(
+                    _sample_episodes(
+                        rng, span.start, span.end + 1, track.occupancy, mean_len
+                    )
+                )
+        elif track.phases:
+            cursor = 0
+            for fraction, occupancy in track.phases:
+                span = int(round(fraction * n_frames))
+                episodes.extend(
+                    _sample_episodes(
+                        rng, cursor, min(n_frames, cursor + span), occupancy, mean_len
+                    )
+                )
+                cursor += span
+        else:
+            episodes.extend(
+                _sample_episodes(rng, 0, n_frames, track.occupancy, mean_len)
+            )
+        presence = IntervalSet(episodes)
+        resolved[track.label] = presence
+        if track.kind == "object" and presence:
+            instances[track.label] = _instance_spans(rng, presence, track.max_instances)
+
+    objects = {
+        t.label: resolved[t.label] for t in spec.tracks if t.kind == "object"
+    }
+    actions = {
+        t.label: resolved[t.label] for t in spec.tracks if t.kind == "action"
+    }
+    outages = IntervalSet(
+        Interval(
+            spec.geometry.seconds_to_frames(start),
+            min(n_frames - 1, spec.geometry.seconds_to_frames(end) - 1),
+        )
+        for start, end in spec.outages_s
+    )
+    truth = GroundTruth(
+        n_frames=n_frames,
+        objects=objects,
+        actions=actions,
+        instances=instances,
+        outage_frames=outages,
+    )
+    return LabeledVideo(meta=meta, truth=truth)

@@ -1,0 +1,147 @@
+"""Compound (CNF) query execution — footnotes 3–4 end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compound import CompoundOnline
+from repro.core.config import OnlineConfig
+from repro.core.engine import OnlineEngine
+from repro.core.query import CompoundQuery, Query
+from repro.core.svaqd import SVAQD
+from repro.errors import QueryError
+from repro.eval.metrics import match_sequences
+from repro.sql import parse, plan
+from repro.video.synthesis import SceneSpec, TrackSpec, synthesize_video
+
+
+def two_action_video(seed: int = 5):
+    """A scene with two disjoint actions plus a shared object."""
+    spec = SceneSpec(
+        video_id=f"compound-{seed}",
+        duration_s=400.0,
+        tracks=(
+            TrackSpec(label="jumping", kind="action",
+                      occupancy=0.15, mean_duration_s=15.0),
+            TrackSpec(label="waving", kind="action",
+                      occupancy=0.15, mean_duration_s=15.0),
+            TrackSpec(label="person", kind="object", occupancy=0.6,
+                      mean_duration_s=40.0),
+        ),
+    )
+    return synthesize_video(spec, seed=seed)
+
+
+VIDEO = two_action_video()
+
+
+class TestDisjunction:
+    def test_or_covers_union_of_actions(self, zoo):
+        compound = CompoundQuery.disjunction(
+            [Query(action="jumping"), Query(action="waving")]
+        )
+        result = CompoundOnline(zoo, compound, OnlineConfig()).run(VIDEO)
+        geometry = VIDEO.meta.geometry
+        truth = geometry.frame_set_to_clips(
+            VIDEO.truth.action_frames("jumping").union(
+                VIDEO.truth.action_frames("waving")
+            )
+        )
+        assert match_sequences(result.sequences, truth).f1 >= 0.6
+
+    def test_or_superset_of_each_branch(self, zoo):
+        compound = CompoundQuery.disjunction(
+            [Query(action="jumping"), Query(action="waving")]
+        )
+        config = OnlineConfig()
+        union = CompoundOnline(zoo, compound, config).run(VIDEO).sequences
+        for action in ("jumping", "waving"):
+            single = SVAQD(zoo, Query(action=action), config).run(VIDEO)
+            covered = single.sequences.intersect(union)
+            assert covered.total_length >= int(
+                0.85 * single.sequences.total_length
+            )
+
+
+class TestConjunctionEquivalence:
+    def test_single_literal_matches_svaqd(self, zoo):
+        query = Query(objects=["person"], action="jumping")
+        compound = CompoundQuery.conjunction([query])
+        config = OnlineConfig()
+        compound_result = CompoundOnline(zoo, compound, config).run(VIDEO)
+        direct = SVAQD(zoo, query, config).run(VIDEO)
+        assert compound_result.sequences.iou(direct.sequences) >= 0.9
+
+    def test_multi_action_conjunction_subset_of_each(self, zoo):
+        compound = CompoundQuery.conjunction(
+            [Query(action="jumping"), Query(action="waving")]
+        )
+        result = CompoundOnline(zoo, compound, OnlineConfig()).run(VIDEO)
+        config = OnlineConfig()
+        for action in ("jumping", "waving"):
+            single = SVAQD(zoo, Query(action=action), config).run(VIDEO)
+            stray = result.sequences.difference(single.sequences)
+            assert stray.total_length <= max(
+                2, int(0.1 * max(1, result.sequences.total_length))
+            )
+
+
+class TestMechanics:
+    def test_clause_short_circuit_marks_none(self, zoo):
+        compound = CompoundQuery.conjunction(
+            [Query(action="jumping"), Query(action="waving")]
+        )
+        result = CompoundOnline(zoo, compound, OnlineConfig()).run(VIDEO)
+        short_circuited = [
+            ev for ev in result.evaluations if ev.clause_values[1] is None
+        ]
+        # at least one clip failed the first clause and skipped the second
+        assert short_circuited
+        for ev in short_circuited:
+            assert not ev.positive
+
+    def test_shared_label_counted_once(self, zoo):
+        compound = CompoundQuery.disjunction(
+            [
+                Query(objects=["person"], action="jumping"),
+                Query(objects=["person"], action="waving"),
+            ]
+        )
+        result = CompoundOnline(zoo, compound, OnlineConfig()).run(
+            VIDEO, short_circuit=False
+        )
+        for ev in result.evaluations:
+            # person appears once in the outcome map despite two literals
+            assert list(ev.outcomes).count("person") == 1
+
+    def test_static_mode(self, zoo):
+        compound = CompoundQuery.disjunction(
+            [Query(action="jumping"), Query(action="waving")]
+        )
+        result = CompoundOnline(
+            zoo, compound, OnlineConfig().with_p0(1e-2), dynamic=False
+        ).run(VIDEO)
+        assert result.final_rates == {}
+        assert result.evaluations
+
+    def test_label_kind_conflict_rejected(self, zoo):
+        compound = CompoundQuery.disjunction(
+            [Query(action="person"), Query(objects=["person"])]
+        )
+        with pytest.raises(QueryError):
+            CompoundOnline(zoo, compound, OnlineConfig()).run(VIDEO)
+
+
+class TestSqlIntegration:
+    def test_or_query_executes_through_plan(self, zoo):
+        statement = parse(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, "
+            "act USING ActionRecognizer) "
+            "WHERE act='jumping' OR act='waving'"
+        )
+        compiled = plan(statement)
+        assert compiled.compound is not None
+        result = compiled.execute_online(OnlineEngine(zoo=zoo), VIDEO)
+        assert result.video_id == VIDEO.video_id
+        direct = OnlineEngine(zoo=zoo).run_compound(compiled.compound, VIDEO)
+        assert result.sequences == direct.sequences

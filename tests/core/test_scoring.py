@@ -1,0 +1,98 @@
+"""The §4.1 scoring-function contract, property-tested for both schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import MaxScoring, PaperScoring, ScoringScheme
+from repro.errors import ConfigurationError
+
+SCHEMES = [PaperScoring(), MaxScoring()]
+
+scores = st.floats(0.0, 100.0)
+score_lists = st.lists(scores, min_size=0, max_size=12)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=["paper", "max"])
+class TestContract:
+    @given(clips=st.lists(scores, min_size=1, max_size=10), bump=st.floats(0.0, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_f_monotone_in_clip_scores(self, scheme: ScoringScheme, clips, bump):
+        base = scheme.aggregate(clips)
+        raised = list(clips)
+        raised[0] += bump
+        assert scheme.aggregate(raised) + 1e-9 >= base
+
+    @given(clips=st.lists(scores, min_size=2, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_subsequence_dominance(self, scheme: ScoringScheme, clips):
+        whole = scheme.aggregate(clips)
+        for cut in range(1, len(clips)):
+            assert whole + 1e-9 >= scheme.aggregate(clips[:cut])
+
+    @given(clips=st.lists(scores, min_size=1, max_size=10), split=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_split_composition(self, scheme: ScoringScheme, clips, split):
+        split = min(split, len(clips))
+        left = scheme.aggregate(clips[:split])
+        right = scheme.aggregate(clips[split:])
+        assert scheme.combine(left, right) == pytest.approx(
+            scheme.aggregate(clips), rel=1e-9, abs=1e-9
+        )
+
+    @given(score=scores, times=st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_matches_aggregate(self, scheme: ScoringScheme, score, times):
+        assert scheme.repeat(score, times) == pytest.approx(
+            scheme.aggregate([score] * times), rel=1e-9, abs=1e-9
+        )
+
+    @given(score=scores)
+    @settings(max_examples=20, deadline=None)
+    def test_identity_neutral(self, scheme: ScoringScheme, score):
+        assert scheme.combine(scheme.identity, score) == pytest.approx(score)
+
+    @given(action=scores, objects=st.lists(scores, min_size=1, max_size=5),
+           bump=st.floats(0.0, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_g_monotone(self, scheme: ScoringScheme, action, objects, bump):
+        base = scheme.clip_score(action, objects)
+        assert scheme.clip_score(action + bump, objects) + 1e-9 >= base
+        raised = list(objects)
+        raised[0] += bump
+        assert scheme.clip_score(action, raised) + 1e-9 >= base
+
+    def test_repeat_negative_rejected(self, scheme: ScoringScheme):
+        with pytest.raises(ConfigurationError):
+            scheme.repeat(1.0, -1)
+
+
+class TestPaperScoringSpecifics:
+    def test_h_additive(self):
+        scheme = PaperScoring()
+        assert scheme.object_clip_score([0.5, 0.25]) == 0.75
+        assert scheme.action_clip_score([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_g_formula(self):
+        scheme = PaperScoring()
+        assert scheme.clip_score(2.0, [1.0, 3.0]) == 8.0
+
+    def test_action_only_query(self):
+        assert PaperScoring().clip_score(2.5, []) == 2.5
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperScoring().clip_score(-1.0, [1.0])
+
+
+class TestMaxScoringSpecifics:
+    def test_h_max(self):
+        scheme = MaxScoring()
+        assert scheme.object_clip_score([0.5, 0.25]) == 0.5
+        assert scheme.object_clip_score([]) == 0.0
+
+    def test_sequence_scores_best_clip(self):
+        scheme = MaxScoring()
+        assert scheme.aggregate([1.0, 5.0, 2.0]) == 5.0

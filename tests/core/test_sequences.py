@@ -1,0 +1,71 @@
+"""Streaming sequence assembly (Eq. 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sequences import SequenceAssembler, merge_indicators
+from repro.errors import VideoModelError
+from repro.utils.intervals import Interval, IntervalSet
+
+
+class TestAssembler:
+    def test_emits_on_close(self):
+        asm = SequenceAssembler()
+        assert asm.push(0, True) is None
+        assert asm.push(1, True) is None
+        closed = asm.push(2, False)
+        assert closed == Interval(0, 1)
+
+    def test_finish_closes_open_run(self):
+        asm = SequenceAssembler()
+        asm.push(0, False)
+        asm.push(1, True)
+        assert asm.finish() == Interval(1, 1)
+        assert asm.result().as_tuples() == [(1, 1)]
+
+    def test_finish_without_run(self):
+        asm = SequenceAssembler()
+        asm.push(0, False)
+        assert asm.finish() is None
+
+    def test_on_emit_callback(self):
+        emitted = []
+        asm = SequenceAssembler(on_emit=emitted.append)
+        for i, flag in enumerate([1, 1, 0, 1]):
+            asm.push(i, bool(flag))
+        asm.finish()
+        assert emitted == [Interval(0, 1), Interval(3, 3)]
+
+    def test_out_of_order_rejected(self):
+        asm = SequenceAssembler()
+        asm.push(0, True)
+        with pytest.raises(VideoModelError):
+            asm.push(2, True)
+
+    def test_push_after_finish_rejected(self):
+        asm = SequenceAssembler()
+        asm.push(0, True)
+        asm.finish()
+        with pytest.raises(VideoModelError):
+            asm.push(1, True)
+
+    def test_double_finish_noop(self):
+        asm = SequenceAssembler()
+        asm.push(0, True)
+        assert asm.finish() == Interval(0, 0)
+        assert asm.finish() is None
+
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_streaming_matches_batch(self, flags):
+        asm = SequenceAssembler()
+        for i, flag in enumerate(flags):
+            asm.push(i, flag)
+        asm.finish()
+        assert asm.result() == merge_indicators(flags)
+
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_batch_matches_intervalset(self, flags):
+        assert merge_indicators(flags) == IntervalSet.from_indicator(flags)

@@ -1,0 +1,208 @@
+"""Algorithm 5 — TBClip iterator, tested on hand-built tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import PaperScoring
+from repro.core.tbclip import TBClipIterator
+from repro.storage.access import AccessStats
+from repro.storage.table import ClipScoreTable
+
+
+def build_iterator(action_rows, object_rows_list, skip=frozenset()):
+    stats = AccessStats()
+    iterator = TBClipIterator(
+        action_table=ClipScoreTable("act", action_rows),
+        object_tables=[
+            ClipScoreTable(f"obj{i}", rows)
+            for i, rows in enumerate(object_rows_list)
+        ],
+        scoring=PaperScoring(),
+        skip=set(skip),
+        stats=stats,
+    )
+    return iterator, stats
+
+
+def exact_scores(action_rows, object_rows_list):
+    scoring = PaperScoring()
+    act = dict(action_rows)
+    objs = [dict(rows) for rows in object_rows_list]
+    return {
+        cid: scoring.clip_score(act[cid], [o[cid] for o in objs])
+        for cid in act
+    }
+
+
+SIMPLE_ACT = [(0, 1.0), (1, 3.0), (2, 2.0), (3, 0.5)]
+SIMPLE_OBJ = [(0, 2.0), (1, 1.0), (2, 4.0), (3, 0.1)]
+
+
+class TestOrdering:
+    def test_tops_descend_bottoms_ascend(self):
+        iterator, _ = build_iterator(SIMPLE_ACT, [SIMPLE_OBJ])
+        expected = exact_scores(SIMPLE_ACT, [SIMPLE_OBJ])
+        tops, bottoms = [], []
+        while not iterator.exhausted:
+            c_top, s_top, c_btm, s_btm = iterator.next_pair()
+            if c_top is not None:
+                tops.append((c_top, s_top))
+            if c_btm is not None:
+                bottoms.append((c_btm, s_btm))
+        top_scores = [s for _, s in tops]
+        assert top_scores == sorted(top_scores, reverse=True)
+        btm_scores = [s for _, s in bottoms]
+        assert btm_scores == sorted(btm_scores)
+        for cid, score in tops + bottoms:
+            assert score == pytest.approx(expected[cid])
+
+    def test_skip_respected(self):
+        iterator, _ = build_iterator(SIMPLE_ACT, [SIMPLE_OBJ], skip={1, 2})
+        seen = set()
+        while not iterator.exhausted:
+            c_top, _, c_btm, _ = iterator.next_pair()
+            seen |= {c for c in (c_top, c_btm) if c is not None}
+        assert seen == {0, 3}
+
+    def test_exhaustion_signals_none(self):
+        iterator, _ = build_iterator([(0, 1.0)], [[(0, 1.0)]])
+        c_top, _, c_btm, _ = iterator.next_pair()
+        # A single clip is simultaneously the highest and lowest unprocessed
+        # clip; each direction processes every clip once, which is what
+        # drives RVAQ's bounds to exactness at exhaustion.
+        assert c_top == 0
+        assert c_btm == 0
+        c_top, _, c_btm, _ = iterator.next_pair()
+        assert c_top is None and c_btm is None
+        assert iterator.exhausted
+
+    def test_all_skipped(self):
+        iterator, _ = build_iterator(SIMPLE_ACT, [SIMPLE_OBJ], skip={0, 1, 2, 3})
+        c_top, _, c_btm, _ = iterator.next_pair()
+        assert c_top is None and c_btm is None
+
+
+class TestAccessAccounting:
+    def test_random_access_memoised(self):
+        iterator, stats = build_iterator(SIMPLE_ACT, [SIMPLE_OBJ])
+        while not iterator.exhausted:
+            iterator.next_pair()
+        # two tables x four clips: at most one random access per pair
+        assert stats.random_accesses <= 8
+
+    def test_sorted_access_charged(self):
+        iterator, stats = build_iterator(SIMPLE_ACT, [SIMPLE_OBJ])
+        iterator.next_pair()
+        assert stats.sorted_accesses >= 2  # one round over both tables
+
+
+@st.composite
+def score_tables(draw):
+    n = draw(st.integers(2, 12))
+    act = [(cid, draw(st.floats(0.0, 10.0))) for cid in range(n)]
+    n_obj = draw(st.integers(1, 3))
+    objs = [
+        [(cid, draw(st.floats(0.0, 10.0))) for cid in range(n)]
+        for _ in range(n_obj)
+    ]
+    return act, objs
+
+
+class TestPropertyCompleteness:
+    @given(score_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_every_clip_returned_exactly_once_per_direction(self, tables):
+        act, objs = tables
+        iterator, _ = build_iterator(act, objs)
+        tops, bottoms = [], []
+        for _ in range(10 * len(act) + 10):
+            if iterator.exhausted:
+                break
+            c_top, _, c_btm, _ = iterator.next_pair()
+            if c_top is not None:
+                tops.append(c_top)
+            if c_btm is not None:
+                bottoms.append(c_btm)
+        assert sorted(set(tops) | set(bottoms)) == [cid for cid, _ in act]
+        assert len(tops) == len(set(tops))
+        assert len(bottoms) == len(set(bottoms))
+
+    @given(score_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_global_order_sound(self, tables):
+        act, objs = tables
+        expected = exact_scores(act, objs)
+        iterator, _ = build_iterator(act, objs)
+        top_seq, btm_seq = [], []
+        while not iterator.exhausted:
+            c_top, s_top, c_btm, s_btm = iterator.next_pair()
+            if c_top is not None:
+                top_seq.append(s_top)
+            if c_btm is not None:
+                btm_seq.append(s_btm)
+        assert top_seq == sorted(top_seq, reverse=True)
+        assert btm_seq == sorted(btm_seq)
+
+
+class TestAlternativeScoring:
+    def test_order_sound_under_max_scoring(self):
+        from repro.core.scoring import MaxScoring
+
+        stats = AccessStats()
+        iterator = TBClipIterator(
+            action_table=ClipScoreTable("act", SIMPLE_ACT),
+            object_tables=[ClipScoreTable("obj", SIMPLE_OBJ)],
+            scoring=MaxScoring(),
+            skip=set(),
+            stats=stats,
+        )
+        tops = []
+        while not iterator.exhausted:
+            c_top, s_top, _, _ = iterator.next_pair()
+            if c_top is not None:
+                tops.append(s_top)
+        assert tops == sorted(tops, reverse=True)
+
+
+class TestBottomBudget:
+    def test_budget_defers_bottom_without_losing_clips(self):
+        # a long tail of skipped clips between the P_q clips and the bottom
+        n = 60
+        act = [(i, float(i)) for i in range(n)]
+        obj = [(i, 1.0) for i in range(n)]
+        skip = set(range(0, n - 6))  # only the last 6 clips are eligible
+        stats = AccessStats()
+        iterator = TBClipIterator(
+            action_table=ClipScoreTable("act", act),
+            object_tables=[ClipScoreTable("obj", obj)],
+            scoring=PaperScoring(),
+            skip=skip,
+            stats=stats,
+            bottom_rounds_per_call=2,
+        )
+        bottoms = []
+        for _ in range(200):
+            if iterator.exhausted:
+                break
+            _, _, c_btm, s_btm = iterator.next_pair()
+            if c_btm is not None:
+                bottoms.append(c_btm)
+        assert sorted(bottoms) == list(range(n - 6, n))
+
+    def test_need_bottom_false_never_returns_bottom(self):
+        stats = AccessStats()
+        iterator = TBClipIterator(
+            action_table=ClipScoreTable("act", SIMPLE_ACT),
+            object_tables=[ClipScoreTable("obj", SIMPLE_OBJ)],
+            scoring=PaperScoring(),
+            skip=set(),
+            stats=stats,
+            need_bottom=False,
+        )
+        while not iterator.exhausted:
+            _, _, c_btm, _ = iterator.next_pair()
+            assert c_btm is None
+        assert stats.reverse_accesses == 0

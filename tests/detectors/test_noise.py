@@ -1,0 +1,81 @@
+"""Correlated noise processes: marginal rates, run structure, score sides."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.noise import alternating_indicator, conditional_scores
+from repro.errors import DetectorError
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)  # noqa: E731
+
+
+class TestAlternatingIndicator:
+    @pytest.mark.parametrize("rate", [0.01, 0.1, 0.5, 0.9, 0.985])
+    def test_marginal_rate(self, rate):
+        x = alternating_indicator(RNG(1), 300_000, rate, mean_run=5.0)
+        assert x.mean() == pytest.approx(rate, abs=0.01)
+
+    def test_runs_are_bursty(self):
+        # Mean on-run length should track the requested burst length.
+        x = alternating_indicator(RNG(2), 400_000, 0.2, mean_run=12.0)
+        changes = np.flatnonzero(np.diff(x.astype(np.int8)))
+        # Count on-run lengths via run-length encoding.
+        padded = np.concatenate(([0], x.astype(np.int8), [0]))
+        starts = np.flatnonzero(np.diff(padded) == 1)
+        ends = np.flatnonzero(np.diff(padded) == -1)
+        mean_run = float(np.mean(ends - starts))
+        assert mean_run == pytest.approx(12.0, rel=0.2)
+        assert len(changes) > 0
+
+    def test_degenerate_rates(self):
+        assert not alternating_indicator(RNG(), 100, 0.0, 5.0).any()
+        assert alternating_indicator(RNG(), 100, 1.0, 5.0).all()
+
+    def test_zero_length(self):
+        assert alternating_indicator(RNG(), 0, 0.5, 5.0).shape == (0,)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DetectorError):
+            alternating_indicator(RNG(), -1, 0.5, 5.0)
+
+    @given(st.floats(0.01, 0.99), st.floats(1.0, 20.0))
+    @settings(max_examples=20, deadline=None)
+    def test_rate_property(self, rate, run):
+        x = alternating_indicator(RNG(3), 120_000, rate, run)
+        assert x.mean() == pytest.approx(rate, abs=0.05)
+
+
+class TestConditionalScores:
+    def test_threshold_separation(self):
+        rng = RNG(4)
+        firing = rng.random(10_000) < 0.3
+        present = rng.random(10_000) < 0.5
+        scores = conditional_scores(rng, firing, present, threshold=0.5, sharpness=5.0)
+        assert (scores[firing] > 0.5).all()
+        assert (scores[~firing] < 0.5).all()
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_true_detections_outscore_false_alarms(self):
+        rng = RNG(5)
+        firing = np.ones(20_000, dtype=bool)
+        present = np.zeros(20_000, dtype=bool)
+        present[:10_000] = True
+        scores = conditional_scores(rng, firing, present, 0.5, 5.0)
+        assert scores[:10_000].mean() > scores[10_000:].mean() + 0.1
+
+    def test_shape_mismatch_rejected(self):
+        rng = RNG(6)
+        with pytest.raises(DetectorError):
+            conditional_scores(
+                rng, np.ones(3, bool), np.ones(4, bool), 0.5, 5.0
+            )
+
+    def test_invalid_threshold(self):
+        rng = RNG(7)
+        with pytest.raises(DetectorError):
+            conditional_scores(rng, np.ones(2, bool), np.ones(2, bool), 1.0, 5.0)

@@ -1,0 +1,106 @@
+"""Profiles, zoo assembly, and inference-cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.cost import CostMeter
+from repro.detectors.profiles import (
+    ALL_PROFILES,
+    I3D,
+    IDEAL_OBJECT,
+    MASK_RCNN,
+    YOLOV3,
+    DetectorProfile,
+    LabelAccuracy,
+)
+from repro.detectors.zoo import build_zoo, default_zoo, ideal_zoo, yolo_zoo
+from repro.errors import ConfigurationError
+
+
+class TestProfiles:
+    def test_ordering_maskrcnn_vs_yolo(self):
+        assert MASK_RCNN.default.fpr < YOLOV3.default.fpr
+        assert MASK_RCNN.default.effective_interior_tpr > (
+            YOLOV3.default.effective_interior_tpr
+        )
+
+    def test_person_override(self):
+        person = MASK_RCNN.accuracy_for("person")
+        assert person.fpr < MASK_RCNN.default.fpr
+        assert person.effective_interior_tpr > (
+            MASK_RCNN.default.effective_interior_tpr
+        )
+        assert MASK_RCNN.accuracy_for("faucet") == MASK_RCNN.default
+
+    def test_with_overrides_merges(self):
+        custom = LabelAccuracy(tpr=0.5, fpr=0.5)
+        profile = MASK_RCNN.with_overrides({"cat": custom})
+        assert profile.accuracy_for("cat") == custom
+        assert profile.accuracy_for("person") == MASK_RCNN.accuracy_for("person")
+
+    def test_interior_defaults_to_tpr(self):
+        acc = LabelAccuracy(tpr=0.7, fpr=0.1)
+        assert acc.effective_interior_tpr == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LabelAccuracy(tpr=1.5, fpr=0.1)
+        with pytest.raises(ConfigurationError):
+            LabelAccuracy(tpr=0.5, fpr=0.1, burst_on=0.0)
+        with pytest.raises(ConfigurationError):
+            DetectorProfile(name="x", kind="banana", default=MASK_RCNN.default)
+
+    def test_all_profiles_well_formed(self):
+        kinds = {p.kind for p in ALL_PROFILES}
+        assert kinds == {"object", "action", "tracker"}
+
+
+class TestZoo:
+    def test_default_lineup(self):
+        zoo = default_zoo()
+        assert zoo.detector.name == "MaskRCNN"
+        assert zoo.recognizer.name == "I3D"
+        assert zoo.tracker.name == "CenterTrack"
+        assert "MaskRCNN" in zoo.description
+
+    def test_variants(self):
+        assert yolo_zoo().detector.name == "YOLOv3"
+        assert ideal_zoo().detector.name == "IdealObject"
+
+    def test_shared_cost_meter(self):
+        zoo = default_zoo()
+        assert zoo.detector._cost is zoo.cost_meter
+        assert zoo.recognizer._cost is zoo.cost_meter
+
+    def test_wrong_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_zoo(object_profile=I3D)
+        with pytest.raises(ConfigurationError):
+            build_zoo(action_profile=IDEAL_OBJECT)
+
+
+class TestCostMeter:
+    def test_accumulates(self):
+        meter = CostMeter()
+        meter.record("m", 10, 2.0)
+        meter.record("m", 5, 2.0)
+        meter.record("other", 1, 100.0)
+        assert meter.ms("m") == 30.0
+        assert meter.units("m") == 15
+        assert meter.ms() == 130.0
+        assert meter.units() == 16
+        assert meter.breakdown() == {"m": 30.0, "other": 100.0}
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.record("m", 1, 1.0)
+        meter.reset()
+        assert meter.ms() == 0.0
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            CostMeter().record("m", -1, 1.0)
+
+    def test_unknown_model_zero(self):
+        assert CostMeter().ms("ghost") == 0.0

@@ -1,0 +1,59 @@
+"""Tokeniser for the SQL-like dialect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("clipID")[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "clipID"
+
+    def test_string_literal_with_spaces(self):
+        token = tokenize("'wine glass'")[0]
+        assert token.type is TokenType.STRING
+        assert token.text == "wine glass"
+
+    def test_string_escape(self):
+        token = tokenize("'it''s'")[0]
+        assert token.text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.text == "42"
+
+    def test_punctuation(self):
+        assert kinds("(),.=")[:-1] == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.COMMA,
+            TokenType.DOT, TokenType.EQ,
+        ]
+
+    def test_end_token(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlSyntaxError) as err:
+            tokenize("SELECT ; FROM")
+        assert err.value.position == 7
+
+    def test_whitespace_and_newlines(self):
+        tokens = tokenize("SELECT\n\t x")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "x"]

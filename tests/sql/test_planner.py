@@ -1,0 +1,117 @@
+"""Lowering parsed statements to executable plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.sql.parser import parse
+from repro.sql.planner import plan
+
+
+def q(text: str):
+    return plan(parse(text))
+
+
+class TestModes:
+    def test_online_plan(self):
+        p = q(
+            "SELECT MERGE(clipID) FROM (PROCESS v PRODUCE clipID, "
+            "obj USING D, act USING A) "
+            "WHERE act='jumping' AND obj.include('car')"
+        )
+        assert p.mode == "online"
+        assert p.k is None
+        assert p.query.action == "jumping"
+        assert p.query.objects == ("car",)
+        assert p.video == "v"
+
+    def test_offline_plan(self):
+        p = q(
+            "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS v PRODUCE "
+            "clipID, obj USING T, act USING A) "
+            "WHERE act='smoking' AND obj.include('cup') "
+            "ORDER BY RANK(act, obj) LIMIT 7"
+        )
+        assert p.mode == "offline"
+        assert p.k == 7
+
+    def test_or_lowers_to_compound(self):
+        p = q(
+            "SELECT MERGE(c) FROM (PROCESS v PRODUCE c, a USING A) "
+            "WHERE a='x' OR a='y'"
+        )
+        assert p.query is None
+        assert p.compound is not None
+        assert len(p.compound.clauses[0]) == 2
+
+    def test_multiple_actions_conjunction(self):
+        p = q(
+            "SELECT MERGE(c) FROM (PROCESS v PRODUCE c, a USING A) "
+            "WHERE a='x' AND a='y'"
+        )
+        assert p.query.actions == ("x", "y")
+
+    def test_objects_deduplicated_keeping_order(self):
+        p = q(
+            "SELECT MERGE(c) FROM (PROCESS v PRODUCE c, o USING D, a USING A) "
+            "WHERE a='x' AND o.include('car','person') AND o.include('car')"
+        )
+        assert p.query.objects == ("car", "person")
+
+
+class TestValidation:
+    def test_merge_required(self):
+        with pytest.raises(PlanningError):
+            q(
+                "SELECT clipID FROM (PROCESS v PRODUCE clipID, a USING A) "
+                "WHERE a='x'"
+            )
+
+    def test_order_by_requires_limit(self):
+        with pytest.raises(PlanningError):
+            q(
+                "SELECT MERGE(c) FROM (PROCESS v PRODUCE c, a USING A) "
+                "WHERE a='x' ORDER BY RANK(a)"
+            )
+
+    def test_unproduced_alias_rejected(self):
+        with pytest.raises(PlanningError):
+            q(
+                "SELECT MERGE(c) FROM (PROCESS v PRODUCE c, a USING A) "
+                "WHERE ghost='x'"
+            )
+
+    def test_execute_mode_mismatch(self, zoo, kitchen_video):
+        from repro.core.engine import OnlineEngine
+
+        p = q(
+            "SELECT MERGE(c), RANK(a, o) FROM (PROCESS v PRODUCE c, "
+            "o USING T, a USING A) WHERE a='x' AND o.include('y') "
+            "ORDER BY RANK(a, o) LIMIT 2"
+        )
+        with pytest.raises(PlanningError):
+            p.execute_online(OnlineEngine(zoo=zoo), kitchen_video)
+
+
+class TestExecution:
+    def test_online_execution(self, zoo, kitchen_video):
+        from repro.core.engine import OnlineEngine
+
+        p = q(
+            "SELECT MERGE(clipID) FROM (PROCESS kitchen PRODUCE clipID, "
+            "obj USING ObjectDetector, act USING ActionRecognizer) "
+            "WHERE act='washing dishes' AND obj.include('faucet')"
+        )
+        result = p.execute_online(OnlineEngine(zoo=zoo), kitchen_video)
+        assert result.video_id == "kitchen"
+
+    def test_offline_execution(self, kitchen_engine):
+        p = q(
+            "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS repo PRODUCE "
+            "clipID, obj USING ObjectTracker, act USING ActionRecognizer) "
+            "WHERE act='washing dishes' AND obj.include('faucet') "
+            "ORDER BY RANK(act, obj) LIMIT 3"
+        )
+        result = p.execute_offline(kitchen_engine)
+        assert len(result.ranked) <= 3

@@ -1,0 +1,77 @@
+"""The ingestion phase (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scoring import MaxScoring
+from repro.errors import IngestError
+from repro.storage.ingest import ingest_video
+from tests.conftest import make_kitchen_video
+
+VIDEO = make_kitchen_video(seed=51, duration_s=240.0, video_id="ingvid")
+
+
+@pytest.fixture(scope="module")
+def ingest(zoo):
+    return ingest_video(
+        VIDEO, zoo,
+        object_labels=["faucet", "person"],
+        action_labels=["washing dishes"],
+    )
+
+
+class TestIngest:
+    def test_tables_cover_all_clips(self, ingest):
+        for label in ("faucet", "person", "washing dishes"):
+            table = ingest.table_for(label)
+            assert len(table) == VIDEO.meta.n_clips
+
+    def test_object_scores_track_presence(self, ingest, zoo):
+        table = ingest.table_for("faucet")
+        present_clips = VIDEO.truth.query_clips(
+            [], "washing dishes", VIDEO.meta.geometry
+        )
+        # the best-scoring faucet clip holds real tracked detections
+        best_cid, best_score = table.sorted_row(0)
+        assert best_score > 0
+        faucet_clips = VIDEO.meta.geometry.frame_set_to_clips(
+            VIDEO.truth.object_frames("faucet"), min_cover=0.2
+        )
+        assert best_cid in faucet_clips
+
+    def test_individual_sequences_near_truth(self, ingest):
+        found = ingest.sequences_for("washing dishes")
+        truth = VIDEO.meta.geometry.frame_set_to_clips(
+            VIDEO.truth.action_frames("washing dishes"), min_cover=0.5
+        )
+        assert found.iou(truth) > 0.6
+
+    def test_unknown_label_raises(self, ingest):
+        with pytest.raises(IngestError):
+            ingest.table_for("zebra")
+        with pytest.raises(IngestError):
+            ingest.sequences_for("zebra")
+
+    def test_labels_listing(self, ingest):
+        assert set(ingest.labels) == {"faucet", "person", "washing dishes"}
+
+    def test_ingest_cost_recorded(self, ingest):
+        assert ingest.ingest_cost_ms > 0
+
+    def test_duplicate_labels_rejected(self, zoo):
+        with pytest.raises(IngestError):
+            ingest_video(
+                VIDEO, zoo, object_labels=["faucet", "faucet"], action_labels=[]
+            )
+
+    def test_alternative_scoring_scheme(self, zoo):
+        alt = ingest_video(
+            VIDEO, zoo,
+            object_labels=["faucet"],
+            action_labels=["washing dishes"],
+            scoring=MaxScoring(),
+        )
+        table = alt.table_for("faucet")
+        # MaxScoring: per-clip score is one instance's score, bounded by 1
+        assert table.max_score <= 1.0

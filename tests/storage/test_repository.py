@@ -1,0 +1,137 @@
+"""Multi-video repository: global ids, caching, persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.ingest import VideoIngest
+from repro.storage.repository import VideoRepository
+from repro.storage.table import ClipScoreTable
+from repro.utils.intervals import IntervalSet
+
+
+def fake_ingest(video_id: str, n_clips: int, score_offset: float = 0.0) -> VideoIngest:
+    """A hand-built ingest, independent of detectors (unit-test isolation)."""
+    rows = [(cid, score_offset + cid * 0.1) for cid in range(n_clips)]
+    return VideoIngest(
+        video_id=video_id,
+        n_clips=n_clips,
+        object_tables={"car": ClipScoreTable("car", rows)},
+        action_tables={"jumping": ClipScoreTable("jumping", rows)},
+        object_sequences={"car": IntervalSet([(0, n_clips // 2)])},
+        action_sequences={"jumping": IntervalSet([(1, n_clips - 1)])},
+    )
+
+
+@pytest.fixture()
+def repo() -> VideoRepository:
+    repository = VideoRepository()
+    repository.add(fake_ingest("a", 10))
+    repository.add(fake_ingest("b", 5, score_offset=10.0))
+    return repository
+
+
+class TestMembership:
+    def test_offsets_leave_gap(self, repo):
+        assert repo.offset_of("a") == 0
+        assert repo.offset_of("b") == 11  # 10 clips + gap of 1
+
+    def test_duplicate_add_rejected(self, repo):
+        with pytest.raises(StorageError):
+            repo.add(fake_ingest("a", 3))
+
+    def test_remove(self, repo):
+        repo.remove("a")
+        assert repo.video_ids == ("b",)
+        with pytest.raises(StorageError):
+            repo.remove("a")
+
+    def test_counts(self, repo):
+        assert repo.n_videos == 2
+        assert repo.total_clips == 15
+
+
+class TestIdTranslation:
+    def test_roundtrip(self, repo):
+        for video_id in ("a", "b"):
+            for clip in (0, 4):
+                global_cid = repo.to_global(video_id, clip)
+                assert repo.to_local(global_cid) == (video_id, clip)
+
+    def test_gap_id_is_unmapped(self, repo):
+        with pytest.raises(StorageError):
+            repo.to_local(10)  # the gap between video a and b
+
+    def test_out_of_range(self, repo):
+        with pytest.raises(StorageError):
+            repo.to_global("b", 5)
+
+    def test_local_sequences(self, repo):
+        spans = IntervalSet([(0, 2), (11, 12)])
+        local = repo.local_sequences(spans)
+        assert local["a"].as_tuples() == [(0, 2)]
+        assert local["b"].as_tuples() == [(0, 1)]
+
+
+class TestRepositoryMetadata:
+    def test_merged_table(self, repo):
+        table = repo.table("car")
+        assert len(table) == 15
+        # b's shifted rows keep their scores
+        assert table.random_access(11) == pytest.approx(10.0)
+
+    def test_sequences_shifted_and_disjoint(self, repo):
+        spans = repo.sequences("jumping")
+        assert spans.as_tuples() == [(1, 9), (12, 15)]
+
+    def test_all_clips_excludes_gap(self, repo):
+        clips = repo.all_clips()
+        assert clips.as_tuples() == [(0, 9), (11, 15)]
+        assert 10 not in clips
+
+    def test_cache_invalidation_on_change(self, repo):
+        before = repo.table("car")
+        repo.add(fake_ingest("c", 3))
+        after = repo.table("car")
+        assert len(after) == len(before) + 3
+
+    def test_missing_label_lenient(self, repo):
+        partial = VideoIngest(
+            video_id="partial",
+            n_clips=4,
+            object_tables={},
+            action_tables={"jumping": ClipScoreTable("jumping", [(0, 1.0)])},
+            object_sequences={},
+            action_sequences={"jumping": IntervalSet([(0, 0)])},
+        )
+        repo.add(partial)
+        # car is still queryable; the partial video contributes nothing
+        assert len(repo.table("car")) == 15
+
+    def test_totally_unknown_label(self, repo):
+        with pytest.raises(StorageError):
+            repo.table("zebra")
+
+    def test_empty_repository(self):
+        with pytest.raises(StorageError):
+            VideoRepository().table("car")
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, repo, tmp_path):
+        repo.save(tmp_path)
+        loaded = VideoRepository.load(tmp_path)
+        assert set(loaded.video_ids) == set(repo.video_ids)
+        assert loaded.sequences("jumping") == repo.sequences("jumping")
+        original = repo.table("car")
+        restored = loaded.table("car")
+        assert len(restored) == len(original)
+        for cid in original.clip_ids():
+            assert restored.random_access(cid) == pytest.approx(
+                original.random_access(cid)
+            )
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            VideoRepository.load(tmp_path / "nowhere")

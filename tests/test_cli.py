@@ -1,0 +1,93 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_runs_and_reports(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth" in out and "F1" in out
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table6_movie_topk" in out
+        assert "q12: archery" in out
+        assert "Coffee and Cigarettes" in out
+
+
+class TestQuery:
+    def test_online_query(self, capsys):
+        sql = (
+            "SELECT MERGE(clipID) FROM (PROCESS movie PRODUCE clipID, "
+            "obj USING ObjectDetector, act USING ActionRecognizer) "
+            "WHERE act='smoking' AND obj.include('cup')"
+        )
+        assert main(["query", sql, "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=online" in out
+        assert "sequences:" in out
+
+    def test_offline_query(self, capsys):
+        sql = (
+            "SELECT MERGE(clipID), RANK(act, obj) FROM (PROCESS movie "
+            "PRODUCE clipID, obj USING ObjectTracker, act USING "
+            "ActionRecognizer) WHERE act='smoking' AND "
+            "obj.include('wine glass', 'cup') "
+            "ORDER BY RANK(act, obj) LIMIT 3"
+        )
+        assert main(["query", sql, "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=offline" in out
+        assert "random" in out
+
+
+class TestExperiment:
+    def test_known_experiment(self, capsys):
+        assert main(
+            ["experiment", "ablation_markov", "--seed", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Markov" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_scale_forwarded(self, capsys):
+        assert main(
+            ["experiment", "table4_models", "--scale", "0.05"]
+        ) == 0
+        assert "Ideal Models" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_subset(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([
+            "report", "--out", str(out), "--scale", "0.05",
+            "--only", "table4_models", "ablation_markov",
+        ]) == 0
+        text = out.read_text()
+        assert "table4_models" in text
+        assert "ablation_markov" in text
+        assert "fig2_background_prob" not in text
+        assert "regenerated in" in text

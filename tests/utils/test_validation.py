@@ -1,0 +1,54 @@
+"""Argument validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ScanStatisticsError
+from repro.utils.validation import (
+    require_in,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestProbability:
+    def test_accepts_bounds(self):
+        assert require_probability(0.0, "p") == 0.0
+        assert require_probability(1.0, "p") == 1.0
+
+    def test_open_interval_excludes_bounds(self):
+        with pytest.raises(ScanStatisticsError):
+            require_probability(0.0, "p", open_interval=True)
+        with pytest.raises(ScanStatisticsError):
+            require_probability(1.0, "p", open_interval=True)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            require_probability(1.5, "p")
+
+
+class TestNumeric:
+    def test_positive_int(self):
+        assert require_positive_int(3, "n") == 3
+        with pytest.raises(ConfigurationError):
+            require_positive_int(0, "n")
+        with pytest.raises(ConfigurationError):
+            require_positive_int(2.5, "n")
+
+    def test_non_negative(self):
+        assert require_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-1e-9, "x")
+
+    def test_positive(self):
+        assert require_positive(0.1, "x") == 0.1
+        with pytest.raises(ConfigurationError):
+            require_positive(0.0, "x")
+
+    def test_require_in(self):
+        assert require_in("a", ("a", "b"), "opt") == "a"
+        with pytest.raises(ConfigurationError):
+            require_in("c", ("a", "b"), "opt")

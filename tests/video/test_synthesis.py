@@ -1,0 +1,160 @@
+"""The scripted scene generator: occupancy, correlation, drift,
+determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.synthesis import SceneSpec, TrackSpec, synthesize_video
+
+
+def scene(tracks, duration=600.0, video_id="v"):
+    return SceneSpec(video_id=video_id, duration_s=duration, tracks=tuple(tracks))
+
+
+class TestDeterminism:
+    def test_same_seed_same_video(self):
+        spec = scene([TrackSpec(label="a", kind="action", occupancy=0.2)])
+        v1 = synthesize_video(spec, seed=5)
+        v2 = synthesize_video(spec, seed=5)
+        assert v1.truth.action_frames("a") == v2.truth.action_frames("a")
+
+    def test_different_seed_different_video(self):
+        spec = scene([TrackSpec(label="a", kind="action", occupancy=0.2)])
+        v1 = synthesize_video(spec, seed=5)
+        v2 = synthesize_video(spec, seed=6)
+        assert v1.truth.action_frames("a") != v2.truth.action_frames("a")
+
+    def test_adding_track_does_not_perturb_existing(self):
+        base = scene([TrackSpec(label="a", kind="action", occupancy=0.2)])
+        extended = scene(
+            [
+                TrackSpec(label="a", kind="action", occupancy=0.2),
+                TrackSpec(label="b", kind="object", occupancy=0.1),
+            ]
+        )
+        v1 = synthesize_video(base, seed=5)
+        v2 = synthesize_video(extended, seed=5)
+        assert v1.truth.action_frames("a") == v2.truth.action_frames("a")
+
+
+class TestOccupancy:
+    def test_occupancy_roughly_respected(self):
+        # Long video + short episodes to tame variance.
+        spec = scene(
+            [TrackSpec(label="a", kind="action", occupancy=0.25, mean_duration_s=5.0)],
+            duration=3_600.0,
+        )
+        video = synthesize_video(spec, seed=1)
+        fraction = (
+            video.truth.action_frames("a").total_length / video.meta.n_frames
+        )
+        assert fraction == pytest.approx(0.25, abs=0.08)
+
+    def test_zero_occupancy_empty(self):
+        spec = scene([TrackSpec(label="a", kind="object", occupancy=0.0)])
+        video = synthesize_video(spec, seed=1)
+        assert not video.truth.object_frames("a")
+
+
+class TestCorrelation:
+    def test_anchored_track_overlaps_anchor(self):
+        spec = scene(
+            [
+                TrackSpec(label="act", kind="action", occupancy=0.2,
+                          mean_duration_s=15.0),
+                TrackSpec(label="obj", kind="object", correlate_with="act",
+                          correlation=1.0, occupancy=0.0, jitter_s=0.0),
+            ],
+            duration=1_200.0,
+        )
+        video = synthesize_video(spec, seed=2)
+        anchor = video.truth.action_frames("act")
+        follower = video.truth.object_frames("obj")
+        # correlation=1, jitter=0 -> follower covers each anchor episode
+        assert anchor.intersect(follower).total_length == anchor.total_length
+
+    def test_zero_correlation_rarely_overlaps(self):
+        spec = scene(
+            [
+                TrackSpec(label="act", kind="action", occupancy=0.2,
+                          mean_duration_s=15.0),
+                TrackSpec(label="obj", kind="object", correlate_with="act",
+                          correlation=0.0, occupancy=0.0),
+            ],
+            duration=1_200.0,
+        )
+        video = synthesize_video(spec, seed=2)
+        assert not video.truth.object_frames("obj")
+
+
+class TestDrift:
+    def test_phases_control_local_occupancy(self):
+        spec = scene(
+            [
+                TrackSpec(
+                    label="car", kind="object",
+                    phases=((0.5, 0.02), (0.5, 0.4)),
+                    mean_duration_s=5.0,
+                )
+            ],
+            duration=2_400.0,
+        )
+        video = synthesize_video(spec, seed=3)
+        n = video.meta.n_frames
+        spans = video.truth.object_frames("car")
+        first = spans.clipped(0, n // 2 - 1).total_length / (n // 2)
+        second = spans.clipped(n // 2, n - 1).total_length / (n - n // 2)
+        assert first < 0.1
+        assert second > 0.25
+
+    def test_phase_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            TrackSpec(label="x", phases=((0.5, 0.1), (0.4, 0.2)))
+
+
+class TestInstances:
+    def test_instance_union_covers_truth(self):
+        spec = scene(
+            [TrackSpec(label="obj", kind="object", occupancy=0.2,
+                       max_instances=3)],
+            duration=900.0,
+        )
+        video = synthesize_video(spec, seed=4)
+        presence = video.truth.object_frames("obj")
+        union = None
+        for spans in video.truth.object_instances("obj"):
+            union = spans if union is None else union.union(spans)
+        assert union == presence
+
+
+class TestValidation:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scene(
+                [
+                    TrackSpec(label="a", kind="action"),
+                    TrackSpec(label="a", kind="object"),
+                ]
+            )
+
+    def test_unknown_anchor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scene([TrackSpec(label="a", correlate_with="ghost")])
+
+    def test_too_short_video_rejected(self):
+        from repro.errors import GroundTruthError
+
+        with pytest.raises(GroundTruthError):
+            synthesize_video(
+                scene([TrackSpec(label="a")], duration=0.5), seed=0
+            )
+
+    def test_invalid_track_params(self):
+        with pytest.raises(ConfigurationError):
+            TrackSpec(label="a", occupancy=1.0)
+        with pytest.raises(ConfigurationError):
+            TrackSpec(label="a", kind="scene")
+        with pytest.raises(ConfigurationError):
+            TrackSpec(label="a", max_instances=0)
