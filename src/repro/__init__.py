@@ -31,6 +31,9 @@ from repro.core import (
     CompoundOnline,
     CompoundQuery,
     CompoundResult,
+    DynamicQuotaPolicy,
+    ExecutionContext,
+    ExecutionStats,
     MaxScoring,
     OfflineEngine,
     OnlineConfig,
@@ -38,9 +41,12 @@ from repro.core import (
     OnlineResult,
     PaperScoring,
     Query,
+    QuotaPolicy,
     RankedSequence,
     RankingConfig,
     ScoringScheme,
+    StaticQuotaPolicy,
+    StreamSession,
     SvaqdSession,
     TopKResult,
 )
@@ -74,7 +80,13 @@ __all__ = [
     "OfflineEngine",
     "SVAQ",
     "SVAQD",
+    "StreamSession",
     "SvaqdSession",
+    "ExecutionContext",
+    "ExecutionStats",
+    "QuotaPolicy",
+    "StaticQuotaPolicy",
+    "DynamicQuotaPolicy",
     "CompoundOnline",
     "CompoundResult",
     "RVAQ",

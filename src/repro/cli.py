@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--scale", type=float, default=0.1)
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--stats", action="store_true",
+        help="print per-stage execution counters after an online run",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -99,6 +103,22 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stats(stats) -> None:
+    print("execution stats:")
+    print(f"  clips processed      : {stats.clips_processed}"
+          f" ({stats.probe_clips} probes)")
+    print(f"  model invocations    : {stats.model_invocations}"
+          f" ({stats.detector_invocations} detector,"
+          f" {stats.recognizer_invocations} recognizer)")
+    print(f"  predicates evaluated : {stats.predicates_evaluated}")
+    print(f"  predicates skipped   : {stats.predicates_skipped}"
+          f" (short-circuit savings {stats.short_circuit_savings:.1%})")
+    print(f"  quota refreshes      : {stats.quota_refreshes}")
+    print(f"  sequences emitted    : {stats.sequences_emitted}")
+    for stage, seconds in stats.stage_wall_s.items():
+        print(f"  stage {stage:<15}: {seconds * 1e3:.1f} ms")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro import OfflineEngine, OnlineEngine, parse, plan
     from repro.detectors.zoo import default_zoo
@@ -111,9 +131,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
           f"query={(compiled.query or compiled.compound).describe()}")
 
     if compiled.mode == "online":
+        from repro import ExecutionContext
+
         engine = OnlineEngine(zoo=default_zoo(seed=args.seed))
-        result = compiled.execute_online(engine, video)
+        context = ExecutionContext() if args.stats else None
+        result = compiled.execute_online(engine, video, context=context)
         print(f"sequences: {result.sequences.as_tuples()}")
+        if context is not None:
+            _print_stats(context.snapshot())
         return 0
 
     engine = OfflineEngine(zoo=default_zoo(seed=args.seed))

@@ -15,11 +15,17 @@ Public surface:
 
 from repro.core.compound import CompoundOnline, CompoundResult
 from repro.core.config import OnlineConfig, RankingConfig
+from repro.core.context import ExecutionContext, ExecutionStats
 from repro.core.engine import OfflineEngine, OnlineEngine
+from repro.core.policies import (
+    DynamicQuotaPolicy,
+    QuotaPolicy,
+    StaticQuotaPolicy,
+)
 from repro.core.query import CompoundQuery, Query
 from repro.core.rvaq import RVAQ, RankedSequence, TopKResult
 from repro.core.scoring import MaxScoring, PaperScoring, ScoringScheme
-from repro.core.session import SvaqdSession
+from repro.core.session import StreamSession, SvaqdSession
 from repro.core.svaq import SVAQ, OnlineResult
 from repro.core.svaqd import SVAQD
 
@@ -28,7 +34,13 @@ __all__ = [
     "CompoundQuery",
     "CompoundOnline",
     "CompoundResult",
+    "StreamSession",
     "SvaqdSession",
+    "ExecutionContext",
+    "ExecutionStats",
+    "QuotaPolicy",
+    "StaticQuotaPolicy",
+    "DynamicQuotaPolicy",
     "OnlineConfig",
     "RankingConfig",
     "SVAQ",

@@ -9,78 +9,28 @@ the clip is positive when every clause holds — exactly the footnote-4
 recipe of evaluating per-clause indicators and conjoining them.
 
 Clauses are evaluated in order and the clip short-circuits on the first
-false clause; the periodic probe clips of
-:class:`repro.core.config.OnlineConfig` keep every label's background
-estimator fed, as in SVAQD.
+false clause.  The per-clip CNF logic lives in
+:class:`repro.core.predicates.CnfPredicate`; execution — probing, quota
+dynamics, sequence assembly, checkpointing — is the same
+:class:`repro.core.session.StreamSession` pipeline SVAQ and SVAQD use,
+so compound runs are resumable and instrumented like every other online
+run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.core.config import OnlineConfig
-from repro.core.dynamics import QuotaManager
-from repro.core.indicators import PredicateOutcome
-from repro.core.query import CompoundQuery, Query
-from repro.core.sequences import SequenceAssembler
-from repro.core.svaq import SVAQ
+from repro.core.context import ExecutionContext
+from repro.core.query import CompoundQuery
+from repro.core.results import CompoundEvaluation, CompoundResult
+from repro.core.session import StreamSession
 from repro.detectors.zoo import ModelZoo
-from repro.errors import QueryError
-from repro.utils.intervals import IntervalSet
-from repro.video.ground_truth import GroundTruth
-from repro.video.model import VideoMeta
 from repro.video.stream import ClipStream
 from repro.video.synthesis import LabeledVideo
 
-import numpy as np
-
-
-@dataclass(frozen=True)
-class CompoundEvaluation:
-    """Per-clip outcome of a compound query."""
-
-    clip_id: int
-    positive: bool
-    #: indicator per evaluated predicate label (missing = short-circuited)
-    outcomes: Mapping[str, PredicateOutcome]
-    #: truth value per clause, ``None`` when short-circuited
-    clause_values: tuple[bool | None, ...]
-
-
-@dataclass(frozen=True)
-class CompoundResult:
-    """Streaming result for a compound query."""
-
-    compound: CompoundQuery
-    video_id: str
-    sequences: IntervalSet
-    evaluations: tuple[CompoundEvaluation, ...]
-    final_rates: Mapping[str, float] = field(default_factory=dict)
-
-
-def _label_kinds(compound: CompoundQuery) -> tuple[list[str], list[str]]:
-    """Unique frame-level and action labels across all literals, in first
-    appearance order; a label used as both kinds is rejected."""
-    frame_labels: list[str] = []
-    action_labels: list[str] = []
-    for clause in compound.clauses:
-        for literal in clause:
-            for label in literal.frame_level_labels:
-                if label in action_labels:
-                    raise QueryError(
-                        f"label {label!r} used as both object and action"
-                    )
-                if label not in frame_labels:
-                    frame_labels.append(label)
-            for label in literal.actions:
-                if label in frame_labels:
-                    raise QueryError(
-                        f"label {label!r} used as both object and action"
-                    )
-                if label not in action_labels:
-                    action_labels.append(label)
-    return frame_labels, action_labels
+__all__ = ["CompoundOnline", "CompoundEvaluation", "CompoundResult"]
 
 
 @dataclass
@@ -94,141 +44,37 @@ class CompoundOnline:
     #: analogue); True re-estimates backgrounds per clip (the SVAQD one).
     dynamic: bool = True
 
+    def session(
+        self,
+        video: LabeledVideo,
+        *,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
+    ) -> StreamSession:
+        """An incremental (checkpointable) session for one stream."""
+        return StreamSession.for_compound(
+            self.zoo,
+            self.compound,
+            video,
+            self.config,
+            dynamic=self.dynamic,
+            record_trace=record_trace,
+            context=context,
+        )
+
     def run(
         self,
         video: LabeledVideo,
         *,
         stream: ClipStream | None = None,
         short_circuit: bool = True,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
     ) -> CompoundResult:
-        frame_labels, action_labels = _label_kinds(self.compound)
-        geometry = video.meta.geometry
-        quotas: dict[str, int]
-        manager: QuotaManager | None = None
-        if self.dynamic:
-            manager = QuotaManager(
-                frame_labels, action_labels, geometry, self.config
-            )
-        else:
-            # Static quotas: reuse SVAQ's derivation over a flat query
-            # holding every label once.
-            flat = Query(objects=frame_labels, actions=action_labels)
-            quotas = SVAQ(self.zoo, flat, self.config).initial_critical_values(
-                geometry
-            )
-
+        session = self.session(
+            video, record_trace=record_trace, context=context
+        )
         clips = stream if stream is not None else ClipStream(video.meta)
-        assembler = SequenceAssembler()
-        evaluations: list[CompoundEvaluation] = []
-        pending: CompoundEvaluation | None = None
-        prev_positive = False
-        probe_every = self.config.probe_every
-        clip_index = 0
-        action_set = set(action_labels)
-
         while not clips.end():
-            clip = clips.next()
-            current = manager.quotas() if manager is not None else quotas
-            probing = (
-                self.dynamic and probe_every > 0
-                and clip_index % probe_every == 0
-            )
-            evaluation = self._evaluate_clip(
-                video.meta, video.truth, clip.clip_id, current, action_set,
-                short_circuit=short_circuit and not probing,
-            )
-            clip_index += 1
-            evaluations.append(evaluation)
-            assembler.push(clip.clip_id, evaluation.positive)
-            if manager is not None:
-                if pending is not None:
-                    manager.update(
-                        pending.outcomes,
-                        positive=pending.positive,
-                        in_guard_band=prev_positive or evaluation.positive,
-                    )
-                    prev_positive = pending.positive
-                pending = evaluation
-        if manager is not None and pending is not None:
-            manager.update(
-                pending.outcomes,
-                positive=pending.positive,
-                in_guard_band=prev_positive,
-            )
-        assembler.finish()
-        return CompoundResult(
-            compound=self.compound,
-            video_id=video.video_id,
-            sequences=assembler.result(),
-            evaluations=tuple(evaluations),
-            final_rates=manager.rates() if manager is not None else {},
-        )
-
-    # -- per-clip CNF evaluation ---------------------------------------------------
-
-    def _evaluate_clip(
-        self,
-        meta: VideoMeta,
-        truth: GroundTruth,
-        clip_id: int,
-        quotas: Mapping[str, int],
-        action_set: set[str],
-        *,
-        short_circuit: bool,
-    ) -> CompoundEvaluation:
-        outcomes: dict[str, PredicateOutcome] = {}
-
-        def indicator(label: str) -> bool:
-            cached = outcomes.get(label)
-            if cached is not None:
-                return cached.indicator
-            kind = "action" if label in action_set else "object"
-            if kind == "action":
-                scores = self.zoo.recognizer.score_clip(meta, truth, label, clip_id)
-                threshold = (
-                    self.config.action_threshold
-                    if self.config.action_threshold is not None
-                    else self.zoo.recognizer.threshold
-                )
-            else:
-                scores = self.zoo.detector.score_clip(meta, truth, label, clip_id)
-                threshold = (
-                    self.config.object_threshold
-                    if self.config.object_threshold is not None
-                    else self.zoo.detector.threshold
-                )
-            count = int(np.count_nonzero(scores >= threshold))
-            outcome = PredicateOutcome(
-                label, kind, evaluated=True,
-                count=count, units=len(scores),
-                indicator=count >= quotas[label],
-            )
-            outcomes[label] = outcome
-            return outcome.indicator
-
-        clause_values: list[bool | None] = []
-        positive = True
-        for clause in self.compound.clauses:
-            if not positive and short_circuit:
-                clause_values.append(None)
-                continue
-            clause_true = False
-            for literal in clause:
-                if all(indicator(label) for label in literal.all_labels):
-                    clause_true = True
-                    break
-            clause_values.append(clause_true)
-            if not clause_true:
-                positive = False
-        if not short_circuit:
-            # evaluate any label untouched by lazy literal evaluation
-            for clause in self.compound.clauses:
-                for literal in clause:
-                    for label in literal.all_labels:
-                        indicator(label)
-        return CompoundEvaluation(
-            clip_id=clip_id,
-            positive=positive,
-            outcomes=outcomes,
-            clause_values=tuple(clause_values),
-        )
+            session.process(clips.next(), short_circuit=short_circuit)
+        return session.finish()

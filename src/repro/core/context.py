@@ -1,0 +1,161 @@
+"""Per-run execution accounting for the online pipeline.
+
+Every streaming run — SVAQ, SVAQD or the compound executor — flows through
+one :class:`repro.core.session.StreamSession`, and every session charges
+its work to an :class:`ExecutionContext`: model invocations, predicate
+evaluations saved by short-circuiting, probe clips, quota refreshes and
+per-stage wall time.  The operator-style systems the roadmap points at
+(Zeus, VidCEP) live or die by this kind of per-stage accounting; here it is
+what the ``--stats`` CLI flag, :class:`repro.core.results.OnlineResult` and
+the runtime-decomposition experiment surface.
+
+A context can be private to one run (the default) or shared across runs
+(pass one object through the engine/harness) in which case its counters
+accumulate — that is how the runtime-decomposition experiment totals a
+whole query set.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+#: Stage names used by :class:`repro.core.session.StreamSession`.
+STAGE_EVALUATE = "evaluate"
+STAGE_QUOTAS = "quotas"
+STAGE_ASSEMBLE = "assemble"
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Immutable snapshot of an :class:`ExecutionContext`.
+
+    ``predicates_skipped`` counts predicate evaluations that never happened
+    because an earlier predicate in the conjunction (or an earlier clause of
+    the CNF) already decided the clip — the short-circuit savings Algorithm 2
+    exists to realise.
+    """
+
+    clips_processed: int = 0
+    probe_clips: int = 0
+    detector_invocations: int = 0
+    recognizer_invocations: int = 0
+    predicates_evaluated: int = 0
+    predicates_skipped: int = 0
+    quota_refreshes: int = 0
+    sequences_emitted: int = 0
+    stage_wall_s: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def model_invocations(self) -> int:
+        """Total model calls (detector + recognizer)."""
+        return self.detector_invocations + self.recognizer_invocations
+
+    @property
+    def short_circuit_savings(self) -> float:
+        """Fraction of predicate evaluations avoided by short-circuiting."""
+        total = self.predicates_evaluated + self.predicates_skipped
+        return self.predicates_skipped / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (reports, ``--stats``)."""
+        return {
+            "clips_processed": self.clips_processed,
+            "probe_clips": self.probe_clips,
+            "detector_invocations": self.detector_invocations,
+            "recognizer_invocations": self.recognizer_invocations,
+            "predicates_evaluated": self.predicates_evaluated,
+            "predicates_skipped": self.predicates_skipped,
+            "short_circuit_savings": self.short_circuit_savings,
+            "quota_refreshes": self.quota_refreshes,
+            "sequences_emitted": self.sequences_emitted,
+            "stage_wall_s": dict(self.stage_wall_s),
+        }
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable per-stage counters one or more streaming runs write into."""
+
+    clips_processed: int = 0
+    probe_clips: int = 0
+    detector_invocations: int = 0
+    recognizer_invocations: int = 0
+    predicates_evaluated: int = 0
+    predicates_skipped: int = 0
+    quota_refreshes: int = 0
+    sequences_emitted: int = 0
+    _stage_wall_s: dict[str, float] = field(default_factory=dict, repr=False)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_model_call(self, kind: str, n: int = 1) -> None:
+        """Charge ``n`` invocations of one model family.
+
+        ``kind`` is ``"object"`` (the detector) or ``"action"`` (the
+        recognizer) — the same kind tags
+        :class:`repro.core.indicators.PredicateOutcome` carries.
+        """
+        if kind == "action":
+            self.recognizer_invocations += n
+        else:
+            self.detector_invocations += n
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        self._stage_wall_s[stage] = (
+            self._stage_wall_s.get(stage, 0.0) + seconds
+        )
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a pipeline stage: ``with context.stage("evaluate"): ...``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_stage_time(name, time.perf_counter() - start)
+
+    def merge(self, other: "ExecutionContext | ExecutionStats") -> None:
+        """Fold another context's (or snapshot's) counters into this one.
+
+        The thread-pool executor gives each video a private context and
+        merges them in insertion order afterwards, so shared accounting
+        stays exact without per-increment locking.
+        """
+        self.clips_processed += other.clips_processed
+        self.probe_clips += other.probe_clips
+        self.detector_invocations += other.detector_invocations
+        self.recognizer_invocations += other.recognizer_invocations
+        self.predicates_evaluated += other.predicates_evaluated
+        self.predicates_skipped += other.predicates_skipped
+        self.quota_refreshes += other.quota_refreshes
+        self.sequences_emitted += other.sequences_emitted
+        stage_times = (
+            other.stage_wall_s()
+            if isinstance(other, ExecutionContext)
+            else other.stage_wall_s
+        )
+        for stage, seconds in stage_times.items():
+            self.add_stage_time(stage, seconds)
+
+    # -- reading -----------------------------------------------------------------
+
+    def stage_wall_s(self) -> dict[str, float]:
+        """Accumulated wall seconds per pipeline stage."""
+        return dict(self._stage_wall_s)
+
+    def snapshot(self) -> ExecutionStats:
+        """Freeze the current counters into an :class:`ExecutionStats`."""
+        return ExecutionStats(
+            clips_processed=self.clips_processed,
+            probe_clips=self.probe_clips,
+            detector_invocations=self.detector_invocations,
+            recognizer_invocations=self.recognizer_invocations,
+            predicates_evaluated=self.predicates_evaluated,
+            predicates_skipped=self.predicates_skipped,
+            quota_refreshes=self.quota_refreshes,
+            sequences_emitted=self.sequences_emitted,
+            stage_wall_s=dict(self._stage_wall_s),
+        )

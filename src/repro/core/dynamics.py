@@ -11,6 +11,7 @@ estimator (§3.3) plus the critical-value tables for the detection quota
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -107,6 +108,47 @@ class QuotaManager:
     def tracker(self, label: str) -> PredicateTracker:
         return self._trackers[label]
 
+    def labels(self) -> tuple[str, ...]:
+        """Tracked predicate labels, in registration order."""
+        return tuple(self._trackers)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of every estimator.
+
+        Each entry records the estimator *class* alongside its state so
+        that restore rebuilds whatever estimator type was deployed — not a
+        hardcoded default — and a checkpoint written with a custom
+        estimator round-trips faithfully.
+        """
+        return {
+            "estimators": {
+                label: {
+                    "class": _class_path(type(tracker.estimator)),
+                    "state": tracker.estimator.state_dict(),
+                }
+                for label, tracker in self._trackers.items()
+            }
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore estimator states from :meth:`state_dict` output.
+
+        Entries without a ``class`` tag (checkpoints from before the tag
+        existed) restore as :class:`~repro.scanstats.kernel.KernelRateEstimator`.
+        """
+        for label, entry in state["estimators"].items():
+            tracker = self._trackers[label]
+            if "class" in entry:
+                estimator_cls = _resolve_class(entry["class"])
+                estimator_state = entry["state"]
+            else:
+                estimator_cls = KernelRateEstimator
+                estimator_state = entry
+            tracker.estimator = estimator_cls.from_state_dict(estimator_state)
+            tracker.refresh()
+
     # -- updates -----------------------------------------------------------------
 
     def update(
@@ -143,3 +185,15 @@ class QuotaManager:
             else:
                 tracker.estimator.advance(tracker.table.w)
             tracker.refresh()
+
+
+def _class_path(cls: type) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_class(path: str) -> type:
+    module_name, _, qualname = path.partition(":")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.baselines import fagin_baseline, pq_traverse, rvaq_noskip
 from repro.core.config import OnlineConfig, RankingConfig
+from repro.core.context import ExecutionContext
 from repro.core.query import CompoundQuery, Query
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -31,6 +32,7 @@ from repro.video.synthesis import LabeledVideo
 
 OnlineAlgorithm = Literal["svaq", "svaqd"]
 OfflineAlgorithm = Literal["rvaq", "rvaq-noskip", "fa", "pq-traverse"]
+Executor = Literal["serial", "thread"]
 
 
 @dataclass
@@ -45,12 +47,22 @@ class OnlineEngine:
         query: Query,
         video: LabeledVideo,
         algorithm: OnlineAlgorithm = "svaqd",
+        *,
+        context: ExecutionContext | None = None,
     ) -> OnlineResult:
-        """Process one video stream and return its result sequences."""
+        """Process one video stream and return its result sequences.
+
+        ``context`` threads shared execution counters through the run;
+        omit it and the result's ``stats`` carries a private snapshot.
+        """
         if algorithm == "svaq":
-            return SVAQ(self.zoo, query, self.config).run(video)
+            return SVAQ(self.zoo, query, self.config).run(
+                video, context=context
+            )
         if algorithm == "svaqd":
-            return SVAQD(self.zoo, query, self.config).run(video)
+            return SVAQD(self.zoo, query, self.config).run(
+                video, context=context
+            )
         raise ConfigurationError(f"unknown online algorithm {algorithm!r}")
 
     def run_many(
@@ -58,25 +70,68 @@ class OnlineEngine:
         query: Query,
         videos: Iterable[LabeledVideo],
         algorithm: OnlineAlgorithm = "svaqd",
+        *,
+        executor: Executor = "serial",
+        max_workers: int | None = None,
+        context: ExecutionContext | None = None,
     ) -> dict[str, OnlineResult]:
-        """Process a collection of streams (e.g. one Table-1 query set)."""
-        return {
-            video.video_id: self.run(query, video, algorithm)
-            for video in videos
-        }
+        """Process a collection of streams (e.g. one Table-1 query set).
+
+        ``executor="thread"`` fans the per-video runs out over a
+        :class:`~concurrent.futures.ThreadPoolExecutor`.  Results are
+        identical to the serial path (the simulated models are
+        deterministic per video) and returned in the videos' insertion
+        order either way.
+        """
+        videos = list(videos)
+        if executor == "serial":
+            return {
+                video.video_id: self.run(
+                    query, video, algorithm, context=context
+                )
+                for video in videos
+            }
+        if executor == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            # Each video gets a private context; merging afterwards (in
+            # insertion order) keeps shared counters exact without
+            # per-increment locking across the pool.
+            locals_ = [
+                ExecutionContext() if context is not None else None
+                for _ in videos
+            ]
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(
+                        self.run, query, video, algorithm, context=local
+                    )
+                    for video, local in zip(videos, locals_)
+                ]
+                results = [future.result() for future in futures]
+            if context is not None:
+                for local in locals_:
+                    context.merge(local)
+            return {
+                video.video_id: result
+                for video, result in zip(videos, results)
+            }
+        raise ConfigurationError(f"unknown executor {executor!r}")
 
     def run_compound(
         self,
         compound: "CompoundQuery",
         video: LabeledVideo,
         algorithm: OnlineAlgorithm = "svaqd",
+        *,
+        context: ExecutionContext | None = None,
     ) -> "CompoundResult":
         """Process a CNF query (OR / multi-action forms, footnotes 3–4)."""
         from repro.core.compound import CompoundOnline
 
         return CompoundOnline(
             self.zoo, compound, self.config, dynamic=(algorithm == "svaqd")
-        ).run(video)
+        ).run(video, context=context)
 
 
 @dataclass

@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.config import OnlineConfig
+from repro.core.context import ExecutionContext
 from repro.core.query import Query
 from repro.detectors.zoo import ModelZoo
 from repro.errors import QueryError
@@ -73,12 +74,16 @@ class ClipEvaluator:
         truth: GroundTruth,
         query: Query,
         config: OnlineConfig | None = None,
+        context: ExecutionContext | None = None,
     ) -> None:
         self._zoo = zoo
         self._video = video
         self._truth = truth
         self._query = query
         self._config = config or OnlineConfig()
+        #: Optional per-run counters; when set, every model invocation is
+        #: recorded (the session attaches its ExecutionContext here).
+        self.context = context
         query.validate_against(
             zoo.detector.declared_vocabulary, zoo.recognizer.declared_vocabulary
         )
@@ -117,6 +122,8 @@ class ClipEvaluator:
         scores = self._zoo.detector.score_clip(
             self._video, self._truth, label, clip_id
         )
+        if self.context is not None:
+            self.context.record_model_call("object")
         return int(np.count_nonzero(scores >= self._object_threshold)), len(scores)
 
     def action_count(self, label: str, clip_id: int) -> tuple[int, int]:
@@ -125,6 +132,8 @@ class ClipEvaluator:
         scores = self._zoo.recognizer.score_clip(
             self._video, self._truth, label, clip_id
         )
+        if self.context is not None:
+            self.context.record_model_call("action")
         return int(np.count_nonzero(scores >= self._action_threshold)), len(scores)
 
     # -- Algorithm 2 ----------------------------------------------------------------

@@ -1,0 +1,213 @@
+"""Quota policies — the axis that distinguishes SVAQ from SVAQD.
+
+Algorithms 1 and 3 share one loop (evaluate clip → update quotas →
+assemble sequences); what differs is *where the critical values come
+from*.  :class:`StaticQuotaPolicy` fixes them once from the a-priori
+``p₀`` (Eq. 5 — Algorithm 1); :class:`DynamicQuotaPolicy` re-derives them
+per clip from kernel-estimated background probabilities (Algorithm 3,
+wrapping :class:`repro.core.dynamics.QuotaManager`).  The unified
+:class:`repro.core.session.StreamSession` is parameterised by a policy, so
+the same pipeline serves both algorithms and the compound executor.
+
+Both policies checkpoint: :meth:`QuotaPolicy.state_dict` /
+:meth:`QuotaPolicy.load_state_dict` round-trip through JSON, which is what
+makes checkpoint/resume work for *every* online algorithm rather than
+SVAQD alone.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping
+
+from repro.core.config import OnlineConfig
+from repro.core.dynamics import QuotaManager
+from repro.core.indicators import PredicateOutcome
+from repro.errors import ConfigurationError
+from repro.scanstats.critical import critical_value
+from repro.video.model import VideoGeometry
+
+
+def derive_static_quotas(
+    frame_labels: Iterable[str],
+    action_labels: Iterable[str],
+    geometry: VideoGeometry,
+    config: OnlineConfig,
+    overrides: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Algorithm 1's ``k_crit_o_init`` / ``k_crit_a_init`` per predicate.
+
+    ``overrides`` pins critical values for individual labels (Algorithm 1
+    allows "each [predicate] may have its own initial values").  An
+    explicit override of ``0`` is honoured — membership decides, not
+    truthiness — so callers can disable a quota outright.
+    """
+    overrides = overrides or {}
+    frames_per_clip = geometry.frames_per_clip
+    shots_per_clip = geometry.shots_per_clip
+    shot_horizon = max(
+        shots_per_clip, config.horizon_ou // geometry.frames_per_shot
+    )
+    values: dict[str, int] = {}
+    for label in frame_labels:
+        if label in overrides:
+            values[label] = int(overrides[label])
+        else:
+            values[label] = critical_value(
+                config.object_p0,
+                frames_per_clip,
+                config.horizon_ou,
+                config.alpha,
+            )
+    for label in action_labels:
+        if label in overrides:
+            values[label] = int(overrides[label])
+        else:
+            values[label] = critical_value(
+                config.action_p0,
+                shots_per_clip,
+                shot_horizon,
+                config.alpha,
+            )
+    return values
+
+
+class QuotaPolicy(ABC):
+    """Where a streaming run's per-predicate critical values come from."""
+
+    #: Dynamic policies refresh quotas from observed data, so the session
+    #: probes periodically (full evaluation without short-circuiting) to
+    #: keep every predicate's estimator fed; static policies never probe.
+    dynamic: bool = False
+
+    @abstractmethod
+    def quotas(self) -> dict[str, int]:
+        """Current ``k_crit`` per predicate label."""
+
+    @abstractmethod
+    def update(
+        self,
+        outcomes: Mapping[str, PredicateOutcome],
+        *,
+        positive: bool,
+        in_guard_band: bool,
+    ) -> None:
+        """Fold one clip's outcomes into the policy state."""
+
+    def rates(self) -> Mapping[str, float]:
+        """Current background-probability estimates ({} when static)."""
+        return {}
+
+    @abstractmethod
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the policy's dynamic state."""
+
+    @abstractmethod
+    def load_state_dict(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+
+
+class StaticQuotaPolicy(QuotaPolicy):
+    """Fixed critical values — Algorithm 1's behaviour."""
+
+    dynamic = False
+
+    def __init__(self, quotas: Mapping[str, int]) -> None:
+        if not quotas:
+            raise ConfigurationError("static quota policy needs >= 1 label")
+        self._quotas = {label: int(k) for label, k in quotas.items()}
+
+    @classmethod
+    def from_config(
+        cls,
+        frame_labels: Iterable[str],
+        action_labels: Iterable[str],
+        geometry: VideoGeometry,
+        config: OnlineConfig,
+        overrides: Mapping[str, int] | None = None,
+    ) -> "StaticQuotaPolicy":
+        return cls(
+            derive_static_quotas(
+                frame_labels, action_labels, geometry, config, overrides
+            )
+        )
+
+    def quotas(self) -> dict[str, int]:
+        return dict(self._quotas)
+
+    def update(
+        self,
+        outcomes: Mapping[str, PredicateOutcome],
+        *,
+        positive: bool,
+        in_guard_band: bool,
+    ) -> None:
+        """Static quotas never move; the update is a no-op by design."""
+
+    def state_dict(self) -> dict:
+        return {"kind": "static", "quotas": dict(self._quotas)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._quotas = {
+            label: int(k) for label, k in state["quotas"].items()
+        }
+
+
+class DynamicQuotaPolicy(QuotaPolicy):
+    """Kernel-estimated background probabilities — Algorithm 3's behaviour."""
+
+    dynamic = True
+
+    def __init__(self, manager: QuotaManager) -> None:
+        self._manager = manager
+
+    @classmethod
+    def from_config(
+        cls,
+        frame_labels: Iterable[str],
+        action_labels: Iterable[str],
+        geometry: VideoGeometry,
+        config: OnlineConfig,
+    ) -> "DynamicQuotaPolicy":
+        return cls(QuotaManager(frame_labels, action_labels, geometry, config))
+
+    @property
+    def manager(self) -> QuotaManager:
+        return self._manager
+
+    def quotas(self) -> dict[str, int]:
+        return self._manager.quotas()
+
+    def rates(self) -> Mapping[str, float]:
+        return self._manager.rates()
+
+    def update(
+        self,
+        outcomes: Mapping[str, PredicateOutcome],
+        *,
+        positive: bool,
+        in_guard_band: bool,
+    ) -> None:
+        self._manager.update(
+            outcomes, positive=positive, in_guard_band=in_guard_band
+        )
+
+    def state_dict(self) -> dict:
+        return {"kind": "dynamic", **self._manager.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._manager.load_state_dict(state)
+
+
+def policy_from_state_dict(state: dict, fallback: QuotaPolicy) -> QuotaPolicy:
+    """Validate that a checkpointed policy state matches the session's
+    configured policy kind, then restore it in place."""
+    kind = state.get("kind", "dynamic")
+    expected = "dynamic" if fallback.dynamic else "static"
+    if kind != expected:
+        raise ConfigurationError(
+            f"checkpoint holds a {kind!r} quota policy but the session was "
+            f"built with a {expected!r} one"
+        )
+    fallback.load_state_dict(state)
+    return fallback

@@ -1,0 +1,339 @@
+"""Clip predicates — the second axis of the unified streaming session.
+
+A :class:`repro.core.session.StreamSession` evaluates *some* per-clip
+predicate against the current quotas; what that predicate is distinguishes
+the canonical conjunctive query (Algorithm 2 via
+:class:`ConjunctivePredicate`) from the footnote-3/4 CNF extension
+(:class:`CnfPredicate`).  Each adapter knows how to
+
+* evaluate one clip against a quota map (charging model invocations to the
+  session's :class:`~repro.core.context.ExecutionContext`),
+* expose its per-clip outcomes as a label → outcome mapping (for quota
+  updates and probe statistics),
+* serialise a pending evaluation for checkpoints, and
+* build the run's final result object.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import OnlineConfig
+from repro.core.context import ExecutionContext, ExecutionStats
+from repro.core.indicators import ClipEvaluation, ClipEvaluator, PredicateOutcome
+from repro.core.query import CompoundQuery, Query
+from repro.core.results import CompoundEvaluation, CompoundResult, OnlineResult
+from repro.detectors.zoo import ModelZoo
+from repro.errors import QueryError
+from repro.utils.intervals import IntervalSet
+from repro.video.synthesis import LabeledVideo
+
+
+def _outcome_to_dict(outcome: PredicateOutcome) -> dict:
+    return {
+        "label": outcome.label,
+        "kind": outcome.kind,
+        "evaluated": outcome.evaluated,
+        "count": outcome.count,
+        "units": outcome.units,
+        "indicator": outcome.indicator,
+    }
+
+
+def _outcome_from_dict(state: dict) -> PredicateOutcome:
+    return PredicateOutcome(
+        label=state["label"],
+        kind=state["kind"],
+        evaluated=state["evaluated"],
+        count=state["count"],
+        units=state["units"],
+        indicator=state["indicator"],
+    )
+
+
+class ConjunctivePredicate:
+    """Algorithm 2 over a canonical conjunctive query."""
+
+    supports_ordering = True
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        query: Query,
+        video: LabeledVideo,
+        config: OnlineConfig,
+    ) -> None:
+        self._query = query
+        self._evaluator = ClipEvaluator(
+            zoo, video.meta, video.truth, query, config
+        )
+
+    @property
+    def query(self) -> Query:
+        return self._query
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """All predicate labels, in the user's evaluation order."""
+        return (*self._query.frame_level_labels, *self._query.actions)
+
+    @property
+    def frame_labels(self) -> tuple[str, ...]:
+        return self._query.frame_level_labels
+
+    @property
+    def action_labels(self) -> tuple[str, ...]:
+        return self._query.actions
+
+    def attach_context(self, context: ExecutionContext) -> None:
+        self._evaluator.context = context
+
+    def evaluate(
+        self,
+        clip_id: int,
+        quotas: Mapping[str, int],
+        *,
+        short_circuit: bool,
+        order: Sequence[str] | None = None,
+    ) -> ClipEvaluation:
+        return self._evaluator.evaluate(
+            clip_id, quotas, short_circuit=short_circuit, order=order
+        )
+
+    def outcome_map(
+        self, evaluation: ClipEvaluation
+    ) -> Mapping[str, PredicateOutcome]:
+        return {o.label: o for o in evaluation.outcomes}
+
+    # -- checkpoint serialisation ----------------------------------------------
+
+    def evaluation_to_dict(self, evaluation: ClipEvaluation) -> dict:
+        return {
+            "clip_id": evaluation.clip_id,
+            "positive": evaluation.positive,
+            "outcomes": [_outcome_to_dict(o) for o in evaluation.outcomes],
+        }
+
+    def evaluation_from_dict(self, state: dict) -> ClipEvaluation:
+        return ClipEvaluation(
+            clip_id=state["clip_id"],
+            positive=state["positive"],
+            outcomes=tuple(_outcome_from_dict(o) for o in state["outcomes"]),
+        )
+
+    # -- result construction -----------------------------------------------------
+
+    def build_result(
+        self,
+        video_id: str,
+        sequences: IntervalSet,
+        evaluations: tuple[ClipEvaluation, ...],
+        final_rates: Mapping[str, float],
+        k_crit_trace: tuple[Mapping[str, int], ...],
+        stats: ExecutionStats | None,
+    ) -> OnlineResult:
+        return OnlineResult(
+            query=self._query,
+            video_id=video_id,
+            sequences=sequences,
+            evaluations=evaluations,
+            k_crit_trace=k_crit_trace,
+            final_rates=final_rates,
+            stats=stats,
+        )
+
+
+def cnf_label_kinds(compound: CompoundQuery) -> tuple[list[str], list[str]]:
+    """Unique frame-level and action labels across all literals, in first
+    appearance order; a label used as both kinds is rejected."""
+    frame_labels: list[str] = []
+    action_labels: list[str] = []
+    for clause in compound.clauses:
+        for literal in clause:
+            for label in literal.frame_level_labels:
+                if label in action_labels:
+                    raise QueryError(
+                        f"label {label!r} used as both object and action"
+                    )
+                if label not in frame_labels:
+                    frame_labels.append(label)
+            for label in literal.actions:
+                if label in frame_labels:
+                    raise QueryError(
+                        f"label {label!r} used as both object and action"
+                    )
+                if label not in action_labels:
+                    action_labels.append(label)
+    return frame_labels, action_labels
+
+
+class CnfPredicate:
+    """Footnote-4 CNF evaluation: per-label indicators computed once,
+    literals conjoin them, clauses disjoin literals, and the clip is
+    positive when every clause holds.  Clause order is fixed by the query,
+    so selectivity re-ordering does not apply."""
+
+    supports_ordering = False
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        compound: CompoundQuery,
+        video: LabeledVideo,
+        config: OnlineConfig,
+    ) -> None:
+        self._zoo = zoo
+        self._compound = compound
+        self._meta = video.meta
+        self._truth = video.truth
+        self._config = config
+        frame_labels, action_labels = cnf_label_kinds(compound)
+        self._frame_labels = tuple(frame_labels)
+        self._action_labels = tuple(action_labels)
+        self._action_set = set(action_labels)
+        self._context: ExecutionContext | None = None
+
+    @property
+    def compound(self) -> CompoundQuery:
+        return self._compound
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return (*self._frame_labels, *self._action_labels)
+
+    @property
+    def frame_labels(self) -> tuple[str, ...]:
+        return self._frame_labels
+
+    @property
+    def action_labels(self) -> tuple[str, ...]:
+        return self._action_labels
+
+    def attach_context(self, context: ExecutionContext) -> None:
+        self._context = context
+
+    def evaluate(
+        self,
+        clip_id: int,
+        quotas: Mapping[str, int],
+        *,
+        short_circuit: bool,
+        order: Sequence[str] | None = None,
+    ) -> CompoundEvaluation:
+        outcomes: dict[str, PredicateOutcome] = {}
+
+        def indicator(label: str) -> bool:
+            cached = outcomes.get(label)
+            if cached is not None:
+                return cached.indicator
+            kind = "action" if label in self._action_set else "object"
+            if kind == "action":
+                scores = self._zoo.recognizer.score_clip(
+                    self._meta, self._truth, label, clip_id
+                )
+                threshold = (
+                    self._config.action_threshold
+                    if self._config.action_threshold is not None
+                    else self._zoo.recognizer.threshold
+                )
+            else:
+                scores = self._zoo.detector.score_clip(
+                    self._meta, self._truth, label, clip_id
+                )
+                threshold = (
+                    self._config.object_threshold
+                    if self._config.object_threshold is not None
+                    else self._zoo.detector.threshold
+                )
+            if self._context is not None:
+                self._context.record_model_call(kind)
+            count = int(np.count_nonzero(scores >= threshold))
+            outcome = PredicateOutcome(
+                label, kind, evaluated=True,
+                count=count, units=len(scores),
+                indicator=count >= quotas[label],
+            )
+            outcomes[label] = outcome
+            return outcome.indicator
+
+        clause_values: list[bool | None] = []
+        positive = True
+        for clause in self._compound.clauses:
+            if not positive and short_circuit:
+                clause_values.append(None)
+                continue
+            clause_true = False
+            for literal in clause:
+                if all(indicator(label) for label in literal.all_labels):
+                    clause_true = True
+                    break
+            clause_values.append(clause_true)
+            if not clause_true:
+                positive = False
+        if not short_circuit:
+            # evaluate any label untouched by lazy literal evaluation
+            for clause in self._compound.clauses:
+                for literal in clause:
+                    for label in literal.all_labels:
+                        indicator(label)
+        return CompoundEvaluation(
+            clip_id=clip_id,
+            positive=positive,
+            outcomes=outcomes,
+            clause_values=tuple(clause_values),
+        )
+
+    def outcome_map(
+        self, evaluation: CompoundEvaluation
+    ) -> Mapping[str, PredicateOutcome]:
+        return evaluation.outcomes
+
+    # -- checkpoint serialisation ----------------------------------------------
+
+    def evaluation_to_dict(self, evaluation: CompoundEvaluation) -> dict:
+        return {
+            "clip_id": evaluation.clip_id,
+            "positive": evaluation.positive,
+            "outcomes": {
+                label: _outcome_to_dict(o)
+                for label, o in evaluation.outcomes.items()
+            },
+            "clause_values": list(evaluation.clause_values),
+        }
+
+    def evaluation_from_dict(self, state: dict) -> CompoundEvaluation:
+        return CompoundEvaluation(
+            clip_id=state["clip_id"],
+            positive=state["positive"],
+            outcomes={
+                label: _outcome_from_dict(o)
+                for label, o in state["outcomes"].items()
+            },
+            clause_values=tuple(
+                None if v is None else bool(v)
+                for v in state["clause_values"]
+            ),
+        )
+
+    # -- result construction -----------------------------------------------------
+
+    def build_result(
+        self,
+        video_id: str,
+        sequences: IntervalSet,
+        evaluations: tuple[CompoundEvaluation, ...],
+        final_rates: Mapping[str, float],
+        k_crit_trace: tuple[Mapping[str, int], ...],
+        stats: ExecutionStats | None,
+    ) -> CompoundResult:
+        return CompoundResult(
+            compound=self._compound,
+            video_id=video_id,
+            sequences=sequences,
+            evaluations=evaluations,
+            final_rates=dict(final_rates),
+            k_crit_trace=k_crit_trace,
+            stats=stats,
+        )

@@ -1,0 +1,85 @@
+"""Result objects of the online pipeline.
+
+Both streaming result shapes live here — :class:`OnlineResult` for
+conjunctive queries (SVAQ / SVAQD) and :class:`CompoundResult` for CNF
+queries — so that the session layer can construct them without importing
+the algorithm drivers.  ``repro.core.svaq`` and ``repro.core.compound``
+re-export them under their historical names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.context import ExecutionStats
+from repro.core.indicators import ClipEvaluation, PredicateOutcome
+from repro.core.query import CompoundQuery, Query
+from repro.utils.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Output of one streaming run: the result sequences ``P_q`` plus the
+    per-clip evaluations (used by the noise/selectivity analyses)."""
+
+    query: Query
+    video_id: str
+    sequences: IntervalSet
+    evaluations: tuple[ClipEvaluation, ...]
+    k_crit_trace: tuple[Mapping[str, int], ...] = ()
+    #: SVAQD only: the background-probability estimates when the stream
+    #: ended (diagnostics for the adaptivity experiments).
+    final_rates: Mapping[str, float] = ()
+    #: Per-stage execution counters of the run (model invocations,
+    #: short-circuit savings, probe clips, stage wall time).
+    stats: ExecutionStats | None = None
+
+    @property
+    def n_clips(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def positive_clips(self) -> int:
+        return sum(1 for ev in self.evaluations if ev.positive)
+
+    def predicate_indicator_rate(self, label: str) -> float:
+        """Fraction of evaluated clips on which a predicate's indicator
+        fired — its empirical clip-level selectivity."""
+        evaluated = fired = 0
+        for ev in self.evaluations:
+            outcome = ev.outcome(label)
+            if outcome.evaluated:
+                evaluated += 1
+                fired += int(outcome.indicator)
+        return fired / evaluated if evaluated else 0.0
+
+
+@dataclass(frozen=True)
+class CompoundEvaluation:
+    """Per-clip outcome of a compound query."""
+
+    clip_id: int
+    positive: bool
+    #: indicator per evaluated predicate label (missing = short-circuited)
+    outcomes: Mapping[str, PredicateOutcome]
+    #: truth value per clause, ``None`` when short-circuited
+    clause_values: tuple[bool | None, ...]
+
+
+@dataclass(frozen=True)
+class CompoundResult:
+    """Streaming result for a compound query."""
+
+    compound: CompoundQuery
+    video_id: str
+    sequences: IntervalSet
+    evaluations: tuple[CompoundEvaluation, ...]
+    final_rates: Mapping[str, float] = field(default_factory=dict)
+    k_crit_trace: tuple[Mapping[str, int], ...] = ()
+    #: Per-stage execution counters of the run.
+    stats: ExecutionStats | None = None
+
+    @property
+    def n_clips(self) -> int:
+        return len(self.evaluations)

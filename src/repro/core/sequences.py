@@ -73,6 +73,38 @@ class SequenceAssembler:
         """All sequences emitted so far as an interval set (``P_q``)."""
         return IntervalSet(self.closed)
 
+    # -- checkpointing -------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot: closed sequences, the open run and
+        the last clip seen — everything the merge logic depends on."""
+        return {
+            "closed": [iv.as_tuple() for iv in self.closed],
+            "run_start": self._run_start,
+            "last_clip": self._last_clip,
+            "finished": self._finished,
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict,
+        on_emit: Callable[[Interval], None] | None = None,
+    ) -> "SequenceAssembler":
+        """Rebuild an assembler from :meth:`state_dict` output.
+
+        Restored sequences are *not* re-emitted through ``on_emit``; only
+        sequences closed after the restore point fire the callback.
+        """
+        assembler = cls(on_emit=on_emit)
+        assembler.closed.extend(
+            Interval(start, end) for start, end in state["closed"]
+        )
+        assembler._run_start = state["run_start"]
+        assembler._last_clip = state["last_clip"]
+        assembler._finished = bool(state.get("finished", False))
+        return assembler
+
 
 def merge_indicators(flags: Iterable[bool], offset: int = 0) -> IntervalSet:
     """Batch Eq. 4: merge an indicator sequence into result sequences."""

@@ -1,132 +1,227 @@
-"""Resumable streaming sessions.
+"""The unified, resumable streaming session.
 
-A surveillance deployment runs SVAQD for days; the process will restart.
-:class:`SvaqdSession` is the incremental form of Algorithm 3: feed clips
-one at a time, checkpoint the complete dynamic state to a JSON-serialisable
-dict at any clip boundary, and resume later (possibly in a new process)
-with bit-identical behaviour — the resumed stream produces exactly the
-sequences the uninterrupted run would have.
+Every online algorithm in the paper — SVAQ (Alg. 1+2), SVAQD (Alg. 3) and
+the footnote-3/4 compound executor — is one conceptual pipeline::
 
-``SVAQD.run`` is a thin loop over this session; user code that owns its
-own event loop drives the session directly::
+    evaluate clip  →  update quotas  →  assemble sequences
 
-    session = SvaqdSession(zoo, query, video, config)
+:class:`StreamSession` implements that pipeline once, incrementally,
+parameterised along the two axes the algorithms actually differ on:
+
+* a **quota policy** (:mod:`repro.core.policies`) — static critical values
+  (SVAQ) or kernel-estimated dynamic ones (SVAQD);
+* a **clip predicate** (:mod:`repro.core.predicates`) — conjunctive
+  Algorithm-2 evaluation or CNF clause evaluation.
+
+``SVAQ.run``, ``SVAQD.run`` and ``CompoundOnline.run`` are thin drivers
+over this class.  Because the session is the single execution path, the
+cross-cutting machinery lives here exactly once: checkpoint/resume
+(:meth:`state_dict` / :meth:`load_state_dict`) works for *all* online
+algorithms, per-stage accounting flows into one
+:class:`~repro.core.context.ExecutionContext`, probe clips keep dynamic
+estimators fed, and the selectivity-sorted evaluation order (footnote 5)
+is computed in one place.
+
+A surveillance deployment runs for days; the process will restart.  Feed
+clips one at a time, checkpoint the complete dynamic state to a
+JSON-serialisable dict at any clip boundary, and resume later (possibly in
+a new process) with bit-identical behaviour — the resumed stream produces
+exactly the sequences the uninterrupted run would have::
+
+    session = StreamSession.for_query(zoo, query, video, config)
     while not stream.end():
         session.process(stream.next())
         if time_to_checkpoint:
             save(json.dumps(session.state_dict()))
     result = session.finish()
+
+:class:`SvaqdSession` survives as the historical name for the dynamic
+conjunctive configuration.
 """
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 from repro.core.config import OnlineConfig
-from repro.core.dynamics import QuotaManager
-from repro.core.indicators import ClipEvaluation, ClipEvaluator, PredicateOutcome
-from repro.core.query import Query
+from repro.core.context import (
+    STAGE_ASSEMBLE,
+    STAGE_EVALUATE,
+    STAGE_QUOTAS,
+    ExecutionContext,
+)
+from repro.core.indicators import ClipEvaluation
+from repro.core.policies import (
+    DynamicQuotaPolicy,
+    QuotaPolicy,
+    StaticQuotaPolicy,
+    policy_from_state_dict,
+)
+from repro.core.predicates import (
+    CnfPredicate,
+    ConjunctivePredicate,
+    cnf_label_kinds,
+)
+from repro.core.query import CompoundQuery, Query
 from repro.core.sequences import SequenceAssembler
-from repro.core.svaq import OnlineResult
 from repro.detectors.zoo import ModelZoo
 from repro.errors import ConfigurationError
-from repro.utils.intervals import Interval
 from repro.video.model import ClipView
 from repro.video.synthesis import LabeledVideo
 
-
-def _outcome_to_dict(outcome: PredicateOutcome) -> dict:
-    return {
-        "label": outcome.label,
-        "kind": outcome.kind,
-        "evaluated": outcome.evaluated,
-        "count": outcome.count,
-        "units": outcome.units,
-        "indicator": outcome.indicator,
-    }
+#: Format tag written into checkpoints; bump on incompatible changes.
+CHECKPOINT_VERSION = 2
 
 
-def _outcome_from_dict(state: dict) -> PredicateOutcome:
-    return PredicateOutcome(
-        label=state["label"],
-        kind=state["kind"],
-        evaluated=state["evaluated"],
-        count=state["count"],
-        units=state["units"],
-        indicator=state["indicator"],
-    )
-
-
-def _evaluation_to_dict(evaluation: ClipEvaluation) -> dict:
-    return {
-        "clip_id": evaluation.clip_id,
-        "positive": evaluation.positive,
-        "outcomes": [_outcome_to_dict(o) for o in evaluation.outcomes],
-    }
-
-
-def _evaluation_from_dict(state: dict) -> ClipEvaluation:
-    return ClipEvaluation(
-        clip_id=state["clip_id"],
-        positive=state["positive"],
-        outcomes=tuple(_outcome_from_dict(o) for o in state["outcomes"]),
-    )
-
-
-class SvaqdSession:
-    """Incremental SVAQD over one video stream (see module docs)."""
+class StreamSession:
+    """Incremental execution of one online query over one video stream."""
 
     def __init__(
         self,
+        video: LabeledVideo,
+        predicate: Any,
+        policy: QuotaPolicy,
+        config: OnlineConfig | None = None,
+        *,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
+    ) -> None:
+        self._video = video
+        self._predicate = predicate
+        self._policy = policy
+        self._config = config or OnlineConfig()
+        self._context = context if context is not None else ExecutionContext()
+        predicate.attach_context(self._context)
+        self._assembler = SequenceAssembler()
+        self._evaluations: list[Any] = []
+        self._pending: Any | None = None
+        self._prev_positive = False
+        self._clip_index = 0
+        self._finished = False
+        self._record_trace = record_trace
+        self._trace: list[dict[str, int]] = []
+        self._final_stats = None
+        # Selectivity statistics from probe clips (footnote 5): per label,
+        # (indicator fired, evaluations) — probes evaluate every predicate,
+        # so these rates are unbiased by the evaluation order itself.
+        self._fired: dict[str, int] = {l: 0 for l in predicate.labels}
+        self._probed: dict[str, int] = {l: 0 for l in predicate.labels}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def for_query(
+        cls,
         zoo: ModelZoo,
         query: Query,
         video: LabeledVideo,
         config: OnlineConfig | None = None,
-    ) -> None:
-        self._zoo = zoo
-        self._query = query
-        self._video = video
-        self._config = config or OnlineConfig()
-        self._evaluator = ClipEvaluator(
-            zoo, video.meta, video.truth, query, self._config
-        )
-        self._quotas = QuotaManager(
-            query.frame_level_labels,
-            query.actions,
-            video.meta.geometry,
-            self._config,
-        )
-        self._assembler = SequenceAssembler()
-        self._evaluations: list[ClipEvaluation] = []
-        self._pending: ClipEvaluation | None = None
-        self._prev_positive = False
-        self._clip_index = 0
-        self._finished = False
-        # Selectivity statistics from probe clips (footnote 5): per label,
-        # (indicator fired, evaluations) — probes evaluate every predicate,
-        # so these rates are unbiased by the evaluation order itself.
-        self._fired: dict[str, int] = {l: 0 for l in query.all_labels}
-        self._probed: dict[str, int] = {l: 0 for l in query.all_labels}
+        *,
+        dynamic: bool = True,
+        k_crit_overrides: Mapping[str, int] | None = None,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
+    ) -> "StreamSession":
+        """A session over a canonical conjunctive query.
 
-    # -- streaming --------------------------------------------------------------
+        ``dynamic=True`` is SVAQD (Algorithm 3); ``dynamic=False`` is SVAQ
+        (Algorithm 1) with critical values fixed from the configured ``p₀``
+        or pinned per label via ``k_crit_overrides``.
+        """
+        config = config or OnlineConfig()
+        predicate = ConjunctivePredicate(zoo, query, video, config)
+        policy = cls._build_policy(
+            predicate.frame_labels,
+            predicate.action_labels,
+            video,
+            config,
+            dynamic=dynamic,
+            k_crit_overrides=k_crit_overrides,
+        )
+        return cls(
+            video, predicate, policy, config,
+            record_trace=record_trace, context=context,
+        )
+
+    @classmethod
+    def for_compound(
+        cls,
+        zoo: ModelZoo,
+        compound: CompoundQuery,
+        video: LabeledVideo,
+        config: OnlineConfig | None = None,
+        *,
+        dynamic: bool = True,
+        k_crit_overrides: Mapping[str, int] | None = None,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
+    ) -> "StreamSession":
+        """A session over a CNF compound query (footnotes 3–4)."""
+        config = config or OnlineConfig()
+        predicate = CnfPredicate(zoo, compound, video, config)
+        frame_labels, action_labels = cnf_label_kinds(compound)
+        policy = cls._build_policy(
+            frame_labels, action_labels, video, config,
+            dynamic=dynamic, k_crit_overrides=k_crit_overrides,
+        )
+        return cls(
+            video, predicate, policy, config,
+            record_trace=record_trace, context=context,
+        )
+
+    @staticmethod
+    def _build_policy(
+        frame_labels,
+        action_labels,
+        video: LabeledVideo,
+        config: OnlineConfig,
+        *,
+        dynamic: bool,
+        k_crit_overrides: Mapping[str, int] | None,
+    ) -> QuotaPolicy:
+        geometry = video.meta.geometry
+        if dynamic:
+            return DynamicQuotaPolicy.from_config(
+                frame_labels, action_labels, geometry, config
+            )
+        return StaticQuotaPolicy.from_config(
+            frame_labels, action_labels, geometry, config,
+            overrides=k_crit_overrides,
+        )
+
+    # -- introspection -----------------------------------------------------------
 
     @property
     def clip_index(self) -> int:
         """Number of clips processed so far (= the next expected clip id)."""
         return self._clip_index
 
+    @property
+    def context(self) -> ExecutionContext:
+        """The execution counters this session charges its work to."""
+        return self._context
+
+    @property
+    def policy(self) -> QuotaPolicy:
+        return self._policy
+
     def quotas(self) -> dict[str, int]:
         """Current per-predicate critical values."""
-        return self._quotas.quotas()
+        return self._policy.quotas()
 
-    def evaluation_order(self) -> list[str]:
+    def evaluation_order(self) -> list[str] | None:
         """The predicate order the next clip will be evaluated in.
 
         ``config.predicate_order = "selective"`` sorts predicates by their
         empirical clip-level selectivity (ascending firing rate — the
         predicate most likely to fail first) once at least three probe
         clips have been observed; before that, and under ``"user"``, the
-        query's own order stands (footnote 5).
+        query's own order stands (footnote 5).  CNF predicates fix their
+        own clause order and return ``None``.
         """
-        user_order = [*self._query.frame_level_labels, *self._query.actions]
+        if not self._predicate.supports_ordering:
+            return None
+        user_order = list(self._predicate.labels)
         if self._config.predicate_order != "selective":
             return user_order
         if min(self._probed.values(), default=0) < 3:
@@ -143,57 +238,90 @@ class SvaqdSession:
             label: (self._fired[label] / self._probed[label])
             if self._probed[label]
             else float("nan")
-            for label in self._query.all_labels
+            for label in self._predicate.labels
         }
 
-    def process(self, clip: ClipView, *, short_circuit: bool = True) -> ClipEvaluation:
-        """Evaluate one clip and fold it into the dynamic state."""
+    # -- streaming --------------------------------------------------------------
+
+    def process(self, clip: ClipView, *, short_circuit: bool = True):
+        """Evaluate one clip and fold it into the session state."""
         if self._finished:
             raise ConfigurationError("session already finished")
         probe_every = self._config.probe_every
-        probing = probe_every > 0 and self._clip_index % probe_every == 0
-        evaluation = self._evaluator.evaluate(
-            clip.clip_id,
-            self._quotas.quotas(),
-            short_circuit=short_circuit and not probing,
-            order=self.evaluation_order(),
+        probing = (
+            self._policy.dynamic
+            and probe_every > 0
+            and self._clip_index % probe_every == 0
         )
+        quotas = self._policy.quotas()
+        if self._record_trace:
+            self._trace.append(quotas)
+        with self._context.stage(STAGE_EVALUATE):
+            evaluation = self._predicate.evaluate(
+                clip.clip_id,
+                quotas,
+                short_circuit=short_circuit and not probing,
+                order=self.evaluation_order(),
+            )
         self._clip_index += 1
+        self._context.clips_processed += 1
         if probing:
-            for outcome in evaluation.outcomes:
+            self._context.probe_clips += 1
+        outcome_map = self._predicate.outcome_map(evaluation)
+        evaluated_n = sum(1 for o in outcome_map.values() if o.evaluated)
+        self._context.predicates_evaluated += evaluated_n
+        self._context.predicates_skipped += (
+            len(self._predicate.labels) - evaluated_n
+        )
+        if probing:
+            for outcome in outcome_map.values():
                 if outcome.evaluated:
                     self._probed[outcome.label] += 1
                     self._fired[outcome.label] += int(outcome.indicator)
         self._evaluations.append(evaluation)
-        self._assembler.push(clip.clip_id, evaluation.positive)
-        if self._pending is not None:
-            self._quotas.update(
-                {o.label: o for o in self._pending.outcomes},
-                positive=self._pending.positive,
-                in_guard_band=self._prev_positive or evaluation.positive,
-            )
-            self._prev_positive = self._pending.positive
-        self._pending = evaluation
+        with self._context.stage(STAGE_ASSEMBLE):
+            emitted = self._assembler.push(clip.clip_id, evaluation.positive)
+        if emitted is not None:
+            self._context.sequences_emitted += 1
+        with self._context.stage(STAGE_QUOTAS):
+            if self._pending is not None:
+                self._policy.update(
+                    self._predicate.outcome_map(self._pending),
+                    positive=self._pending.positive,
+                    in_guard_band=self._prev_positive or evaluation.positive,
+                )
+                if self._policy.dynamic:
+                    self._context.quota_refreshes += 1
+                self._prev_positive = self._pending.positive
+            self._pending = evaluation
         return evaluation
 
-    def finish(self) -> OnlineResult:
+    def finish(self):
         """Close the stream and return the run's result."""
         if not self._finished:
-            if self._pending is not None:
-                self._quotas.update(
-                    {o.label: o for o in self._pending.outcomes},
-                    positive=self._pending.positive,
-                    in_guard_band=self._prev_positive,
-                )
-                self._pending = None
-            self._assembler.finish()
+            with self._context.stage(STAGE_QUOTAS):
+                if self._pending is not None:
+                    self._policy.update(
+                        self._predicate.outcome_map(self._pending),
+                        positive=self._pending.positive,
+                        in_guard_band=self._prev_positive,
+                    )
+                    if self._policy.dynamic:
+                        self._context.quota_refreshes += 1
+                    self._pending = None
+            with self._context.stage(STAGE_ASSEMBLE):
+                emitted = self._assembler.finish()
+            if emitted is not None:
+                self._context.sequences_emitted += 1
             self._finished = True
-        return OnlineResult(
-            query=self._query,
+            self._final_stats = self._context.snapshot()
+        return self._predicate.build_result(
             video_id=self._video.video_id,
             sequences=self._assembler.result(),
             evaluations=tuple(self._evaluations),
-            final_rates=self._quotas.rates(),
+            final_rates=self._policy.rates(),
+            k_crit_trace=tuple(self._trace) if self._record_trace else (),
+            stats=self._final_stats,
         )
 
     # -- checkpointing -------------------------------------------------------------
@@ -201,32 +329,93 @@ class SvaqdSession:
     def state_dict(self) -> dict:
         """Complete dynamic state, JSON-serialisable.
 
-        Captures everything that influences future decisions: the per-label
-        estimator states, the open result run, the guard-band lookahead and
-        the probe counter.  Already-emitted sequences are included so the
-        resumed session's final result is the full stream's.
+        Captures everything that influences future decisions: the quota
+        policy's state (estimators or static quotas), the open result run,
+        the guard-band lookahead and the probe counter.  Already-emitted
+        sequences are included so the resumed session's final result is
+        the full stream's.
         """
         if self._finished:
             raise ConfigurationError("cannot checkpoint a finished session")
         return {
+            "version": CHECKPOINT_VERSION,
             "clip_index": self._clip_index,
             "prev_positive": self._prev_positive,
             "pending": (
-                _evaluation_to_dict(self._pending)
+                self._predicate.evaluation_to_dict(self._pending)
                 if self._pending is not None
                 else None
             ),
-            "estimators": {
-                label: self._quotas.tracker(label).estimator.state_dict()
-                for label in self._query.all_labels
-            },
-            "assembler": {
-                "closed": [iv.as_tuple() for iv in self._assembler.closed],
-                "run_start": self._assembler._run_start,
-                "last_clip": self._assembler._last_clip,
-            },
+            "policy": self._policy.state_dict(),
+            "assembler": self._assembler.state_dict(),
             "selectivity": {"fired": self._fired, "probed": self._probed},
+            "trace": list(self._trace),
         }
+
+    def load_state_dict(self, state: dict) -> "StreamSession":
+        """Restore the dynamic state captured by :meth:`state_dict`.
+
+        The deterministic components (models, video, query, config) are
+        reconstructed by the caller — build the session exactly as the
+        checkpointed one was built, then load.  Returns ``self``.
+        """
+        self._clip_index = int(state["clip_index"])
+        self._prev_positive = bool(state["prev_positive"])
+        pending = state.get("pending")
+        self._pending = (
+            self._predicate.evaluation_from_dict(pending)
+            if pending is not None
+            else None
+        )
+        if "policy" in state:
+            policy_state = state["policy"]
+        else:
+            # v1 checkpoints (SVAQD only) stored bare estimator states.
+            policy_state = {"kind": "dynamic", "estimators": state["estimators"]}
+        self._policy = policy_from_state_dict(policy_state, self._policy)
+        self._assembler = SequenceAssembler.from_state_dict(state["assembler"])
+        selectivity = state.get("selectivity", {})
+        self._fired.update(selectivity.get("fired", {}))
+        self._probed.update(selectivity.get("probed", {}))
+        self._trace = [
+            {label: int(k) for label, k in entry.items()}
+            for entry in state.get("trace", [])
+        ]
+        return self
+
+
+class SvaqdSession(StreamSession):
+    """Incremental SVAQD over one video stream — the historical name for
+    ``StreamSession.for_query(..., dynamic=True)``, kept for its
+    positional ``(zoo, query, video, config)`` constructor."""
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        query: Query,
+        video: LabeledVideo,
+        config: OnlineConfig | None = None,
+        *,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
+    ) -> None:
+        config = config or OnlineConfig()
+        predicate = ConjunctivePredicate(zoo, query, video, config)
+        policy = DynamicQuotaPolicy.from_config(
+            predicate.frame_labels,
+            predicate.action_labels,
+            video.meta.geometry,
+            config,
+        )
+        super().__init__(
+            video, predicate, policy, config,
+            record_trace=record_trace, context=context,
+        )
+
+    def process(
+        self, clip: ClipView, *, short_circuit: bool = True
+    ) -> ClipEvaluation:
+        return super().process(clip, short_circuit=short_circuit)
 
     @classmethod
     def from_state_dict(
@@ -237,34 +426,7 @@ class SvaqdSession:
         video: LabeledVideo,
         config: OnlineConfig | None = None,
     ) -> "SvaqdSession":
-        """Rebuild a session from :meth:`state_dict` output.
-
-        The deterministic components (models, video, query, config) are
-        reconstructed by the caller; this restores the dynamic state on
-        top of them.
-        """
-        from repro.scanstats.kernel import KernelRateEstimator
-
+        """Rebuild a session from :meth:`StreamSession.state_dict` output."""
         session = cls(zoo, query, video, config)
-        session._clip_index = int(state["clip_index"])
-        session._prev_positive = bool(state["prev_positive"])
-        pending = state["pending"]
-        session._pending = (
-            _evaluation_from_dict(pending) if pending is not None else None
-        )
-        for label, estimator_state in state["estimators"].items():
-            tracker = session._quotas.tracker(label)
-            tracker.estimator = KernelRateEstimator.from_state_dict(
-                estimator_state
-            )
-            tracker.refresh()
-        assembler_state = state["assembler"]
-        session._assembler.closed.extend(
-            Interval(start, end) for start, end in assembler_state["closed"]
-        )
-        session._assembler._run_start = assembler_state["run_start"]
-        session._assembler._last_clip = assembler_state["last_clip"]
-        selectivity = state.get("selectivity", {})
-        session._fired.update(selectivity.get("fired", {}))
-        session._probed.update(selectivity.get("probed", {}))
+        session.load_state_dict(state)
         return session

@@ -6,6 +6,10 @@ background probability (Eq. 5) and evaluates every incoming clip with
 Algorithm 2, merging positive clips into result sequences (Eq. 4).  Its
 accuracy therefore depends on how well the assumed ``p₀`` matches the
 stream — the sensitivity the paper's Figure 2 quantifies and SVAQD removes.
+
+Execution is delegated to the unified :class:`repro.core.session.StreamSession`
+with a :class:`repro.core.policies.StaticQuotaPolicy`; ``SVAQ.run`` is a
+thin stream-driving loop over it.
 """
 
 from __future__ import annotations
@@ -14,48 +18,16 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.config import OnlineConfig
-from repro.core.indicators import ClipEvaluation, ClipEvaluator
+from repro.core.context import ExecutionContext
+from repro.core.policies import derive_static_quotas
 from repro.core.query import Query
-from repro.core.sequences import SequenceAssembler
+from repro.core.results import OnlineResult
+from repro.core.session import StreamSession
 from repro.detectors.zoo import ModelZoo
-from repro.scanstats.critical import critical_value
-from repro.utils.intervals import IntervalSet
 from repro.video.stream import ClipStream
 from repro.video.synthesis import LabeledVideo
 
-
-@dataclass(frozen=True)
-class OnlineResult:
-    """Output of one streaming run: the result sequences ``P_q`` plus the
-    per-clip evaluations (used by the noise/selectivity analyses)."""
-
-    query: Query
-    video_id: str
-    sequences: IntervalSet
-    evaluations: tuple[ClipEvaluation, ...]
-    k_crit_trace: tuple[Mapping[str, int], ...] = ()
-    #: SVAQD only: the background-probability estimates when the stream
-    #: ended (diagnostics for the adaptivity experiments).
-    final_rates: Mapping[str, float] = ()
-
-    @property
-    def n_clips(self) -> int:
-        return len(self.evaluations)
-
-    @property
-    def positive_clips(self) -> int:
-        return sum(1 for ev in self.evaluations if ev.positive)
-
-    def predicate_indicator_rate(self, label: str) -> float:
-        """Fraction of evaluated clips on which a predicate's indicator
-        fired — its empirical clip-level selectivity."""
-        evaluated = fired = 0
-        for ev in self.evaluations:
-            outcome = ev.outcome(label)
-            if outcome.evaluated:
-                evaluated += 1
-                fired += int(outcome.indicator)
-        return fired / evaluated if evaluated else 0.0
+__all__ = ["SVAQ", "OnlineResult"]
 
 
 @dataclass
@@ -64,8 +36,8 @@ class SVAQ:
 
     ``k_crit_overrides`` lets callers pin critical values per label
     (Algorithm 1 allows "each [predicate] may have its own initial
-    values"); otherwise they derive from ``config.object_p0`` /
-    ``config.action_p0`` via Eq. 5.
+    values") — including an explicit ``0`` to disable a quota; otherwise
+    they derive from ``config.object_p0`` / ``config.action_p0`` via Eq. 5.
     """
 
     zoo: ModelZoo
@@ -75,27 +47,32 @@ class SVAQ:
 
     def initial_critical_values(self, video_geometry) -> dict[str, int]:
         """``k_crit_o_init`` / ``k_crit_a_init`` for every predicate."""
-        frames_per_clip = video_geometry.frames_per_clip
-        shots_per_clip = video_geometry.shots_per_clip
-        shot_horizon = max(
-            shots_per_clip, self.config.horizon_ou // video_geometry.frames_per_shot
+        return derive_static_quotas(
+            self.query.frame_level_labels,
+            self.query.actions,
+            video_geometry,
+            self.config,
+            overrides=self.k_crit_overrides,
         )
-        values: dict[str, int] = {}
-        for label in self.query.frame_level_labels:
-            values[label] = self.k_crit_overrides.get(label) or critical_value(
-                self.config.object_p0,
-                frames_per_clip,
-                self.config.horizon_ou,
-                self.config.alpha,
-            )
-        for label in self.query.actions:
-            values[label] = self.k_crit_overrides.get(label) or critical_value(
-                self.config.action_p0,
-                shots_per_clip,
-                shot_horizon,
-                self.config.alpha,
-            )
-        return values
+
+    def session(
+        self,
+        video: LabeledVideo,
+        *,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
+    ) -> StreamSession:
+        """An incremental (checkpointable) session for one stream."""
+        return StreamSession.for_query(
+            self.zoo,
+            self.query,
+            video,
+            self.config,
+            dynamic=False,
+            k_crit_overrides=self.k_crit_overrides,
+            record_trace=record_trace,
+            context=context,
+        )
 
     def run(
         self,
@@ -103,26 +80,11 @@ class SVAQ:
         *,
         stream: ClipStream | None = None,
         short_circuit: bool = True,
+        context: ExecutionContext | None = None,
     ) -> OnlineResult:
         """Process a stream and return the result sequences (Eq. 4)."""
-        evaluator = ClipEvaluator(
-            self.zoo, video.meta, video.truth, self.query, self.config
-        )
-        k_crit = self.initial_critical_values(video.meta.geometry)
+        session = self.session(video, context=context)
         clips = stream if stream is not None else ClipStream(video.meta)
-        assembler = SequenceAssembler()
-        evaluations: list[ClipEvaluation] = []
         while not clips.end():
-            clip = clips.next()
-            evaluation = evaluator.evaluate(
-                clip.clip_id, k_crit, short_circuit=short_circuit
-            )
-            evaluations.append(evaluation)
-            assembler.push(clip.clip_id, evaluation.positive)
-        assembler.finish()
-        return OnlineResult(
-            query=self.query,
-            video_id=video.video_id,
-            sequences=assembler.result(),
-            evaluations=tuple(evaluations),
-        )
+            session.process(clips.next(), short_circuit=short_circuit)
+        return session.finish()

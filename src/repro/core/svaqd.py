@@ -20,21 +20,26 @@ Three implementation decisions the paper leaves open, all configurable via
 * the lenient background quota (``alpha_background``) separating "null"
   from "gray-zone" clips.
 
-The quota machinery itself lives in :mod:`repro.core.dynamics` and is
-shared with the compound-query executor.
+The quota machinery lives in :mod:`repro.core.dynamics` behind
+:class:`repro.core.policies.DynamicQuotaPolicy`; execution is the unified
+:class:`repro.core.session.StreamSession`, shared with SVAQ and the
+compound-query executor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.core.config import OnlineConfig
+from repro.core.context import ExecutionContext
 from repro.core.query import Query
-from repro.core.svaq import OnlineResult
+from repro.core.results import OnlineResult
+from repro.core.session import StreamSession
 from repro.detectors.zoo import ModelZoo
 from repro.video.stream import ClipStream
 from repro.video.synthesis import LabeledVideo
+
+__all__ = ["SVAQD"]
 
 
 @dataclass
@@ -45,6 +50,24 @@ class SVAQD:
     query: Query
     config: OnlineConfig = field(default_factory=OnlineConfig)
 
+    def session(
+        self,
+        video: LabeledVideo,
+        *,
+        record_trace: bool = False,
+        context: ExecutionContext | None = None,
+    ) -> StreamSession:
+        """An incremental (checkpointable) session for one stream."""
+        return StreamSession.for_query(
+            self.zoo,
+            self.query,
+            video,
+            self.config,
+            dynamic=True,
+            record_trace=record_trace,
+            context=context,
+        )
+
     def run(
         self,
         video: LabeledVideo,
@@ -52,6 +75,7 @@ class SVAQD:
         stream: ClipStream | None = None,
         short_circuit: bool = True,
         record_trace: bool = False,
+        context: ExecutionContext | None = None,
     ) -> OnlineResult:
         """Process a stream with dynamic parameter adjustment.
 
@@ -59,24 +83,10 @@ class SVAQD:
         clip (used by the adaptivity experiments); it costs memory
         proportional to the number of clips.
         """
-        from repro.core.session import SvaqdSession
-
-        session = SvaqdSession(self.zoo, self.query, video, self.config)
+        session = self.session(
+            video, record_trace=record_trace, context=context
+        )
         clips = stream if stream is not None else ClipStream(video.meta)
-        trace: list[Mapping[str, int]] = []
         while not clips.end():
-            clip = clips.next()
-            if record_trace:
-                trace.append(session.quotas())
-            session.process(clip, short_circuit=short_circuit)
-        result = session.finish()
-        if record_trace:
-            result = OnlineResult(
-                query=result.query,
-                video_id=result.video_id,
-                sequences=result.sequences,
-                evaluations=result.evaluations,
-                k_crit_trace=tuple(trace),
-                final_rates=result.final_rates,
-            )
-        return result
+            session.process(clips.next(), short_circuit=short_circuit)
+        return session.finish()

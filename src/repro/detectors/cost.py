@@ -9,40 +9,54 @@ the same inference/algorithm split the paper does.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 
 @dataclass
 class CostMeter:
-    """Accumulates simulated inference milliseconds per model."""
+    """Accumulates simulated inference milliseconds per model.
+
+    Recording is guarded by a lock so one meter can be shared by the
+    thread-pool executor of :meth:`repro.core.engine.OnlineEngine.run_many`
+    without losing charges to read-modify-write races.
+    """
 
     _ms: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     _units: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, model: str, units: int, ms_per_unit: float) -> None:
         """Charge ``units`` inferences of ``model`` at ``ms_per_unit``."""
         if units < 0:
             raise ValueError(f"units must be >= 0; got {units}")
-        self._ms[model] += units * ms_per_unit
-        self._units[model] += units
+        with self._lock:
+            self._ms[model] += units * ms_per_unit
+            self._units[model] += units
 
     def ms(self, model: str | None = None) -> float:
         """Accumulated milliseconds for one model (or all models)."""
-        if model is not None:
-            return self._ms.get(model, 0.0)
-        return sum(self._ms.values())
+        with self._lock:
+            if model is not None:
+                return self._ms.get(model, 0.0)
+            return sum(self._ms.values())
 
     def units(self, model: str | None = None) -> int:
         """Accumulated inference invocations."""
-        if model is not None:
-            return self._units.get(model, 0)
-        return sum(self._units.values())
+        with self._lock:
+            if model is not None:
+                return self._units.get(model, 0)
+            return sum(self._units.values())
 
     def breakdown(self) -> dict[str, float]:
         """Milliseconds per model, for reporting."""
-        return dict(self._ms)
+        with self._lock:
+            return dict(self._ms)
 
     def reset(self) -> None:
-        self._ms.clear()
-        self._units.clear()
+        with self._lock:
+            self._ms.clear()
+            self._units.clear()

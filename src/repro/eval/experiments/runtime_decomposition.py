@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.config import OnlineConfig
+from repro.core.context import ExecutionContext, ExecutionStats
 from repro.core.query import Query
 from repro.detectors.zoo import default_zoo
 from repro.eval.endtoend import EndToEndCostModel, RuntimeDecomposition, decompose_runtime
@@ -32,6 +33,7 @@ class RuntimeResult:
     svaqd_total_minutes: float
     endtoend_minutes: float
     endtoend_f1: float
+    stats: ExecutionStats | None = None
 
     @property
     def endtoend_slowdown(self) -> float:
@@ -47,6 +49,17 @@ class RuntimeResult:
             ("End-to-end F1", self.endtoend_f1),
             ("End-to-end slowdown", self.endtoend_slowdown),
         ]
+        if self.stats is not None:
+            rows += [
+                ("Clips processed", self.stats.clips_processed),
+                ("Model invocations", self.stats.model_invocations),
+                ("Predicates evaluated", self.stats.predicates_evaluated),
+                ("Predicates skipped", self.stats.predicates_skipped),
+                ("Short-circuit savings", self.stats.short_circuit_savings),
+                ("Quota refreshes", self.stats.quota_refreshes),
+            ]
+            for stage, seconds in self.stats.stage_wall_s.items():
+                rows.append((f"Stage wall: {stage} (s)", seconds))
         return render_table(
             ["quantity", "value"], rows,
             title="Runtime decomposition (q1) and end-to-end comparison",
@@ -58,8 +71,11 @@ def run(seed: int = 0, scale: float = 0.15) -> RuntimeResult:
     zoo = default_zoo(seed=seed)
     videos = build_youtube_set(youtube_set_by_id("q1"), seed, scale).videos
     zoo.cost_meter.reset()
+    context = ExecutionContext()
     wall_start = time.perf_counter()
-    runs = run_query_over_videos("svaqd", zoo, QUERY, videos, OnlineConfig())
+    runs = run_query_over_videos(
+        "svaqd", zoo, QUERY, videos, OnlineConfig(), context=context
+    )
     algorithm_wall = time.perf_counter() - wall_start
 
     decomposition = decompose_runtime(zoo.cost_meter, algorithm_wall)
@@ -72,4 +88,5 @@ def run(seed: int = 0, scale: float = 0.15) -> RuntimeResult:
         svaqd_total_minutes=decomposition.total_ms / 60000,
         endtoend_minutes=model.query_cost_minutes(n_shots),
         endtoend_f1=model.fused_f1(svaqd_f1),
+        stats=context.snapshot(),
     )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core.config import OnlineConfig
+from repro.core.context import ExecutionContext
 from repro.core.query import Query
 from repro.core.svaq import SVAQ, OnlineResult
 from repro.core.svaqd import SVAQD
@@ -58,13 +59,21 @@ def run_query_over_videos(
     query: Query,
     videos: Iterable[LabeledVideo],
     config: OnlineConfig | None = None,
+    *,
+    context: ExecutionContext | None = None,
 ) -> list[QueryRun]:
-    """Run one streaming algorithm over a collection of videos."""
+    """Run one streaming algorithm over a collection of videos.
+
+    Pass a shared ``context`` to accumulate execution counters across the
+    whole set (the runtime-decomposition experiment does).
+    """
     config = config or OnlineConfig()
     runs: list[QueryRun] = []
     for video in videos:
         truth = ground_truth_clips(video, query)
-        result = online_algorithm(algorithm, zoo, query, config).run(video)
+        result = online_algorithm(algorithm, zoo, query, config).run(
+            video, context=context
+        )
         runs.append(
             QueryRun(
                 video_id=video.video_id,

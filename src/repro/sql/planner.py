@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.context import ExecutionContext
 from repro.core.engine import OfflineEngine, OnlineEngine
 from repro.core.query import CompoundQuery, Query
 from repro.core.rvaq import TopKResult
@@ -37,16 +38,26 @@ class Plan:
     video: str
 
     def execute_online(
-        self, engine: OnlineEngine, video: LabeledVideo, algorithm: str = "svaqd"
+        self,
+        engine: OnlineEngine,
+        video: LabeledVideo,
+        algorithm: str = "svaqd",
+        *,
+        context: ExecutionContext | None = None,
     ):
         """Run an online plan; OR queries execute through the compound
-        (CNF) engine and return its :class:`CompoundResult`."""
+        (CNF) engine and return its :class:`CompoundResult`.  ``context``
+        collects per-stage execution counters across the run."""
         if self.mode != "online":
             raise PlanningError("plan is offline; use execute_offline")
         if self.query is not None:
-            return engine.run(self.query, video, algorithm=algorithm)
+            return engine.run(
+                self.query, video, algorithm=algorithm, context=context
+            )
         assert self.compound is not None
-        return engine.run_compound(self.compound, video, algorithm=algorithm)
+        return engine.run_compound(
+            self.compound, video, algorithm=algorithm, context=context
+        )
 
     def execute_offline(
         self, engine: OfflineEngine, algorithm: str = "rvaq"

@@ -6,9 +6,11 @@ import json
 
 import pytest
 
+from repro.core.compound import CompoundOnline
 from repro.core.config import OnlineConfig
-from repro.core.query import Query
-from repro.core.session import SvaqdSession
+from repro.core.query import CompoundQuery, Query
+from repro.core.session import StreamSession, SvaqdSession
+from repro.core.svaq import SVAQ
 from repro.core.svaqd import SVAQD
 from repro.errors import ConfigurationError
 from repro.video.stream import ClipStream
@@ -61,6 +63,113 @@ class TestCheckpointEquivalence:
             session.process(stream.next())
         encoded = json.dumps(session.state_dict())
         assert json.loads(encoded)["clip_index"] == 5
+
+
+class TestStaticCheckpointEquivalence:
+    """Checkpoint/resume is a session feature, not an SVAQD feature: the
+    static (SVAQ) configuration must round-trip identically too."""
+
+    def _split_run(self, zoo, split_at: int):
+        stream = ClipStream(VIDEO.meta)
+        first = StreamSession.for_query(
+            zoo, QUERY, VIDEO, OnlineConfig(), dynamic=False
+        )
+        for _ in range(split_at):
+            first.process(stream.next())
+        state = json.loads(json.dumps(first.state_dict()))
+        resumed = StreamSession.for_query(
+            zoo, QUERY, VIDEO, OnlineConfig(), dynamic=False
+        ).load_state_dict(state)
+        while not stream.end():
+            resumed.process(stream.next())
+        return resumed.finish()
+
+    @pytest.mark.parametrize("split_at", [1, 25, 60])
+    def test_resumed_svaq_is_bit_identical(self, zoo, split_at):
+        full = SVAQ(zoo, QUERY, OnlineConfig()).run(VIDEO)
+        split = self._split_run(zoo, split_at)
+        assert split.sequences == full.sequences
+        # The resumed session evaluates only the tail of the stream.
+        assert [e.positive for e in split.evaluations] == [
+            e.positive for e in full.evaluations[split_at:]
+        ]
+
+    def test_static_policy_state_has_no_estimators(self, zoo):
+        session = StreamSession.for_query(
+            zoo, QUERY, VIDEO, OnlineConfig(), dynamic=False
+        )
+        state = session.state_dict()
+        assert state["policy"]["kind"] == "static"
+        assert "estimators" not in state["policy"]
+
+    def test_static_state_rejected_by_dynamic_session(self, zoo):
+        static = StreamSession.for_query(
+            zoo, QUERY, VIDEO, OnlineConfig(), dynamic=False
+        )
+        state = static.state_dict()
+        dynamic = SvaqdSession(zoo, QUERY, VIDEO, OnlineConfig())
+        with pytest.raises(ConfigurationError):
+            dynamic.load_state_dict(state)
+
+
+class TestCompoundCheckpointEquivalence:
+    COMPOUND = CompoundQuery.disjunction(
+        [
+            Query(objects=["faucet"], action="washing dishes"),
+            Query(action="washing dishes"),
+        ]
+    )
+
+    @pytest.mark.parametrize("split_at", [3, 30])
+    def test_resumed_compound_is_bit_identical(self, zoo, split_at):
+        full = CompoundOnline(zoo, self.COMPOUND, OnlineConfig()).run(VIDEO)
+        stream = ClipStream(VIDEO.meta)
+        first = StreamSession.for_compound(
+            zoo, self.COMPOUND, VIDEO, OnlineConfig()
+        )
+        for _ in range(split_at):
+            first.process(stream.next())
+        state = json.loads(json.dumps(first.state_dict()))
+        resumed = StreamSession.for_compound(
+            zoo, self.COMPOUND, VIDEO, OnlineConfig()
+        ).load_state_dict(state)
+        while not stream.end():
+            resumed.process(stream.next())
+        split = resumed.finish()
+        assert split.sequences == full.sequences
+        assert split.final_rates == pytest.approx(full.final_rates)
+
+
+class TestLegacyCheckpoints:
+    def test_v1_estimator_only_state_still_loads(self, zoo):
+        """Pre-versioning checkpoints stored bare estimator states."""
+        stream = ClipStream(VIDEO.meta)
+        session = SvaqdSession(zoo, QUERY, VIDEO, OnlineConfig())
+        for _ in range(12):
+            session.process(stream.next())
+        state = session.state_dict()
+        legacy = {
+            "clip_index": state["clip_index"],
+            "prev_positive": state["prev_positive"],
+            "pending": state["pending"],
+            "estimators": {
+                label: entry["state"]
+                for label, entry in state["policy"]["estimators"].items()
+            },
+            "assembler": {
+                key: value
+                for key, value in state["assembler"].items()
+                if key != "finished"
+            },
+        }
+        legacy = json.loads(json.dumps(legacy))
+        resumed = SvaqdSession.from_state_dict(
+            legacy, zoo, QUERY, VIDEO, OnlineConfig()
+        )
+        while not stream.end():
+            resumed.process(stream.next())
+        full = run_full(zoo)
+        assert resumed.finish().sequences == full.sequences
 
 
 class TestSessionLifecycle:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import OnlineConfig
 from repro.core.query import Query
 from repro.core.svaq import SVAQ
@@ -88,6 +86,16 @@ class TestMechanics:
         values = algo.initial_critical_values(VIDEO.meta.geometry)
         assert values["faucet"] == 49
         assert values["washing dishes"] == 5
+
+    def test_k_crit_override_zero_is_honored(self, zoo):
+        # Regression: an explicit 0 used to fall through to the Eq. 5
+        # default because the override lookup treated 0 as missing.
+        algo = SVAQ(
+            zoo, QUERY, OnlineConfig(), k_crit_overrides={"faucet": 0}
+        )
+        values = algo.initial_critical_values(VIDEO.meta.geometry)
+        assert values["faucet"] == 0
+        assert values["washing dishes"] >= 1
 
     def test_bounded_stream(self, zoo):
         stream = ClipStream(VIDEO.meta, start_clip=0, stop_clip=20)

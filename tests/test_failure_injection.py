@@ -12,7 +12,6 @@ import pytest
 from repro.core.config import OnlineConfig
 from repro.core.query import Query
 from repro.core.svaqd import SVAQD
-from repro.detectors.zoo import default_zoo
 from repro.errors import ConfigurationError
 from repro.eval.metrics import match_sequences
 from repro.utils.intervals import IntervalSet
