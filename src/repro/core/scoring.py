@@ -28,6 +28,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -76,6 +78,49 @@ class ScoringScheme(ABC):
             total = self.combine(total, score)
         return total
 
+    # -- vectorised kernels ----------------------------------------------------------
+    #
+    # The offline hot path (RVAQ's bound refresh, TBClip's access rounds)
+    # applies ``g`` and the ⊙/repeat pair to whole NumPy columns at once.
+    # The defaults below delegate elementwise to the scalar operations, so
+    # any scheme stays correct (and bit-identical to the scalar path)
+    # without overriding anything; the built-in schemes override them with
+    # true array arithmetic, which is where the speedup comes from.  An
+    # override must perform the *same IEEE operations per element* as its
+    # scalar counterpart so vectorised and scalar executions agree bitwise.
+
+    def clip_score_block(
+        self, action_scores: np.ndarray, object_scores: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """``g`` over aligned score columns: element ``i`` combines
+        ``action_scores[i]`` with ``[col[i] for col in object_scores]``."""
+        return np.fromiter(
+            (
+                self.clip_score(
+                    float(action), [float(col[i]) for col in object_scores]
+                )
+                for i, action in enumerate(action_scores)
+            ),
+            dtype=np.float64,
+            count=len(action_scores),
+        )
+
+    def combine_block(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Elementwise ⊙ over two aligned columns."""
+        return np.fromiter(
+            (self.combine(float(a), float(b)) for a, b in zip(left, right)),
+            dtype=np.float64,
+            count=len(left),
+        )
+
+    def repeat_block(self, clip_score: float, times: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`repeat` of one score against a count column."""
+        return np.fromiter(
+            (self.repeat(clip_score, int(t)) for t in times),
+            dtype=np.float64,
+            count=len(times),
+        )
+
 
 class PaperScoring(ScoringScheme):
     """The additive/multiplicative instantiation of §5 (see module docs)."""
@@ -108,6 +153,34 @@ class PaperScoring(ScoringScheme):
     def repeat(self, clip_score: float, times: int) -> float:
         if times < 0:
             raise ConfigurationError(f"repeat times must be >= 0; got {times}")
+        return clip_score * times
+
+    # vectorised kernels: identical IEEE ops per element as the scalar path
+
+    def clip_score_block(
+        self, action_scores: np.ndarray, object_scores: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        action_scores = np.asarray(action_scores, dtype=np.float64)
+        if (action_scores < 0).any() or any(
+            (np.asarray(col) < 0).any() for col in object_scores
+        ):
+            raise ConfigurationError(
+                "PaperScoring expects non-negative predicate scores"
+            )
+        if not object_scores:
+            return action_scores.copy()
+        # Left-to-right accumulation matches the scalar ``sum(...)`` order.
+        acc = np.asarray(object_scores[0], dtype=np.float64)
+        for col in object_scores[1:]:
+            acc = acc + col
+        return action_scores * acc
+
+    def combine_block(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return left + right
+
+    def repeat_block(self, clip_score: float, times: np.ndarray) -> np.ndarray:
+        if (times < 0).any():
+            raise ConfigurationError("repeat times must be >= 0")
         return clip_score * times
 
 
@@ -143,3 +216,24 @@ class MaxScoring(ScoringScheme):
         if times < 0:
             raise ConfigurationError(f"repeat times must be >= 0; got {times}")
         return clip_score if times > 0 else 0.0
+
+    # vectorised kernels: identical IEEE ops per element as the scalar path
+
+    def clip_score_block(
+        self, action_scores: np.ndarray, object_scores: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        action_scores = np.asarray(action_scores, dtype=np.float64)
+        if not object_scores:
+            return action_scores.copy()
+        acc = np.asarray(object_scores[0], dtype=np.float64)
+        for col in object_scores[1:]:
+            acc = np.maximum(acc, col)
+        return action_scores * acc
+
+    def combine_block(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return np.maximum(left, right)
+
+    def repeat_block(self, clip_score: float, times: np.ndarray) -> np.ndarray:
+        if (times < 0).any():
+            raise ConfigurationError("repeat times must be >= 0")
+        return np.where(times > 0, clip_score, 0.0)

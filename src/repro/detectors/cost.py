@@ -60,3 +60,33 @@ class CostMeter:
         with self._lock:
             self._ms.clear()
             self._units.clear()
+
+    def merge(self, other: "CostMeter") -> None:
+        """Fold another meter's charges into this one.
+
+        The merge half of the fork/merge pattern the parallel executors
+        use (:meth:`repro.detectors.zoo.ModelZoo.fork`): workers charge a
+        private meter, and the shared meter absorbs each worker's total
+        once at the end instead of taking the lock per inference.
+        """
+        with other._lock:
+            ms = dict(other._ms)
+            units = dict(other._units)
+        with self._lock:
+            for model, value in ms.items():
+                self._ms[model] += value
+            for model, value in units.items():
+                self._units[model] += value
+
+    # The lock is an implementation detail — drop it when pickling (for
+    # process-pool workers) and rebuild it on restore.  ``copy.deepcopy``
+    # goes through the same hooks, which is what makes forked zoos cheap.
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"_ms": dict(self._ms), "_units": dict(self._units)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._ms = defaultdict(float, state["_ms"])
+        self._units = defaultdict(int, state["_units"])
+        self._lock = threading.Lock()

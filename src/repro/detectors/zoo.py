@@ -7,6 +7,7 @@ Ideal, Table 4); :class:`ModelZoo` packages that.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from repro.detectors.cost import CostMeter
@@ -40,6 +41,19 @@ class ModelZoo:
     @property
     def description(self) -> str:
         return f"{self.detector.name}+{self.recognizer.name}+{self.tracker.name}"
+
+    def fork(self) -> "ModelZoo":
+        """A clone of this line-up with a fresh, zeroed cost meter.
+
+        The simulated models are deterministic functions of their profile
+        and seed, so a fork scores identically to the original; only the
+        cost accounting is private.  Parallel executors fork one zoo per
+        worker and fold the charges back with :meth:`CostMeter.merge`,
+        avoiding cross-worker races on the shared meter.
+        """
+        clone = copy.deepcopy(self)
+        clone.cost_meter.reset()
+        return clone
 
 
 def build_zoo(

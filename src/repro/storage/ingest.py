@@ -16,7 +16,7 @@ models support:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Literal, Mapping, Sequence
 
 import numpy as np
 
@@ -146,3 +146,107 @@ def _label_sequences(
     """Individual sequences for one label: SVAQD over the whole video."""
     result = SVAQD(zoo, query, config).run(video)
     return result.sequences
+
+
+IngestExecutor = Literal["serial", "thread", "process"]
+
+
+def _ingest_task(
+    video: LabeledVideo,
+    zoo: ModelZoo,
+    object_labels: Sequence[str],
+    action_labels: Sequence[str],
+    scoring: ScoringScheme | None,
+    config: OnlineConfig | None,
+):
+    """Process-pool entry point: run one ingestion on a private (pickled)
+    zoo and ship the ingest plus the worker-side cost charges back."""
+    ingest = ingest_video(
+        video, zoo, object_labels, action_labels, scoring, config
+    )
+    return ingest, zoo.cost_meter
+
+
+def ingest_many(
+    videos: Iterable[LabeledVideo],
+    zoo: ModelZoo,
+    object_labels: Sequence[str],
+    action_labels: Sequence[str],
+    scoring: ScoringScheme | None = None,
+    config: OnlineConfig | None = None,
+    *,
+    executor: IngestExecutor = "serial",
+    max_workers: int | None = None,
+) -> list[VideoIngest]:
+    """Run the ingestion phase over many videos, optionally in parallel.
+
+    Ingestion is embarrassingly parallel across videos — each video's
+    metadata depends only on that video and the (deterministic) models —
+    so this reuses the executor pattern of
+    :meth:`repro.core.engine.OnlineEngine.run_many`:
+
+    * ``"serial"`` — one video after another on the shared zoo;
+    * ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+      over per-worker zoo forks (overlaps the NumPy portions, which
+      release the GIL);
+    * ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`,
+      sidestepping the GIL for the pure-Python SVAQD sweeps; videos, the
+      forked zoos and the resulting ingests cross the process boundary by
+      pickling.
+
+    Every executor yields identical :class:`VideoIngest` results in the
+    input order (the models are deterministic), and the parallel ones fold
+    their workers' inference charges back into ``zoo.cost_meter``, so
+    per-video ``ingest_cost_ms`` and the shared meter totals match the
+    serial run exactly.
+    """
+    videos = list(videos)
+    if executor == "serial":
+        return [
+            ingest_video(
+                video, zoo, object_labels, action_labels, scoring, config
+            )
+            for video in videos
+        ]
+    if executor == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        forks = [zoo.fork() for _ in videos]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    ingest_video,
+                    video,
+                    fork,
+                    object_labels,
+                    action_labels,
+                    scoring,
+                    config,
+                )
+                for video, fork in zip(videos, forks)
+            ]
+            results = [future.result() for future in futures]
+        for fork in forks:
+            zoo.cost_meter.merge(fork.cost_meter)
+        return results
+    if executor == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _ingest_task,
+                    video,
+                    zoo.fork(),
+                    object_labels,
+                    action_labels,
+                    scoring,
+                    config,
+                )
+                for video in videos
+            ]
+            shipped = [future.result() for future in futures]
+        for _, meter in shipped:
+            zoo.cost_meter.merge(meter)
+        return [ingest for ingest, _ in shipped]
+    raise IngestError(f"unknown ingest executor {executor!r}")

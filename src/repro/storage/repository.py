@@ -20,6 +20,7 @@ ingested metadata (not the synthetic videos) through ``.npz`` + JSON files.
 from __future__ import annotations
 
 import json
+from bisect import bisect_right
 from pathlib import Path
 
 import numpy as np
@@ -42,6 +43,10 @@ class VideoRepository:
         self._next_offset = 0
         self._table_cache: dict[str, ClipScoreTable] = {}
         self._sequence_cache: dict[str, IntervalSet] = {}
+        #: Parallel sorted lists ``(offsets, video_ids)`` backing the
+        #: binary-searched :meth:`to_local`; rebuilt lazily after
+        #: membership changes.
+        self._offset_index: tuple[list[int], list[str]] | None = None
 
     # -- membership -------------------------------------------------------------
 
@@ -65,6 +70,7 @@ class VideoRepository:
     def _invalidate(self) -> None:
         self._table_cache.clear()
         self._sequence_cache.clear()
+        self._offset_index = None
 
     @property
     def video_ids(self) -> tuple[str, ...]:
@@ -102,11 +108,25 @@ class VideoRepository:
         return self.offset_of(video_id) + clip_id
 
     def to_local(self, global_cid: int) -> tuple[str, int]:
-        """Map a global clip id back to ``(video_id, clip_id)``."""
-        for video_id, offset in self._offsets.items():
-            n = self._ingests[video_id].n_clips
-            if offset <= global_cid < offset + n:
-                return video_id, global_cid - offset
+        """Map a global clip id back to ``(video_id, clip_id)``.
+
+        Binary search over the sorted offsets — offsets are assigned
+        strictly increasing and never reused, so insertion order is sorted
+        order (``remove`` only leaves gaps, which the range check below
+        rejects).
+        """
+        if self._offset_index is None:
+            self._offset_index = (
+                list(self._offsets.values()),
+                list(self._offsets.keys()),
+            )
+        starts, video_ids = self._offset_index
+        pos = bisect_right(starts, global_cid) - 1
+        if pos >= 0:
+            video_id = video_ids[pos]
+            local = global_cid - starts[pos]
+            if local < self._ingests[video_id].n_clips:
+                return video_id, local
         raise StorageError(f"global clip id {global_cid} maps to no video")
 
     def local_sequences(self, spans: IntervalSet) -> dict[str, IntervalSet]:
@@ -177,10 +197,17 @@ class VideoRepository:
     # -- persistence ---------------------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Write the ingested metadata to ``directory``."""
+        """Write the ingested metadata to ``directory``.
+
+        Format 2: each table's score-sorted ``(cids, scores)`` columns are
+        exported directly (:meth:`ClipScoreTable.as_columns`) instead of
+        re-assembling Nx2 row tuples through per-clip random accesses, and
+        clip ids keep their integer dtype.  :meth:`load` accepts both this
+        and the format-1 layout.
+        """
         root = Path(directory)
         root.mkdir(parents=True, exist_ok=True)
-        manifest = {"videos": []}
+        manifest = {"format": 2, "videos": []}
         for video_id, ingest in self._ingests.items():
             safe = _safe_name(video_id)
             manifest["videos"].append({"video_id": video_id, "file": f"{safe}.npz"})
@@ -203,11 +230,9 @@ class VideoRepository:
                 ("act", ingest.action_tables),
             ):
                 for i, (label, table) in enumerate(tables.items()):
-                    rows = np.array(
-                        [(cid, table.random_access(cid)) for cid in table.clip_ids()],
-                        dtype=np.float64,
-                    ).reshape(-1, 2)
-                    arrays[f"{kind}_{i}"] = rows
+                    cids, scores = table.as_columns()
+                    arrays[f"{kind}_{i}_cids"] = cids
+                    arrays[f"{kind}_{i}_scores"] = scores
             np.savez_compressed(root / f"{safe}.npz", **arrays)
             (root / f"{safe}.json").write_text(json.dumps(meta))
         (root / "manifest.json").write_text(json.dumps(manifest))
@@ -227,16 +252,10 @@ class VideoRepository:
             arrays = np.load(root / f"{safe}.npz")
             object_tables = {}
             for i, label in enumerate(meta["object_labels"]):
-                rows = arrays[f"obj_{i}"]
-                object_tables[label] = ClipScoreTable(
-                    label, [(int(c), float(s)) for c, s in rows]
-                )
+                object_tables[label] = _load_table(arrays, "obj", i, label)
             action_tables = {}
             for i, label in enumerate(meta["action_labels"]):
-                rows = arrays[f"act_{i}"]
-                action_tables[label] = ClipScoreTable(
-                    label, [(int(c), float(s)) for c, s in rows]
-                )
+                action_tables[label] = _load_table(arrays, "act", i, label)
             repo.add(
                 VideoIngest(
                     video_id=meta["video_id"],
@@ -255,6 +274,24 @@ class VideoRepository:
                 )
             )
         return repo
+
+
+def _load_table(arrays, kind: str, i: int, label: str) -> ClipScoreTable:
+    """Rebuild one table from either persistence format.
+
+    Format 2 stores score-sorted ``{kind}_{i}_cids`` / ``{kind}_{i}_scores``
+    columns adopted directly; format 1 stored one Nx2 float row array per
+    table, which goes through the sorting constructor.
+    """
+    cids_key = f"{kind}_{i}_cids"
+    if cids_key in arrays:
+        return ClipScoreTable._from_sorted_columns(
+            label,
+            np.asarray(arrays[cids_key], dtype=np.int64),
+            np.asarray(arrays[f"{kind}_{i}_scores"], dtype=np.float64),
+        )
+    rows = arrays[f"{kind}_{i}"]
+    return ClipScoreTable(label, [(int(c), float(s)) for c, s in rows])
 
 
 def _safe_name(video_id: str) -> str:

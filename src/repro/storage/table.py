@@ -7,6 +7,13 @@ access paths, each metered:
 * ``sorted_row(i)`` — the i-th best row (sequential scan from the top);
 * ``reverse_row(i)`` — the i-th worst row (sequential scan from the bottom);
 * ``random_access(cid)`` — the score of a specific clip (a seek).
+
+The bulk companions (``sorted_block`` / ``reverse_block`` /
+``random_scores``) expose the same rows as NumPy columns *without*
+charging the meter: they are prefetch primitives for consumers (TBClip)
+that account each row at the moment the serial algorithm would consume
+it, so vectorised execution keeps the exact access counts of the
+row-at-a-time path.
 """
 
 from __future__ import annotations
@@ -22,25 +29,42 @@ from repro.storage.access import AccessStats
 class ClipScoreTable:
     """Immutable score-sorted table of ``(clip_id, score)`` rows."""
 
-    __slots__ = ("_cids", "_scores", "_by_cid", "label")
+    __slots__ = ("_cids", "_scores", "_cids_by_cid", "_scores_by_cid", "label")
 
     def __init__(self, label: str, rows: Iterable[tuple[int, float]]) -> None:
         pairs = list(rows)
-        self.label = label
         if pairs:
             cids = np.asarray([cid for cid, _ in pairs], dtype=np.int64)
             scores = np.asarray([score for _, score in pairs], dtype=np.float64)
         else:
             cids = np.zeros(0, dtype=np.int64)
             scores = np.zeros(0, dtype=np.float64)
-        if len(np.unique(cids)) != len(cids):
-            raise StorageError(f"duplicate clip ids in table {label!r}")
         # Stable sort by descending score; ties break by ascending clip id so
         # table layout is deterministic.
         order = np.lexsort((cids, -scores))
-        self._cids = cids[order]
-        self._scores = scores[order]
-        self._by_cid = {int(c): float(s) for c, s in zip(self._cids, self._scores)}
+        self._init_from_columns(label, cids[order], scores[order])
+
+    def _init_from_columns(
+        self, label: str, cids: np.ndarray, scores: np.ndarray
+    ) -> None:
+        """Adopt already score-sorted columns (the trusted fast path)."""
+        self.label = label
+        self._cids = cids
+        self._scores = scores
+        by_cid = np.argsort(cids, kind="stable")
+        self._cids_by_cid = cids[by_cid]
+        self._scores_by_cid = scores[by_cid]
+        if len(cids) > 1 and (self._cids_by_cid[1:] == self._cids_by_cid[:-1]).any():
+            raise StorageError(f"duplicate clip ids in table {label!r}")
+
+    @classmethod
+    def _from_sorted_columns(
+        cls, label: str, cids: np.ndarray, scores: np.ndarray
+    ) -> "ClipScoreTable":
+        """Build from columns already in table order (descending score)."""
+        table = cls.__new__(cls)
+        table._init_from_columns(label, cids, scores)
+        return table
 
     # -- metadata ---------------------------------------------------------------
 
@@ -48,7 +72,8 @@ class ClipScoreTable:
         return len(self._cids)
 
     def __contains__(self, cid: int) -> bool:
-        return cid in self._by_cid
+        pos = np.searchsorted(self._cids_by_cid, cid)
+        return pos < len(self._cids_by_cid) and self._cids_by_cid[pos] == cid
 
     def clip_ids(self) -> Iterator[int]:
         """All clip ids in score order (no access charges: metadata scan
@@ -90,27 +115,94 @@ class ClipScoreTable:
 
     def random_access(self, cid: int, stats: AccessStats | None = None) -> float:
         """The score of clip ``cid`` (a random I/O)."""
-        score = self._by_cid.get(int(cid))
-        if score is None:
+        pos = int(np.searchsorted(self._cids_by_cid, cid))
+        if pos >= len(self._cids_by_cid) or self._cids_by_cid[pos] != cid:
             raise StorageError(f"clip {cid} not in table {self.label!r}")
         if stats is not None:
             stats.charge_random()
-        return score
+        return float(self._scores_by_cid[pos])
+
+    # -- bulk (prefetch) access paths ----------------------------------------------
+
+    def sorted_block(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rows ``start..stop-1`` from the top as ``(cids, scores)`` columns.
+
+        Uncharged prefetch: the caller meters each row as it is consumed
+        (see module docs).
+        """
+        if not 0 <= start <= stop <= len(self):
+            raise StorageError(
+                f"sorted block [{start}, {stop}) outside table "
+                f"{self.label!r} of {len(self)} rows"
+            )
+        return self._cids[start:stop], self._scores[start:stop]
+
+    def reverse_block(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rows ``start..stop-1`` from the bottom as ``(cids, scores)``
+        columns; element ``i`` equals ``reverse_row(start + i)``."""
+        if not 0 <= start <= stop <= len(self):
+            raise StorageError(
+                f"reverse block [{start}, {stop}) outside table "
+                f"{self.label!r} of {len(self)} rows"
+            )
+        n = len(self)
+        return (
+            self._cids[n - stop : n - start][::-1],
+            self._scores[n - stop : n - start][::-1],
+        )
+
+    def random_scores(self, cids: np.ndarray) -> np.ndarray:
+        """Scores of many clips at once (uncharged prefetch; the caller
+        meters one random access per clip it actually consumes)."""
+        cids = np.asarray(cids, dtype=np.int64)
+        if len(cids) == 0:
+            return np.zeros(0, dtype=np.float64)
+        if len(self._cids_by_cid) == 0:
+            raise StorageError(
+                f"clip {int(cids[0])} not in table {self.label!r}"
+            )
+        pos = np.minimum(
+            np.searchsorted(self._cids_by_cid, cids),
+            len(self._cids_by_cid) - 1,
+        )
+        mismatch = self._cids_by_cid[pos] != cids
+        if mismatch.any():
+            raise StorageError(
+                f"clip {int(cids[mismatch][0])} not in table {self.label!r}"
+            )
+        return self._scores_by_cid[pos]
 
     # -- offline maintenance ----------------------------------------------------------
 
+    def as_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """The table's ``(cids, scores)`` columns in table (score) order —
+        the persistence export path."""
+        return self._cids.copy(), self._scores.copy()
+
     def shifted(self, offset: int) -> "ClipScoreTable":
         """A copy with all clip ids translated by ``offset`` — how the
-        repository maps per-video tables into the global clip-id space."""
-        return ClipScoreTable(
-            self.label,
-            [(int(c) + offset, float(s)) for c, s in zip(self._cids, self._scores)],
-        )
+        repository maps per-video tables into the global clip-id space.
+
+        Shifting cannot change score order, so the sorted columns are
+        reused as-is instead of rebuilding and re-sorting the table.
+        """
+        table = ClipScoreTable.__new__(ClipScoreTable)
+        table.label = self.label
+        table._cids = self._cids + offset
+        table._scores = self._scores
+        table._cids_by_cid = self._cids_by_cid + offset
+        table._scores_by_cid = self._scores_by_cid
+        return table
 
     @staticmethod
     def merged(label: str, tables: Iterable["ClipScoreTable"]) -> "ClipScoreTable":
         """Merge disjoint-cid tables into one (repository-level tables)."""
-        rows: list[tuple[int, float]] = []
-        for table in tables:
-            rows.extend(zip(table._cids.tolist(), table._scores.tolist()))
-        return ClipScoreTable(label, rows)
+        parts = list(tables)
+        if not parts:
+            return ClipScoreTable(label, [])
+        cids = np.concatenate([t._cids for t in parts])
+        scores = np.concatenate([t._scores for t in parts])
+        order = np.lexsort((cids, -scores))
+        return ClipScoreTable._from_sorted_columns(
+            label, cids[order], scores[order]
+        )

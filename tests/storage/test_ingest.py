@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.scoring import MaxScoring
 from repro.errors import IngestError
-from repro.storage.ingest import ingest_video
+from repro.storage.ingest import ingest_many, ingest_video
 from tests.conftest import make_kitchen_video
 
 VIDEO = make_kitchen_video(seed=51, duration_s=240.0, video_id="ingvid")
@@ -75,3 +75,59 @@ class TestIngest:
         table = alt.table_for("faucet")
         # MaxScoring: per-clip score is one instance's score, bounded by 1
         assert table.max_score <= 1.0
+
+
+class TestIngestMany:
+    """Parallel ingestion: any executor, same results, same cost books."""
+
+    VIDEOS = [
+        make_kitchen_video(seed=61 + i, duration_s=120.0, video_id=f"many{i}")
+        for i in range(3)
+    ]
+    LABELS = dict(object_labels=["faucet"], action_labels=["washing dishes"])
+
+    @staticmethod
+    def _fingerprint(ingests, meter):
+        rows = []
+        for ing in ingests:
+            for label in ing.labels:
+                cids, scores = ing.table_for(label).as_columns()
+                rows.append(
+                    (ing.video_id, label, cids.tolist(), scores.tolist(),
+                     ing.sequences_for(label).as_tuples())
+                )
+            rows.append((ing.video_id, round(ing.ingest_cost_ms, 9)))
+        rows.append((round(meter.ms(), 9), meter.units()))
+        return rows
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_matches_serial(self, executor):
+        from repro.detectors.zoo import default_zoo
+
+        serial_zoo = default_zoo(seed=9)
+        serial = ingest_many(self.VIDEOS, serial_zoo, **self.LABELS)
+        par_zoo = default_zoo(seed=9)
+        par = ingest_many(
+            self.VIDEOS, par_zoo, **self.LABELS,
+            executor=executor, max_workers=2,
+        )
+        assert self._fingerprint(par, par_zoo.cost_meter) == self._fingerprint(
+            serial, serial_zoo.cost_meter
+        )
+
+    def test_unknown_executor(self, zoo):
+        with pytest.raises(IngestError):
+            ingest_many([], zoo, **self.LABELS, executor="gpu")
+
+    def test_zoo_fork_is_private(self):
+        from repro.detectors.zoo import default_zoo
+
+        zoo = default_zoo(seed=4)
+        fork = zoo.fork()
+        assert fork.cost_meter is not zoo.cost_meter
+        assert fork.cost_meter.ms() == 0.0
+        before = zoo.cost_meter.ms()
+        fork.cost_meter.record("probe", 2, 1.5)
+        assert zoo.cost_meter.ms() == before
+        zoo.cost_meter.merge(fork.cost_meter)
+        assert zoo.cost_meter.ms("probe") == 3.0

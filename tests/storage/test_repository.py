@@ -135,3 +135,76 @@ class TestPersistence:
     def test_load_missing_manifest(self, tmp_path):
         with pytest.raises(StorageError):
             VideoRepository.load(tmp_path / "nowhere")
+
+
+class TestPersistenceFormats:
+    def test_save_writes_format_2(self, repo, tmp_path):
+        import json
+
+        import numpy as np
+
+        repo.save(tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["format"] == 2
+        arrays = np.load(tmp_path / "a.npz")
+        assert "obj_0_cids" in arrays and "obj_0_scores" in arrays
+        assert arrays["obj_0_cids"].dtype == np.int64
+
+    def test_load_accepts_legacy_format_1(self, repo, tmp_path):
+        """A directory written in the pre-format-2 Nx2 layout still loads."""
+        import json
+
+        import numpy as np
+
+        repo.save(tmp_path)
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        (legacy / "manifest.json").write_text(
+            json.dumps({"videos": manifest["videos"]})
+        )
+        for entry in manifest["videos"]:
+            safe = entry["file"][:-4]
+            (legacy / f"{safe}.json").write_text(
+                (tmp_path / f"{safe}.json").read_text()
+            )
+            ingest = repo.ingest_of(entry["video_id"])
+            arrays = {}
+            for kind, tables in (
+                ("obj", ingest.object_tables),
+                ("act", ingest.action_tables),
+            ):
+                for i, table in enumerate(tables.values()):
+                    cids, scores = table.as_columns()
+                    arrays[f"{kind}_{i}"] = np.column_stack(
+                        [cids.astype(float), scores]
+                    )
+            np.savez_compressed(legacy / f"{safe}.npz", **arrays)
+        loaded = VideoRepository.load(legacy)
+        for video_id in repo.video_ids:
+            for label in repo.ingest_of(video_id).labels:
+                a = repo.ingest_of(video_id).table_for(label).as_columns()
+                b = loaded.ingest_of(video_id).table_for(label).as_columns()
+                assert a[0].tolist() == b[0].tolist()
+                assert a[1].tolist() == b[1].tolist()
+
+
+class TestToLocalBisect:
+    def test_boundaries_and_gap(self, repo):
+        assert repo.to_local(0) == ("a", 0)
+        assert repo.to_local(9) == ("a", 9)
+        with pytest.raises(StorageError):
+            repo.to_local(10)  # the gap id between "a" and "b"
+        assert repo.to_local(11) == ("b", 0)
+        assert repo.to_local(15) == ("b", 4)
+        with pytest.raises(StorageError):
+            repo.to_local(16)  # past the end
+        with pytest.raises(StorageError):
+            repo.to_local(-1)
+
+    def test_index_tracks_membership(self, repo):
+        repo.to_local(0)  # build the index
+        repo.remove("a")
+        with pytest.raises(StorageError):
+            repo.to_local(0)  # retired range rejected after rebuild
+        assert repo.to_local(11) == ("b", 0)
