@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Online multi-query throughput: shared detection cache vs serial sessions.
+
+A monitoring deployment runs many standing queries against one stream.  The
+serial reference executes each query in its own session with
+``cache_detections=False`` — one ``score_clip`` model pass per evaluated
+predicate per clip, the pre-cache hot path.  The shared path runs the same
+fleet through :class:`repro.core.scheduler.MultiQueryScheduler`: all
+sessions advance clip-by-clip in lockstep over one
+:class:`~repro.detectors.cache.DetectionScoreCache`, so each frame/shot is
+scored at most once for the whole fleet.
+
+For every workload the two legs are asserted **result- and meter-identical**
+before any timing is reported:
+
+* per query: identical sequences and per-clip evaluations;
+* per query: identical execution stats up to the cache-hit counters (zero
+  on the reference) and wall-clock stage times;
+* per model: ``serial fresh units == shared fresh units + shared cached
+  units`` — the cache only moves work, it never loses accounting.
+
+Writes ``BENCH_online_throughput.json``::
+
+    {"workloads": [{"name": ..., "n_queries": ..., "n_clips": ...,
+                    "serial": {"wall_s": ..., "clips_per_s": ...,
+                               "fresh_units": ...},
+                    "shared": {..., "cached_units": ..., "hit_rate": ...},
+                    "speedup": ...}, ...]}
+
+``--smoke`` shrinks the sweep to a seconds-long CI sanity run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import OnlineConfig  # noqa: E402
+from repro.core.query import Query  # noqa: E402
+from repro.core.scheduler import MultiQueryScheduler, as_specs  # noqa: E402
+from repro.core.session import StreamSession  # noqa: E402
+from repro.detectors.zoo import default_zoo  # noqa: E402
+from repro.video.stream import ClipStream  # noqa: E402
+from repro.video.synthesis import (  # noqa: E402
+    SceneSpec,
+    TrackSpec,
+    synthesize_video,
+)
+
+OBJECT_POOL = ("car", "person", "bicycle", "dog")
+ACTION = "crossing"
+
+
+def build_video(duration_s: float, seed: int):
+    """One busy street scene every workload streams."""
+    tracks = [
+        TrackSpec(label=ACTION, kind="action",
+                  occupancy=0.2, mean_duration_s=15.0),
+    ]
+    for i, label in enumerate(OBJECT_POOL):
+        tracks.append(
+            TrackSpec(
+                label=label, kind="object",
+                occupancy=0.08 + 0.06 * i,
+                mean_duration_s=8.0,
+                correlate_with=ACTION if i % 2 == 0 else None,
+                correlation=0.85 if i % 2 == 0 else 0.0,
+            )
+        )
+    spec = SceneSpec(
+        video_id="street", duration_s=duration_s, tracks=tuple(tracks)
+    )
+    return synthesize_video(spec, seed=seed)
+
+
+def build_queries(n_queries: int) -> list[Query]:
+    """A fleet with heavy label overlap — the regime the cache targets."""
+    queries = []
+    for i in range(n_queries):
+        objects = [OBJECT_POOL[i % len(OBJECT_POOL)]]
+        if i % 2:
+            objects.append(OBJECT_POOL[(i + 1) % len(OBJECT_POOL)])
+        if i % 3 == 2:
+            objects.append(OBJECT_POOL[(i + 2) % len(OBJECT_POOL)])
+        queries.append(Query(objects=objects, action=ACTION))
+    return queries
+
+
+def run_serial(queries, video, *, dynamic: bool):
+    """The reference: one uncached session per query, streamed in turn."""
+    zoo = default_zoo(seed=3)
+    config = OnlineConfig(cache_detections=False)
+    results = []
+    t0 = time.perf_counter()
+    for query in queries:
+        session = StreamSession.for_query(
+            zoo, query, video, config, dynamic=dynamic
+        )
+        stream = ClipStream(video.meta)
+        while not stream.end():
+            session.process(stream.next())
+        results.append(session.finish())
+    wall = time.perf_counter() - t0
+    return wall, results, zoo
+
+
+def run_shared(queries, video, *, dynamic: bool):
+    """The shared path: lockstep scheduler over one detection cache."""
+    zoo = default_zoo(seed=3)
+    specs = as_specs(queries, algorithm="svaqd" if dynamic else "svaq")
+    t0 = time.perf_counter()
+    run = MultiQueryScheduler(zoo, specs).run(video)
+    wall = time.perf_counter() - t0
+    results = [run[spec.name] for spec in specs]
+    return wall, results, zoo
+
+
+def assert_identical(serial_results, serial_zoo, shared_results, shared_zoo):
+    """The equivalence contract timing rests on (see module docstring)."""
+    for reference, result in zip(serial_results, shared_results):
+        assert result.sequences == reference.sequences, "sequences diverged"
+        assert result.evaluations == reference.evaluations, (
+            "per-clip evaluations diverged"
+        )
+        ref_stats = reference.stats.as_dict()
+        shr_stats = result.stats.as_dict()
+        for stats in (ref_stats, shr_stats):
+            stats.pop("stage_wall_s")
+            stats.pop("detector_cache_hits")
+            stats.pop("recognizer_cache_hits")
+            stats.pop("cache_hit_rate")
+        assert ref_stats == shr_stats, "execution stats diverged"
+    for model in (serial_zoo.detector.name, serial_zoo.recognizer.name):
+        serial_fresh = serial_zoo.cost_meter.units(model)
+        shared_fresh = shared_zoo.cost_meter.units(model)
+        shared_cached = shared_zoo.cost_meter.cached_units(model)
+        assert serial_fresh == shared_fresh + shared_cached, (
+            f"meter invariant broken for {model}: "
+            f"{serial_fresh} != {shared_fresh} + {shared_cached}"
+        )
+
+
+def run_workload(
+    name: str,
+    n_queries: int,
+    video,
+    *,
+    dynamic: bool,
+    repeats: int,
+) -> dict:
+    queries = build_queries(n_queries)
+    n_clips = video.meta.n_clips
+
+    # Untimed warmup: module-level memos (critical values, Naus tails,
+    # per-video score vectors) would otherwise be paid by whichever leg
+    # happens to run first.
+    run_serial(queries, video, dynamic=dynamic)
+    run_shared(queries, video, dynamic=dynamic)
+
+    serial_wall = shared_wall = float("inf")
+    for _ in range(repeats):
+        wall, serial_results, serial_zoo = run_serial(
+            queries, video, dynamic=dynamic
+        )
+        serial_wall = min(serial_wall, wall)
+        wall, shared_results, shared_zoo = run_shared(
+            queries, video, dynamic=dynamic
+        )
+        shared_wall = min(shared_wall, wall)
+        assert_identical(
+            serial_results, serial_zoo, shared_results, shared_zoo
+        )
+
+    total_clips = n_queries * n_clips
+    cached = shared_zoo.cost_meter.cached_units()
+    fresh = shared_zoo.cost_meter.units()
+    return {
+        "name": name,
+        "algorithm": "svaqd" if dynamic else "svaq",
+        "n_queries": n_queries,
+        "n_clips": n_clips,
+        "aggregate_clips": total_clips,
+        "serial": {
+            "wall_s": round(serial_wall, 6),
+            "clips_per_s": round(total_clips / serial_wall, 1),
+            "fresh_units": serial_zoo.cost_meter.units(),
+        },
+        "shared": {
+            "wall_s": round(shared_wall, 6),
+            "clips_per_s": round(total_clips / shared_wall, 1),
+            "fresh_units": fresh,
+            "cached_units": cached,
+            "unit_hit_rate": round(cached / (fresh + cached), 4)
+            if fresh + cached
+            else 0.0,
+        },
+        "speedup": round(serial_wall / shared_wall, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sweep for CI sanity (seconds, not minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per leg (default: 3, smoke: 1)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_online_throughput.json",
+    )
+    args = parser.parse_args(argv)
+
+    duration_s = 120.0 if args.smoke else 1800.0
+    repeats = args.repeats or (1 if args.smoke else 3)
+    video = build_video(duration_s, args.seed)
+
+    if args.smoke:
+        sweep = [
+            ("svaq_4q", 4, False),
+            ("svaqd_2q", 2, True),
+        ]
+    else:
+        sweep = [
+            ("svaq_4q", 4, False),
+            ("svaq_8q", 8, False),   # the headline workload
+            ("svaq_16q", 16, False),
+            ("svaqd_8q", 8, True),
+        ]
+
+    workloads = []
+    for name, n_queries, dynamic in sweep:
+        row = run_workload(
+            name, n_queries, video, dynamic=dynamic, repeats=repeats
+        )
+        workloads.append(row)
+        print(
+            f"{name:10s} queries={n_queries:3d} clips={row['n_clips']:5d}  "
+            f"serial={row['serial']['wall_s']*1e3:9.2f}ms  "
+            f"shared={row['shared']['wall_s']*1e3:9.2f}ms  "
+            f"hit_rate={row['shared']['unit_hit_rate']:.1%}  "
+            f"speedup={row['speedup']:6.2f}x"
+        )
+
+    payload = {
+        "benchmark": "online_throughput",
+        "video": {
+            "duration_s": duration_s,
+            "n_clips": video.meta.n_clips,
+            "objects": list(OBJECT_POOL),
+            "action": ACTION,
+        },
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "workloads": workloads,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

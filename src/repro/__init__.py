@@ -35,12 +35,15 @@ from repro.core import (
     ExecutionContext,
     ExecutionStats,
     MaxScoring,
+    MultiQueryRun,
+    MultiQueryScheduler,
     OfflineEngine,
     OnlineConfig,
     OnlineEngine,
     OnlineResult,
     PaperScoring,
     Query,
+    QuerySpec,
     QuotaPolicy,
     RankedSequence,
     RankingConfig,
@@ -78,6 +81,9 @@ __all__ = [
     "RankingConfig",
     "OnlineEngine",
     "OfflineEngine",
+    "MultiQueryScheduler",
+    "MultiQueryRun",
+    "QuerySpec",
     "SVAQ",
     "SVAQD",
     "StreamSession",

@@ -104,19 +104,7 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 
 def _print_stats(stats) -> None:
-    print("execution stats:")
-    print(f"  clips processed      : {stats.clips_processed}"
-          f" ({stats.probe_clips} probes)")
-    print(f"  model invocations    : {stats.model_invocations}"
-          f" ({stats.detector_invocations} detector,"
-          f" {stats.recognizer_invocations} recognizer)")
-    print(f"  predicates evaluated : {stats.predicates_evaluated}")
-    print(f"  predicates skipped   : {stats.predicates_skipped}"
-          f" (short-circuit savings {stats.short_circuit_savings:.1%})")
-    print(f"  quota refreshes      : {stats.quota_refreshes}")
-    print(f"  sequences emitted    : {stats.sequences_emitted}")
-    for stage, seconds in stats.stage_wall_s.items():
-        print(f"  stage {stage:<15}: {seconds * 1e3:.1f} ms")
+    print(stats.summary())
 
 
 def _cmd_query(args: argparse.Namespace) -> int:

@@ -24,6 +24,11 @@ from repro.core.policies import (
 )
 from repro.core.query import CompoundQuery, Query
 from repro.core.rvaq import RVAQ, RankedSequence, TopKResult
+from repro.core.scheduler import (
+    MultiQueryRun,
+    MultiQueryScheduler,
+    QuerySpec,
+)
 from repro.core.scoring import MaxScoring, PaperScoring, ScoringScheme
 from repro.core.session import StreamSession, SvaqdSession
 from repro.core.svaq import SVAQ, OnlineResult
@@ -54,4 +59,7 @@ __all__ = [
     "MaxScoring",
     "OnlineEngine",
     "OfflineEngine",
+    "MultiQueryScheduler",
+    "MultiQueryRun",
+    "QuerySpec",
 ]

@@ -82,6 +82,18 @@ class OnlineConfig:
     #: dynamic quotas the order decides which predicates observe
     #: short-circuited clips, so borderline decisions can differ slightly.
     predicate_order: str = "user"
+    #: Route per-clip predicate counting through a
+    #: :class:`repro.detectors.cache.DetectionScoreCache` (count columns
+    #: materialised chunk-wise in one vectorised pass) instead of per-clip
+    #: ``score_clip`` calls.  Results and model-unit accounting are
+    #: bit-identical for a single session; ``False`` keeps the pre-cache
+    #: serial path as the equivalence reference.
+    cache_detections: bool = True
+    #: Clips per lazily-materialised cache chunk; larger chunks amortise
+    #: the vectorised pass further at the cost of scoring ahead of the
+    #: stream cursor (a chunk's column is a few KB per label, so memory
+    #: is not the constraint).
+    cache_chunk_clips: int = 256
 
     def __post_init__(self) -> None:
         require_probability(self.alpha, "alpha")
@@ -109,6 +121,7 @@ class OnlineConfig:
                 f"predicate_order must be user/selective; "
                 f"got {self.predicate_order!r}"
             )
+        require_positive_int(self.cache_chunk_clips, "cache_chunk_clips")
 
     def with_p0(self, p0: float) -> "OnlineConfig":
         """Both background probabilities set to ``p0`` (Figure 2's sweep)."""

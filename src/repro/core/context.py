@@ -42,6 +42,12 @@ class ExecutionStats:
     probe_clips: int = 0
     detector_invocations: int = 0
     recognizer_invocations: int = 0
+    #: Of the invocations above, how many were answered from the shared
+    #: detection score cache instead of fresh model work.  Invocation
+    #: counters always count *logical* Algorithm-2 invocations — identical
+    #: with and without the cache — so the hit counters are a subset.
+    detector_cache_hits: int = 0
+    recognizer_cache_hits: int = 0
     predicates_evaluated: int = 0
     predicates_skipped: int = 0
     quota_refreshes: int = 0
@@ -52,6 +58,17 @@ class ExecutionStats:
     def model_invocations(self) -> int:
         """Total model calls (detector + recognizer)."""
         return self.detector_invocations + self.recognizer_invocations
+
+    @property
+    def cache_hits(self) -> int:
+        """Model invocations served from the detection score cache."""
+        return self.detector_cache_hits + self.recognizer_cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of model invocations served from the cache."""
+        total = self.model_invocations
+        return self.cache_hits / total if total else 0.0
 
     @property
     def short_circuit_savings(self) -> float:
@@ -66,6 +83,9 @@ class ExecutionStats:
             "probe_clips": self.probe_clips,
             "detector_invocations": self.detector_invocations,
             "recognizer_invocations": self.recognizer_invocations,
+            "detector_cache_hits": self.detector_cache_hits,
+            "recognizer_cache_hits": self.recognizer_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
             "predicates_evaluated": self.predicates_evaluated,
             "predicates_skipped": self.predicates_skipped,
             "short_circuit_savings": self.short_circuit_savings,
@@ -73,6 +93,31 @@ class ExecutionStats:
             "sequences_emitted": self.sequences_emitted,
             "stage_wall_s": dict(self.stage_wall_s),
         }
+
+    def summary(self) -> str:
+        """Human-readable multi-line rendering (the ``--stats`` output)."""
+        lines = [
+            "execution stats:",
+            f"  clips processed      : {self.clips_processed}"
+            f" ({self.probe_clips} probes)",
+            f"  model invocations    : {self.model_invocations}"
+            f" ({self.detector_invocations} detector,"
+            f" {self.recognizer_invocations} recognizer)",
+            f"  cache hits           : {self.cache_hits}"
+            f" ({self.detector_cache_hits} detector,"
+            f" {self.recognizer_cache_hits} recognizer;"
+            f" hit rate {self.cache_hit_rate:.1%})",
+            f"  fresh model calls    : "
+            f"{self.model_invocations - self.cache_hits}",
+            f"  predicates evaluated : {self.predicates_evaluated}",
+            f"  predicates skipped   : {self.predicates_skipped}"
+            f" (short-circuit savings {self.short_circuit_savings:.1%})",
+            f"  quota refreshes      : {self.quota_refreshes}",
+            f"  sequences emitted    : {self.sequences_emitted}",
+        ]
+        for stage, seconds in self.stage_wall_s.items():
+            lines.append(f"  stage {stage:<15}: {seconds * 1e3:.1f} ms")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -83,6 +128,8 @@ class ExecutionContext:
     probe_clips: int = 0
     detector_invocations: int = 0
     recognizer_invocations: int = 0
+    detector_cache_hits: int = 0
+    recognizer_cache_hits: int = 0
     predicates_evaluated: int = 0
     predicates_skipped: int = 0
     quota_refreshes: int = 0
@@ -91,17 +138,24 @@ class ExecutionContext:
 
     # -- recording ---------------------------------------------------------------
 
-    def record_model_call(self, kind: str, n: int = 1) -> None:
+    def record_model_call(self, kind: str, n: int = 1, *, cached: bool = False) -> None:
         """Charge ``n`` invocations of one model family.
 
         ``kind`` is ``"object"`` (the detector) or ``"action"`` (the
         recognizer) — the same kind tags
         :class:`repro.core.indicators.PredicateOutcome` carries.
+        ``cached=True`` marks invocations answered from the detection
+        score cache: they still count as logical invocations (so cached
+        and uncached runs meter identically) and additionally as hits.
         """
         if kind == "action":
             self.recognizer_invocations += n
+            if cached:
+                self.recognizer_cache_hits += n
         else:
             self.detector_invocations += n
+            if cached:
+                self.detector_cache_hits += n
 
     def add_stage_time(self, stage: str, seconds: float) -> None:
         self._stage_wall_s[stage] = (
@@ -128,6 +182,8 @@ class ExecutionContext:
         self.probe_clips += other.probe_clips
         self.detector_invocations += other.detector_invocations
         self.recognizer_invocations += other.recognizer_invocations
+        self.detector_cache_hits += other.detector_cache_hits
+        self.recognizer_cache_hits += other.recognizer_cache_hits
         self.predicates_evaluated += other.predicates_evaluated
         self.predicates_skipped += other.predicates_skipped
         self.quota_refreshes += other.quota_refreshes
@@ -153,6 +209,8 @@ class ExecutionContext:
             probe_clips=self.probe_clips,
             detector_invocations=self.detector_invocations,
             recognizer_invocations=self.recognizer_invocations,
+            detector_cache_hits=self.detector_cache_hits,
+            recognizer_cache_hits=self.recognizer_cache_hits,
             predicates_evaluated=self.predicates_evaluated,
             predicates_skipped=self.predicates_skipped,
             quota_refreshes=self.quota_refreshes,

@@ -15,6 +15,8 @@ import importlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.core.config import OnlineConfig
 from repro.core.indicators import PredicateOutcome
 from repro.scanstats.critical import CriticalValueTable
@@ -77,6 +79,16 @@ class QuotaManager:
                 w=shots_per_clip,
                 n=shot_horizon,
             )
+        self._tracker_list = list(self._trackers.values())
+        # The vectorised refresh quantises every rate in one pass, which is
+        # only valid when all tables share one bucketing (they do, unless a
+        # caller swaps in tables with custom resolution/p_floor).
+        quantisations = {
+            (t.resolution, t.p_floor)
+            for tracker in self._tracker_list
+            for t in (tracker.table, tracker.bg_table)
+        }
+        self._uniform_buckets = len(quantisations) <= 1
 
     def _make_tracker(
         self, bandwidth: float, initial_p: float, w: int, n: int
@@ -107,6 +119,29 @@ class QuotaManager:
 
     def tracker(self, label: str) -> PredicateTracker:
         return self._trackers[label]
+
+    def refresh_all(self) -> None:
+        """Refresh every tracker's quotas from its current rate estimate.
+
+        When every table shares one quantisation, all rates are bucketed in
+        a single :meth:`CriticalValueTable.buckets_of` pass and each bucket
+        resolves through the per-table memo — the same values
+        ``tracker.refresh()`` would produce one by one, and ``table`` /
+        ``bg_table`` reuse the shared bucket.
+        """
+        trackers = self._tracker_list
+        if not self._uniform_buckets or len(trackers) < 2:
+            for tracker in trackers:
+                tracker.refresh()
+            return
+        rates = np.array(
+            [tracker.estimator.rate for tracker in trackers], dtype=float
+        )
+        buckets = trackers[0].table.buckets_of(rates)
+        for tracker, bucket in zip(trackers, buckets):
+            b = int(bucket)
+            tracker.k_crit = tracker.table.lookup_bucket(b)
+            tracker.k_bg = tracker.bg_table.lookup_bucket(b)
 
     def labels(self) -> tuple[str, ...]:
         """Tracked predicate labels, in registration order."""
@@ -184,7 +219,7 @@ class QuotaManager:
                     tracker.estimator.advance(outcome.units)
             else:
                 tracker.estimator.advance(tracker.table.w)
-            tracker.refresh()
+        self.refresh_all()
 
 
 def _class_path(cls: type) -> str:

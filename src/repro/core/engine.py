@@ -21,6 +21,7 @@ from repro.core.query import CompoundQuery, Query
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.compound import CompoundResult
 from repro.core.rvaq import RVAQ, TopKResult
+from repro.core.scheduler import MultiQueryRun, MultiQueryScheduler
 from repro.core.scoring import PaperScoring, ScoringScheme
 from repro.core.svaq import SVAQ, OnlineResult
 from repro.core.svaqd import SVAQD
@@ -115,6 +116,97 @@ class OnlineEngine:
             return {
                 video.video_id: result
                 for video, result in zip(videos, results)
+            }
+        raise ConfigurationError(f"unknown executor {executor!r}")
+
+    def run_queries(
+        self,
+        queries: Iterable,
+        video: LabeledVideo,
+        algorithm: OnlineAlgorithm = "svaqd",
+        *,
+        short_circuit: bool = True,
+        context: ExecutionContext | None = None,
+    ) -> MultiQueryRun:
+        """Run many standing queries over one stream, sharing detections.
+
+        ``queries`` is a list of :class:`~repro.core.query.Query` /
+        :class:`~repro.core.query.CompoundQuery` objects (auto-named
+        ``q0, q1, ...`` and run with ``algorithm``) or explicit
+        :class:`~repro.core.scheduler.QuerySpec` entries mixing per-query
+        algorithms.  All sessions advance clip-by-clip in lockstep over
+        one :class:`~repro.detectors.cache.DetectionScoreCache`, so each
+        frame/shot is scored at most once for the whole fleet; results
+        are identical to running each query alone.
+        """
+        from repro.core.scheduler import as_specs
+
+        scheduler = MultiQueryScheduler(
+            self.zoo,
+            as_specs(queries, algorithm=algorithm),
+            self.config,
+        )
+        return scheduler.run(
+            video, short_circuit=short_circuit, context=context
+        )
+
+    def run_queries_many(
+        self,
+        queries: Iterable,
+        videos: Iterable[LabeledVideo],
+        algorithm: OnlineAlgorithm = "svaqd",
+        *,
+        executor: Executor = "serial",
+        max_workers: int | None = None,
+        short_circuit: bool = True,
+        context: ExecutionContext | None = None,
+    ) -> dict[str, MultiQueryRun]:
+        """The multi-query scheduler fanned across a video collection.
+
+        Each video gets its own shared detection cache and lockstep pass;
+        ``executor="thread"`` runs the per-video passes concurrently with
+        private contexts merged afterwards (insertion order), exactly as
+        :meth:`run_many` does.  Returns ``{video_id: MultiQueryRun}`` in
+        input order.
+        """
+        from repro.core.scheduler import as_specs
+
+        scheduler = MultiQueryScheduler(
+            self.zoo,
+            as_specs(queries, algorithm=algorithm),
+            self.config,
+        )
+        videos = list(videos)
+        if executor == "serial":
+            return {
+                video.video_id: scheduler.run(
+                    video, short_circuit=short_circuit, context=context
+                )
+                for video in videos
+            }
+        if executor == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            locals_ = [
+                ExecutionContext() if context is not None else None
+                for _ in videos
+            ]
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(
+                        scheduler.run,
+                        video,
+                        short_circuit=short_circuit,
+                        context=local,
+                    )
+                    for video, local in zip(videos, locals_)
+                ]
+                runs = [future.result() for future in futures]
+            if context is not None:
+                for local in locals_:
+                    context.merge(local)
+            return {
+                video.video_id: run for video, run in zip(videos, runs)
             }
         raise ConfigurationError(f"unknown executor {executor!r}")
 

@@ -7,32 +7,50 @@ clip indicator is their conjunction (Eq. 3).  Predicates are evaluated
 sequentially and the evaluation *short-circuits* on the first negative
 (Algorithm 2, lines 6–8), saving model invocations — the effect measured by
 the predicate-order ablation.
+
+Two counting backends implement Eq. 1/2, selected by
+``OnlineConfig.cache_detections``:
+
+* the **serial reference** (``cache_detections=False``): one ``score_clip``
+  model call per evaluated predicate per clip — the pre-cache hot path,
+  kept as the equivalence baseline;
+* the **vectorised cache** (the default): per-clip counts come from a
+  :class:`repro.detectors.cache.DetectionScoreCache`, whose columns are
+  materialised chunk-wise in one reshape/sum pass.  Counts are precomputed
+  but *charging* still follows Algorithm 2's evaluation order — a
+  short-circuited predicate charges nothing, an evaluated one charges the
+  same units the serial path would — so results and metering are
+  bit-identical for a single session, and sessions sharing one cache meter
+  the shared work as cache hits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, NamedTuple, Sequence
 
 import numpy as np
 
 from repro.core.config import OnlineConfig
 from repro.core.context import ExecutionContext
 from repro.core.query import Query
+from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.zoo import ModelZoo
 from repro.errors import QueryError
 from repro.video.ground_truth import GroundTruth
 from repro.video.model import VideoMeta
 
 
-@dataclass(frozen=True)
-class PredicateOutcome:
+class PredicateOutcome(NamedTuple):
     """What happened for one predicate on one clip.
 
     ``evaluated`` is False when short-circuiting skipped the predicate;
     ``count``/``units`` are the positive predictions and occurrence units
     inside the clip (valid only when evaluated); ``indicator`` is
     ``1_{o_i}(c)`` / ``1_a(c)``.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one instance is built
+    per evaluated predicate per clip per session, and tuple construction
+    is several times cheaper than a frozen dataclass ``__init__``.
     """
 
     label: str
@@ -43,8 +61,7 @@ class PredicateOutcome:
     indicator: bool = False
 
 
-@dataclass(frozen=True)
-class ClipEvaluation:
+class ClipEvaluation(NamedTuple):
     """Result of Algorithm 2 on one clip: the clip indicator ``1_q(c)``
     plus per-predicate detail for SVAQD updates and noise metrics."""
 
@@ -75,6 +92,7 @@ class ClipEvaluator:
         query: Query,
         config: OnlineConfig | None = None,
         context: ExecutionContext | None = None,
+        cache: DetectionScoreCache | None = None,
     ) -> None:
         self._zoo = zoo
         self._video = video
@@ -97,6 +115,40 @@ class ClipEvaluator:
             if self._config.action_threshold is not None
             else zoo.recognizer.threshold
         )
+        if cache is None and self._config.cache_detections:
+            cache = DetectionScoreCache(
+                zoo,
+                video,
+                truth,
+                object_threshold=self._object_threshold,
+                action_threshold=self._action_threshold,
+                chunk_clips=self._config.cache_chunk_clips,
+            )
+        elif cache is not None:
+            cache.check_compatible(
+                video,
+                object_threshold=self._object_threshold,
+                action_threshold=self._action_threshold,
+            )
+        self._cache = cache
+        # Precomputed Algorithm-2 defaults so the per-clip fast path does
+        # no list/set building when the caller uses the user order.
+        self._user_labels = [*query.frame_level_labels, *query.actions]
+        self._action_set = frozenset(query.actions)
+        self._expected = frozenset(query.all_labels)
+        # A skipped outcome carries no per-clip data, so one immutable
+        # instance per label serves every clip it is skipped on.
+        self._skipped = {
+            label: PredicateOutcome(
+                label,
+                "action" if label in self._action_set else "object",
+                evaluated=False,
+            )
+            for label in self._user_labels
+        }
+        #: (label, quota) -> count -> interned evaluated outcome, used by
+        #: the static-quota chunk path (see :meth:`evaluate_chunk`).
+        self._outcome_memo: dict[tuple[str, int], dict[int, PredicateOutcome]] = {}
 
     @property
     def video(self) -> VideoMeta:
@@ -114,11 +166,21 @@ class ClipEvaluator:
     def shots_per_clip(self) -> int:
         return self._video.geometry.shots_per_clip
 
+    @property
+    def cache(self) -> DetectionScoreCache | None:
+        """The detection score cache counts come from (None = serial path)."""
+        return self._cache
+
     # -- per-predicate counting --------------------------------------------------
 
     def object_count(self, label: str, clip_id: int) -> tuple[int, int]:
         """Positive frame predictions of ``label`` in the clip and the
         number of frames (Eq. 1's sum and |V(c)|); charges inference."""
+        if self._cache is not None:
+            count, units, fresh = self._cache.lookup("object", label, clip_id)
+            if self.context is not None:
+                self.context.record_model_call("object", cached=not fresh)
+            return count, units
         scores = self._zoo.detector.score_clip(
             self._video, self._truth, label, clip_id
         )
@@ -129,6 +191,11 @@ class ClipEvaluator:
     def action_count(self, label: str, clip_id: int) -> tuple[int, int]:
         """Positive shot predictions in the clip and the number of shots
         (Eq. 2's sum and |S(c)|); charges inference."""
+        if self._cache is not None:
+            count, units, fresh = self._cache.lookup("action", label, clip_id)
+            if self.context is not None:
+                self.context.record_model_call("action", cached=not fresh)
+            return count, units
         scores = self._zoo.recognizer.score_clip(
             self._video, self._truth, label, clip_id
         )
@@ -154,25 +221,24 @@ class ClipEvaluator:
         paper's listing); the predicate-order ablation passes
         selectivity-sorted orders here.
         """
-        labels = list(order) if order is not None else [
-            *self._query.frame_level_labels,
-            *self._query.actions,
-        ]
-        expected = set(self._query.all_labels)
-        if set(labels) != expected:
-            raise QueryError(
-                f"evaluation order {labels} does not cover the query "
-                f"predicates {sorted(expected)}"
-            )
+        if order is None:
+            labels = self._user_labels
+        else:
+            labels = list(order)
+            if frozenset(labels) != self._expected:
+                raise QueryError(
+                    f"evaluation order {labels} does not cover the query "
+                    f"predicates {sorted(self._expected)}"
+                )
 
         outcomes: list[PredicateOutcome] = []
         positive = True
         skipping = False
-        action_set = set(self._query.actions)
+        action_set = self._action_set
         for label in labels:
             kind = "action" if label in action_set else "object"
             if skipping:
-                outcomes.append(PredicateOutcome(label, kind, evaluated=False))
+                outcomes.append(self._skipped[label])
                 continue
             if kind == "action":
                 count, units = self.action_count(label, clip_id)
@@ -193,3 +259,98 @@ class ClipEvaluator:
         return ClipEvaluation(
             clip_id=clip_id, positive=positive, outcomes=tuple(outcomes)
         )
+
+    def evaluate_chunk(
+        self,
+        start: int,
+        k_crit: Mapping[str, int],
+        *,
+        short_circuit: bool = True,
+    ) -> tuple[list[ClipEvaluation], list[tuple[int, int, int, int, int]]]:
+        """Algorithm 2 over every clip from ``start`` to the end of its
+        cache chunk, in one vectorised pass per predicate.
+
+        Requires an attached :class:`DetectionScoreCache`; quotas are
+        fixed for the whole block (the static-policy fast path — SVAQD
+        moves quotas between clips and must stay per-clip).  Semantics are
+        identical to calling :meth:`evaluate` clip by clip in user order:
+        a predicate is evaluated on a clip iff every earlier predicate's
+        indicator held there (Algorithm 2's short-circuit), and exactly
+        those evaluations are charged, fresh or cached, via
+        :meth:`DetectionScoreCache.charge_block`.
+
+        Returns ``(evaluations, stats)`` where ``stats[i]`` is
+        ``(evaluated_n, obj_fresh, obj_cached, act_fresh, act_cached)``
+        for the session to fold into its
+        :class:`~repro.core.context.ExecutionContext` as it consumes each
+        clip — meter charges land here, per-session counters land there.
+        """
+        cache = self._cache
+        chunk = cache.chunk_clips
+        hi = min(self._video.n_clips, (start // chunk + 1) * chunk)
+        n = hi - start
+        alive = np.ones(n, dtype=bool)
+        ones = None if short_circuit else np.ones(n, dtype=bool)
+        zeros = np.zeros(n, dtype=np.int64)
+        n_eval = zeros.copy()
+        fresh_by_kind = {"object": zeros.copy(), "action": zeros.copy()}
+        cached_by_kind = {"object": zeros.copy(), "action": zeros.copy()}
+        outcome_cols: list[list[PredicateOutcome]] = []
+        for label in self._user_labels:
+            kind = "action" if label in self._action_set else "object"
+            counts = cache.counts_block(kind, label, start, hi)
+            evaluated = alive.copy() if short_circuit else ones
+            indicator = counts >= k_crit[label]
+            fresh = cache.charge_block(kind, label, start, evaluated)
+            n_eval += evaluated
+            fresh_by_kind[kind] += fresh
+            cached_by_kind[kind] += evaluated & ~fresh
+            # Quotas are frozen for the block, so one outcome object per
+            # distinct count serves every clip it occurs on (outcomes are
+            # immutable and compared by value).
+            quota = k_crit[label]
+            units = cache.units_per_clip(kind)
+            memo_key = (label, quota)
+            memo = self._outcome_memo.get(memo_key)
+            if memo is None:
+                memo = self._outcome_memo[memo_key] = {}
+            skipped = self._skipped[label]
+            if not evaluated.any():
+                col = [skipped] * n
+            else:
+                col = []
+                for count, was_evaluated in zip(
+                    counts.tolist(), evaluated.tolist()
+                ):
+                    if was_evaluated:
+                        outcome = memo.get(count)
+                        if outcome is None:
+                            outcome = memo[count] = PredicateOutcome(
+                                label, kind, True, count, units, count >= quota
+                            )
+                        col.append(outcome)
+                    else:
+                        col.append(skipped)
+            outcome_cols.append(col)
+            alive &= indicator
+        # The conjunction of *all* indicators equals the serial positive:
+        # short-circuiting only ever skips predicates after a negative.
+        positive = alive.tolist()
+        stats = list(zip(
+            n_eval.tolist(),
+            fresh_by_kind["object"].tolist(),
+            cached_by_kind["object"].tolist(),
+            fresh_by_kind["action"].tolist(),
+            cached_by_kind["action"].tolist(),
+        ))
+
+        evaluations: list[ClipEvaluation] = []
+        clip_id = start
+        for i in range(n):
+            evaluations.append(
+                ClipEvaluation(
+                    clip_id, positive[i], tuple([col[i] for col in outcome_cols])
+                )
+            )
+            clip_id += 1
+        return evaluations, stats

@@ -25,6 +25,7 @@ from repro.core.context import ExecutionContext, ExecutionStats
 from repro.core.indicators import ClipEvaluation, ClipEvaluator, PredicateOutcome
 from repro.core.query import CompoundQuery, Query
 from repro.core.results import CompoundEvaluation, CompoundResult, OnlineResult
+from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.zoo import ModelZoo
 from repro.errors import QueryError
 from repro.utils.intervals import IntervalSet
@@ -57,6 +58,9 @@ class ConjunctivePredicate:
     """Algorithm 2 over a canonical conjunctive query."""
 
     supports_ordering = True
+    #: Whole cache chunks can be evaluated in one vectorised pass when the
+    #: quotas are frozen for the block (the session checks its policy).
+    supports_chunking = True
 
     def __init__(
         self,
@@ -64,15 +68,21 @@ class ConjunctivePredicate:
         query: Query,
         video: LabeledVideo,
         config: OnlineConfig,
+        cache: DetectionScoreCache | None = None,
     ) -> None:
         self._query = query
         self._evaluator = ClipEvaluator(
-            zoo, video.meta, video.truth, query, config
+            zoo, video.meta, video.truth, query, config, cache=cache
         )
 
     @property
     def query(self) -> Query:
         return self._query
+
+    @property
+    def cache(self) -> DetectionScoreCache | None:
+        """The detection score cache in use (None = serial reference)."""
+        return self._evaluator.cache
 
     @property
     def labels(self) -> tuple[str, ...]:
@@ -100,6 +110,19 @@ class ConjunctivePredicate:
     ) -> ClipEvaluation:
         return self._evaluator.evaluate(
             clip_id, quotas, short_circuit=short_circuit, order=order
+        )
+
+    def evaluate_chunk(
+        self,
+        start: int,
+        quotas: Mapping[str, int],
+        *,
+        short_circuit: bool,
+    ):
+        """Vectorised Algorithm 2 over ``start``'s whole cache chunk (see
+        :meth:`repro.core.indicators.ClipEvaluator.evaluate_chunk`)."""
+        return self._evaluator.evaluate_chunk(
+            start, quotas, short_circuit=short_circuit
         )
 
     def outcome_map(
@@ -176,6 +199,9 @@ class CnfPredicate:
     so selectivity re-ordering does not apply."""
 
     supports_ordering = False
+    #: Lazy literal evaluation makes which labels get touched clip-shape
+    #: dependent; CNF stays on the per-clip path.
+    supports_chunking = False
 
     def __init__(
         self,
@@ -183,6 +209,7 @@ class CnfPredicate:
         compound: CompoundQuery,
         video: LabeledVideo,
         config: OnlineConfig,
+        cache: DetectionScoreCache | None = None,
     ) -> None:
         self._zoo = zoo
         self._compound = compound
@@ -194,10 +221,41 @@ class CnfPredicate:
         self._action_labels = tuple(action_labels)
         self._action_set = set(action_labels)
         self._context: ExecutionContext | None = None
+        self._object_threshold = (
+            config.object_threshold
+            if config.object_threshold is not None
+            else zoo.detector.threshold
+        )
+        self._action_threshold = (
+            config.action_threshold
+            if config.action_threshold is not None
+            else zoo.recognizer.threshold
+        )
+        if cache is None and config.cache_detections:
+            cache = DetectionScoreCache(
+                zoo,
+                video.meta,
+                video.truth,
+                object_threshold=self._object_threshold,
+                action_threshold=self._action_threshold,
+                chunk_clips=config.cache_chunk_clips,
+            )
+        elif cache is not None:
+            cache.check_compatible(
+                video.meta,
+                object_threshold=self._object_threshold,
+                action_threshold=self._action_threshold,
+            )
+        self._cache = cache
 
     @property
     def compound(self) -> CompoundQuery:
         return self._compound
+
+    @property
+    def cache(self) -> DetectionScoreCache | None:
+        """The detection score cache in use (None = serial reference)."""
+        return self._cache
 
     @property
     def labels(self) -> tuple[str, ...]:
@@ -225,34 +283,32 @@ class CnfPredicate:
         outcomes: dict[str, PredicateOutcome] = {}
 
         def indicator(label: str) -> bool:
-            cached = outcomes.get(label)
-            if cached is not None:
-                return cached.indicator
+            memo = outcomes.get(label)
+            if memo is not None:
+                return memo.indicator
             kind = "action" if label in self._action_set else "object"
-            if kind == "action":
-                scores = self._zoo.recognizer.score_clip(
-                    self._meta, self._truth, label, clip_id
-                )
-                threshold = (
-                    self._config.action_threshold
-                    if self._config.action_threshold is not None
-                    else self._zoo.recognizer.threshold
-                )
+            if self._cache is not None:
+                count, units, fresh = self._cache.lookup(kind, label, clip_id)
+                if self._context is not None:
+                    self._context.record_model_call(kind, cached=not fresh)
             else:
-                scores = self._zoo.detector.score_clip(
-                    self._meta, self._truth, label, clip_id
-                )
-                threshold = (
-                    self._config.object_threshold
-                    if self._config.object_threshold is not None
-                    else self._zoo.detector.threshold
-                )
-            if self._context is not None:
-                self._context.record_model_call(kind)
-            count = int(np.count_nonzero(scores >= threshold))
+                if kind == "action":
+                    scores = self._zoo.recognizer.score_clip(
+                        self._meta, self._truth, label, clip_id
+                    )
+                    threshold = self._action_threshold
+                else:
+                    scores = self._zoo.detector.score_clip(
+                        self._meta, self._truth, label, clip_id
+                    )
+                    threshold = self._object_threshold
+                if self._context is not None:
+                    self._context.record_model_call(kind)
+                count = int(np.count_nonzero(scores >= threshold))
+                units = len(scores)
             outcome = PredicateOutcome(
                 label, kind, evaluated=True,
-                count=count, units=len(scores),
+                count=count, units=units,
                 indicator=count >= quotas[label],
             )
             outcomes[label] = outcome

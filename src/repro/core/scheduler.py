@@ -1,0 +1,206 @@
+"""Multi-query stream scheduling — N online queries over one video stream.
+
+A monitoring deployment rarely watches a camera with a single query;
+operators register many standing queries against the same feed.  Run
+serially, each query's session re-invokes the detector and recognizer on
+every clip, so model cost scales with the number of queries even though
+the *stream* is shared.
+
+:class:`MultiQueryScheduler` advances every session clip-by-clip in
+lockstep over one :class:`~repro.video.stream.ClipStream`, with all
+sessions attached to one shared
+:class:`~repro.detectors.cache.DetectionScoreCache` — each frame/shot is
+scored at most once per video regardless of how many queries ask about
+it.  The first session to evaluate a ``(kind, label, clip)`` is charged
+fresh model units exactly as the serial path would be; every other
+session's evaluation meters the same units as cache hits.  Results are
+bit-identical to running each session alone (sessions never observe each
+other — only the cache is shared, and counts are deterministic).
+
+Each session charges a private :class:`~repro.core.context.ExecutionContext`
+so its result carries exact per-query stats; the privates are merged into
+the caller's context afterwards, mirroring the thread-executor accounting
+of :meth:`repro.core.engine.OnlineEngine.run_many`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.config import OnlineConfig
+from repro.core.context import ExecutionContext
+from repro.core.query import CompoundQuery, Query
+from repro.core.session import StreamSession
+from repro.detectors.cache import DetectionScoreCache
+from repro.detectors.zoo import ModelZoo
+from repro.errors import ConfigurationError
+from repro.video.stream import ClipStream
+from repro.video.synthesis import LabeledVideo
+
+__all__ = ["QuerySpec", "MultiQueryRun", "MultiQueryScheduler", "as_specs"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One standing query registered with the scheduler.
+
+    ``algorithm`` selects the quota policy per query — ``"svaq"`` (static
+    critical values, optionally pinned via ``k_crit_overrides``) or
+    ``"svaqd"`` (dynamic) — so one stream can serve a mixed fleet.
+    ``query`` may be a canonical conjunctive :class:`Query` or a CNF
+    :class:`CompoundQuery` (footnotes 3–4).
+    """
+
+    name: str
+    query: Query | CompoundQuery
+    algorithm: str = "svaqd"
+    k_crit_overrides: Mapping[str, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("svaq", "svaqd"):
+            raise ConfigurationError(
+                f"unknown online algorithm {self.algorithm!r} "
+                f"for query {self.name!r}"
+            )
+
+
+def as_specs(
+    queries: Iterable[Any], *, algorithm: str = "svaqd"
+) -> list[QuerySpec]:
+    """Normalise a mixed list of specs/queries to named :class:`QuerySpec`s.
+
+    Bare queries are wrapped with auto-assigned names ``q0, q1, ...`` (by
+    input position) and the given default ``algorithm``; existing specs
+    pass through untouched.  Duplicate names are rejected.
+    """
+    specs: list[QuerySpec] = []
+    for index, item in enumerate(queries):
+        if isinstance(item, QuerySpec):
+            specs.append(item)
+        elif isinstance(item, (Query, CompoundQuery)):
+            specs.append(QuerySpec(f"q{index}", item, algorithm=algorithm))
+        else:
+            raise ConfigurationError(
+                f"expected Query, CompoundQuery or QuerySpec; got {item!r}"
+            )
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ConfigurationError(f"duplicate query names: {dupes}")
+    if not specs:
+        raise ConfigurationError("at least one query is required")
+    return specs
+
+
+@dataclass(frozen=True)
+class MultiQueryRun:
+    """All registered queries' results over one video stream.
+
+    ``results`` maps each spec's name to its
+    :class:`~repro.core.results.OnlineResult` /
+    :class:`~repro.core.results.CompoundResult`; every result's ``stats``
+    is that query's private per-session snapshot, so fresh-vs-cached
+    accounting is visible per query.
+    """
+
+    video_id: str
+    results: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.results[name]
+
+
+class MultiQueryScheduler:
+    """Lockstep execution of many online queries over shared streams.
+
+    Construct once per query fleet; :meth:`run` per video.  Each run
+    builds (or accepts) one :class:`DetectionScoreCache` for the video and
+    attaches every session to it; sessions advance clip-by-clip in
+    registration order, so charging order — who pays fresh units, who
+    meters hits — is deterministic.
+    """
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        queries: Iterable[Any],
+        config: OnlineConfig | None = None,
+    ) -> None:
+        self._zoo = zoo
+        self._config = config or OnlineConfig()
+        self._specs = as_specs(queries)
+
+    @property
+    def specs(self) -> tuple[QuerySpec, ...]:
+        return tuple(self._specs)
+
+    def sessions(
+        self,
+        video: LabeledVideo,
+        *,
+        cache: DetectionScoreCache | None = None,
+    ) -> dict[str, StreamSession]:
+        """One session per registered query, sharing one detection cache.
+
+        When ``cache`` is omitted and ``config.cache_detections`` is on, a
+        fresh per-video cache is built; with caching disabled each session
+        falls back to the serial ``score_clip`` reference path.  Every
+        session gets a private :class:`ExecutionContext`.
+        """
+        if cache is None and self._config.cache_detections:
+            cache = DetectionScoreCache.for_video(
+                self._zoo, video, self._config
+            )
+        sessions: dict[str, StreamSession] = {}
+        for spec in self._specs:
+            dynamic = spec.algorithm == "svaqd"
+            if isinstance(spec.query, CompoundQuery):
+                session = StreamSession.for_compound(
+                    self._zoo, spec.query, video, self._config,
+                    dynamic=dynamic,
+                    k_crit_overrides=spec.k_crit_overrides,
+                    context=ExecutionContext(),
+                    cache=cache,
+                )
+            else:
+                session = StreamSession.for_query(
+                    self._zoo, spec.query, video, self._config,
+                    dynamic=dynamic,
+                    k_crit_overrides=spec.k_crit_overrides,
+                    context=ExecutionContext(),
+                    cache=cache,
+                )
+            sessions[spec.name] = session
+        return sessions
+
+    def run(
+        self,
+        video: LabeledVideo,
+        *,
+        stream: ClipStream | None = None,
+        short_circuit: bool = True,
+        context: ExecutionContext | None = None,
+        cache: DetectionScoreCache | None = None,
+    ) -> MultiQueryRun:
+        """Advance every query over the video's stream in lockstep.
+
+        Per clip, every session evaluates before the stream moves on —
+        the cache chunk a clip lands in is materialised once and hot for
+        all N sessions.  ``context`` receives the merged counters of all
+        sessions; per-query stats live on each result.
+        """
+        sessions = self.sessions(video, cache=cache)
+        session_list = list(sessions.values())
+        clips = stream if stream is not None else ClipStream(video.meta)
+        while not clips.end():
+            clip = clips.next()
+            for session in session_list:
+                session.process(clip, short_circuit=short_circuit)
+        results = {
+            name: session.finish() for name, session in sessions.items()
+        }
+        if context is not None:
+            for session in sessions.values():
+                context.merge(session.context)
+        return MultiQueryRun(video_id=video.video_id, results=results)

@@ -41,6 +41,7 @@ conjunctive configuration.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping
 
 from repro.core.config import OnlineConfig
@@ -64,13 +65,16 @@ from repro.core.predicates import (
 )
 from repro.core.query import CompoundQuery, Query
 from repro.core.sequences import SequenceAssembler
+from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.zoo import ModelZoo
 from repro.errors import ConfigurationError
 from repro.video.model import ClipView
 from repro.video.synthesis import LabeledVideo
 
 #: Format tag written into checkpoints; bump on incompatible changes.
-CHECKPOINT_VERSION = 2
+#: v3 adds the detection-score-cache charge state; v1/v2 checkpoints
+#: (no ``cache`` entry) still load.
+CHECKPOINT_VERSION = 3
 
 
 class StreamSession:
@@ -92,9 +96,26 @@ class StreamSession:
         self._config = config or OnlineConfig()
         self._context = context if context is not None else ExecutionContext()
         predicate.attach_context(self._context)
+        # Static quotas never move, so the per-clip dict build is hoisted
+        # out of the hot loop (dynamic policies still read per clip).
+        self._static_quotas = None if policy.dynamic else policy.quotas()
+        self._labels = tuple(predicate.labels)
+        self._n_labels = len(self._labels)
+        # Static quotas freeze Algorithm 2's inputs for whole cache chunks,
+        # so conjunctive sessions with a cache evaluate chunk-at-a-time
+        # through a buffer (SVAQD moves quotas per clip and stays serial).
+        self._chunkable = (
+            not policy.dynamic
+            and getattr(predicate, "supports_chunking", False)
+            and predicate.cache is not None
+        )
+        self._chunk_buffer: list[tuple[Any, tuple]] = []
+        self._buffer_pos = 0
+        self._buffer_short_circuit: bool | None = None
         self._assembler = SequenceAssembler()
         self._evaluations: list[Any] = []
         self._pending: Any | None = None
+        self._pending_map: Mapping[str, Any] | None = None
         self._prev_positive = False
         self._clip_index = 0
         self._finished = False
@@ -121,15 +142,19 @@ class StreamSession:
         k_crit_overrides: Mapping[str, int] | None = None,
         record_trace: bool = False,
         context: ExecutionContext | None = None,
+        cache: DetectionScoreCache | None = None,
     ) -> "StreamSession":
         """A session over a canonical conjunctive query.
 
         ``dynamic=True`` is SVAQD (Algorithm 3); ``dynamic=False`` is SVAQ
         (Algorithm 1) with critical values fixed from the configured ``p₀``
-        or pinned per label via ``k_crit_overrides``.
+        or pinned per label via ``k_crit_overrides``.  ``cache`` attaches a
+        shared :class:`~repro.detectors.cache.DetectionScoreCache` so many
+        sessions over one stream score each clip at most once (the
+        multi-query scheduler passes one per video).
         """
         config = config or OnlineConfig()
-        predicate = ConjunctivePredicate(zoo, query, video, config)
+        predicate = ConjunctivePredicate(zoo, query, video, config, cache=cache)
         policy = cls._build_policy(
             predicate.frame_labels,
             predicate.action_labels,
@@ -155,10 +180,11 @@ class StreamSession:
         k_crit_overrides: Mapping[str, int] | None = None,
         record_trace: bool = False,
         context: ExecutionContext | None = None,
+        cache: DetectionScoreCache | None = None,
     ) -> "StreamSession":
         """A session over a CNF compound query (footnotes 3–4)."""
         config = config or OnlineConfig()
-        predicate = CnfPredicate(zoo, compound, video, config)
+        predicate = CnfPredicate(zoo, compound, video, config, cache=cache)
         frame_labels, action_labels = cnf_label_kinds(compound)
         policy = cls._build_policy(
             frame_labels, action_labels, video, config,
@@ -205,6 +231,11 @@ class StreamSession:
     def policy(self) -> QuotaPolicy:
         return self._policy
 
+    @property
+    def cache(self):
+        """The session's detection score cache (None = serial path)."""
+        return self._predicate.cache
+
     def quotas(self) -> dict[str, int]:
         """Current per-predicate critical values."""
         return self._policy.quotas()
@@ -221,11 +252,20 @@ class StreamSession:
         """
         if not self._predicate.supports_ordering:
             return None
-        user_order = list(self._predicate.labels)
+        override = self._order_override()
+        return override if override is not None else list(self._predicate.labels)
+
+    def _order_override(self) -> list[str] | None:
+        """Selectivity-sorted order, or None when the user order stands —
+        the hot loop passes None through so the evaluator can take its
+        precomputed fast path (identical semantics to the user order)."""
+        if not self._predicate.supports_ordering:
+            return None
         if self._config.predicate_order != "selective":
-            return user_order
+            return None
         if min(self._probed.values(), default=0) < 3:
-            return user_order
+            return None
+        user_order = self._predicate.labels
         rates = {
             label: self._fired[label] / self._probed[label]
             for label in user_order
@@ -244,73 +284,156 @@ class StreamSession:
     # -- streaming --------------------------------------------------------------
 
     def process(self, clip: ClipView, *, short_circuit: bool = True):
-        """Evaluate one clip and fold it into the session state."""
+        """Evaluate one clip and fold it into the session state.
+
+        Stage timing is inlined (``perf_counter`` pairs rather than the
+        ``ExecutionContext.stage`` context manager) — the accounting is
+        identical but this method runs once per clip per session and the
+        generator machinery was a measurable share of it.
+        """
         if self._finished:
             raise ConfigurationError("session already finished")
+        context = self._context
+        if self._chunkable:
+            # Static quotas, no probing, user evaluation order: the whole
+            # pipeline reduces to consuming the chunk buffer plus a few
+            # counter increments, so this branch stays deliberately lean
+            # (one timing pair, charged to the evaluate stage).
+            quotas = self._static_quotas
+            if self._record_trace:
+                self._trace.append(dict(quotas))
+            start = time.perf_counter()
+            clip_id = clip.clip_id
+            buffer = self._chunk_buffer
+            pos = self._buffer_pos
+            if (
+                pos >= len(buffer)
+                or buffer[pos][0].clip_id != clip_id
+                or self._buffer_short_circuit != short_circuit
+            ):
+                self._chunk_buffer = buffer = list(zip(
+                    *self._predicate.evaluate_chunk(
+                        clip_id, quotas, short_circuit=short_circuit
+                    )
+                ))
+                self._buffer_short_circuit = short_circuit
+                pos = 0
+            evaluation, chunk_stats = buffer[pos]
+            self._buffer_pos = pos + 1
+            evaluated_n, obj_fresh, obj_cached, act_fresh, act_cached = (
+                chunk_stats
+            )
+            # Meter charges landed at chunk-evaluation time; the logical
+            # per-session invocation counters land here, per clip.
+            context.detector_invocations += obj_fresh + obj_cached
+            context.detector_cache_hits += obj_cached
+            context.recognizer_invocations += act_fresh + act_cached
+            context.recognizer_cache_hits += act_cached
+            self._clip_index += 1
+            context.clips_processed += 1
+            context.predicates_evaluated += evaluated_n
+            context.predicates_skipped += self._n_labels - evaluated_n
+            self._evaluations.append(evaluation)
+            emitted = self._assembler.push(clip_id, evaluation.positive)
+            if emitted is not None:
+                context.sequences_emitted += 1
+            pending = self._pending
+            if pending is not None:
+                # Static quotas never move (the policy update is a no-op
+                # by design); only the guard-band lookahead is tracked.
+                self._prev_positive = pending.positive
+            self._pending = evaluation
+            context.add_stage_time(
+                STAGE_EVALUATE, time.perf_counter() - start
+            )
+            return evaluation
+        dynamic = self._policy.dynamic
         probe_every = self._config.probe_every
         probing = (
-            self._policy.dynamic
+            dynamic
             and probe_every > 0
             and self._clip_index % probe_every == 0
         )
-        quotas = self._policy.quotas()
-        if self._record_trace:
-            self._trace.append(quotas)
-        with self._context.stage(STAGE_EVALUATE):
-            evaluation = self._predicate.evaluate(
-                clip.clip_id,
-                quotas,
-                short_circuit=short_circuit and not probing,
-                order=self.evaluation_order(),
-            )
-        self._clip_index += 1
-        self._context.clips_processed += 1
-        if probing:
-            self._context.probe_clips += 1
-        outcome_map = self._predicate.outcome_map(evaluation)
-        evaluated_n = sum(1 for o in outcome_map.values() if o.evaluated)
-        self._context.predicates_evaluated += evaluated_n
-        self._context.predicates_skipped += (
-            len(self._predicate.labels) - evaluated_n
+        quotas = (
+            self._static_quotas
+            if self._static_quotas is not None
+            else self._policy.quotas()
         )
+        if self._record_trace:
+            self._trace.append(dict(quotas))
+        start = time.perf_counter()
+        evaluation = self._predicate.evaluate(
+            clip.clip_id,
+            quotas,
+            short_circuit=short_circuit and not probing,
+            order=self._order_override(),
+        )
+        context.add_stage_time(STAGE_EVALUATE, time.perf_counter() - start)
+        outcome_map = self._predicate.outcome_map(evaluation)
+        evaluated_n = 0
+        for outcome in outcome_map.values():
+            if outcome.evaluated:
+                evaluated_n += 1
         if probing:
+            context.probe_clips += 1
             for outcome in outcome_map.values():
                 if outcome.evaluated:
                     self._probed[outcome.label] += 1
                     self._fired[outcome.label] += int(outcome.indicator)
+        self._clip_index += 1
+        context.clips_processed += 1
+        context.predicates_evaluated += evaluated_n
+        context.predicates_skipped += self._n_labels - evaluated_n
         self._evaluations.append(evaluation)
-        with self._context.stage(STAGE_ASSEMBLE):
-            emitted = self._assembler.push(clip.clip_id, evaluation.positive)
+        start = time.perf_counter()
+        emitted = self._assembler.push(clip.clip_id, evaluation.positive)
+        context.add_stage_time(STAGE_ASSEMBLE, time.perf_counter() - start)
         if emitted is not None:
-            self._context.sequences_emitted += 1
-        with self._context.stage(STAGE_QUOTAS):
-            if self._pending is not None:
+            context.sequences_emitted += 1
+        pending = self._pending
+        if dynamic:
+            start = time.perf_counter()
+            if pending is not None:
                 self._policy.update(
-                    self._predicate.outcome_map(self._pending),
-                    positive=self._pending.positive,
+                    self._pending_map,
+                    positive=pending.positive,
                     in_guard_band=self._prev_positive or evaluation.positive,
                 )
-                if self._policy.dynamic:
-                    self._context.quota_refreshes += 1
-                self._prev_positive = self._pending.positive
-            self._pending = evaluation
+                context.quota_refreshes += 1
+                self._prev_positive = pending.positive
+            context.add_stage_time(STAGE_QUOTAS, time.perf_counter() - start)
+        elif pending is not None:
+            # Static quotas never move (the policy update is a no-op by
+            # design), so the quotas stage reduces to guard-band tracking.
+            self._prev_positive = pending.positive
+        self._pending = evaluation
+        self._pending_map = outcome_map
         return evaluation
 
     def finish(self):
         """Close the stream and return the run's result."""
         if not self._finished:
-            with self._context.stage(STAGE_QUOTAS):
-                if self._pending is not None:
+            start = time.perf_counter()
+            if self._pending is not None:
+                if self._policy.dynamic:
                     self._policy.update(
-                        self._predicate.outcome_map(self._pending),
+                        self._pending_map
+                        if self._pending_map is not None
+                        else self._predicate.outcome_map(self._pending),
                         positive=self._pending.positive,
                         in_guard_band=self._prev_positive,
                     )
-                    if self._policy.dynamic:
-                        self._context.quota_refreshes += 1
-                    self._pending = None
-            with self._context.stage(STAGE_ASSEMBLE):
-                emitted = self._assembler.finish()
+                    self._context.quota_refreshes += 1
+                self._pending = None
+                self._pending_map = None
+            self._context.add_stage_time(
+                STAGE_QUOTAS, time.perf_counter() - start
+            )
+            start = time.perf_counter()
+            emitted = self._assembler.finish()
+            self._context.add_stage_time(
+                STAGE_ASSEMBLE, time.perf_counter() - start
+            )
             if emitted is not None:
                 self._context.sequences_emitted += 1
             self._finished = True
@@ -333,10 +456,14 @@ class StreamSession:
         policy's state (estimators or static quotas), the open result run,
         the guard-band lookahead and the probe counter.  Already-emitted
         sequences are included so the resumed session's final result is
-        the full stream's.
+        the full stream's.  Since v3 the detection score cache's charge
+        bookkeeping rides along, so a resumed session keeps metering
+        already-charged clips as cache hits rather than re-charging fresh
+        model units.
         """
         if self._finished:
             raise ConfigurationError("cannot checkpoint a finished session")
+        cache = self._predicate.cache
         return {
             "version": CHECKPOINT_VERSION,
             "clip_index": self._clip_index,
@@ -350,6 +477,7 @@ class StreamSession:
             "assembler": self._assembler.state_dict(),
             "selectivity": {"fired": self._fired, "probed": self._probed},
             "trace": list(self._trace),
+            "cache": cache.state_dict() if cache is not None else None,
         }
 
     def load_state_dict(self, state: dict) -> "StreamSession":
@@ -367,12 +495,26 @@ class StreamSession:
             if pending is not None
             else None
         )
+        self._pending_map = (
+            self._predicate.outcome_map(self._pending)
+            if self._pending is not None
+            else None
+        )
+        self._chunk_buffer = []
+        self._buffer_pos = 0
+        self._buffer_short_circuit = None
         if "policy" in state:
             policy_state = state["policy"]
         else:
             # v1 checkpoints (SVAQD only) stored bare estimator states.
             policy_state = {"kind": "dynamic", "estimators": state["estimators"]}
         self._policy = policy_from_state_dict(policy_state, self._policy)
+        if not self._policy.dynamic:
+            self._static_quotas = self._policy.quotas()
+        cache_state = state.get("cache")  # absent in v1/v2 checkpoints
+        cache = self._predicate.cache
+        if cache_state is not None and cache is not None:
+            cache.load_state_dict(cache_state)
         self._assembler = SequenceAssembler.from_state_dict(state["assembler"])
         selectivity = state.get("selectivity", {})
         self._fired.update(selectivity.get("fired", {}))

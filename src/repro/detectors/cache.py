@@ -1,0 +1,340 @@
+"""Cross-query detection score cache — the shared half of the online hot
+path.
+
+The paper's online algorithms charge one model invocation per predicate per
+clip (Algorithm 2).  When many queries watch the same stream — the
+monitoring deployments of *Video Monitoring Queries* (Koudas et al.) — most
+of those invocations ask a model a question it has already answered for
+another session: "how many frames of clip ``c`` show a ``car``?".
+
+:class:`DetectionScoreCache` materialises, per ``(detector kind, label)``,
+a **count column**: the number of above-threshold predictions inside every
+clip of one video.  Columns are built lazily in chunks of
+``chunk_clips`` clips with one vectorised reshape/sum pass over the
+model's full score vector, so each frame/shot is *scored* by a model at
+most once per process, and each clip's count is computed at most once per
+cache.
+
+Metering stays exact (the Table-8 invariant).  Scoring work and
+*charging* are decoupled: materialising a chunk charges nothing; a
+session is charged when it **evaluates** a predicate on a clip, exactly
+as the serial Algorithm-2 path charges it.  The first evaluation of a
+``(kind, label, clip)`` anywhere in the process charges *fresh* model
+units to the :class:`~repro.detectors.cost.CostMeter` (same units, same
+``ms_per_unit`` as the uncached path); every later evaluation — another
+session re-asking — records the same units as *cached* via
+:meth:`CostMeter.record_cached`.  Hence for any workload::
+
+    serial fresh units  ==  shared fresh units + shared cached units
+
+per model, and a single session over a cold cache meters identically to
+the uncached serial path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.detectors.zoo import ModelZoo
+from repro.errors import ConfigurationError
+from repro.video.ground_truth import GroundTruth
+from repro.video.model import VideoMeta
+
+if TYPE_CHECKING:  # pragma: no cover - layering: detectors must not pull core
+    from repro.core.config import OnlineConfig
+
+_KINDS = ("object", "action")
+
+
+def _runs_of(mask: np.ndarray) -> list[list[int]]:
+    """Encode a boolean array as inclusive ``[start, end]`` runs of True."""
+    if not mask.any():
+        return []
+    padded = np.diff(np.concatenate(([0], mask.view(np.int8), [0])))
+    starts = np.flatnonzero(padded == 1)
+    ends = np.flatnonzero(padded == -1) - 1
+    return [[int(s), int(e)] for s, e in zip(starts, ends)]
+
+
+class DetectionScoreCache:
+    """Per-video, per-``(kind, label)`` columns of per-clip detection counts.
+
+    One cache serves any number of sessions over the same video, provided
+    they agree on the detection thresholds (validated when an evaluator
+    attaches).  Materialisation is guarded by a lock so the thread
+    executor of :meth:`repro.core.engine.OnlineEngine.run_queries_many`
+    could share one safely, though the intended deployment is one cache
+    per video stream.
+    """
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        video: VideoMeta,
+        truth: GroundTruth,
+        *,
+        object_threshold: float,
+        action_threshold: float,
+        chunk_clips: int = 64,
+    ) -> None:
+        if chunk_clips < 1:
+            raise ConfigurationError(
+                f"chunk_clips must be >= 1; got {chunk_clips}"
+            )
+        self._zoo = zoo
+        self._video = video
+        self._truth = truth
+        self._thresholds = {
+            "object": float(object_threshold),
+            "action": float(action_threshold),
+        }
+        self._chunk = int(chunk_clips)
+        n_clips = video.n_clips
+        self._n_clips = n_clips
+        self._units = {
+            "object": video.geometry.frames_per_clip,
+            "action": video.geometry.shots_per_clip,
+        }
+        self._n_chunks = -(-n_clips // self._chunk)
+        #: (kind, label) -> int64 per-clip count column (chunk-materialised)
+        self._counts: dict[tuple[str, str], np.ndarray] = {}
+        #: (kind, label) -> bytearray flagging materialised chunks
+        self._ready: dict[tuple[str, str], bytearray] = {}
+        #: (kind, label) -> bool column: fresh units already charged
+        self._charged: dict[tuple[str, str], np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def for_video(
+        cls,
+        zoo: ModelZoo,
+        video,
+        config: "OnlineConfig | None" = None,
+    ) -> "DetectionScoreCache":
+        """A cache for one :class:`~repro.video.synthesis.LabeledVideo`,
+        with thresholds resolved the way :class:`ClipEvaluator` resolves
+        them (config override, else the deployed profile's)."""
+        from repro.core.config import OnlineConfig
+
+        config = config or OnlineConfig()
+        return cls(
+            zoo,
+            video.meta,
+            video.truth,
+            object_threshold=(
+                config.object_threshold
+                if config.object_threshold is not None
+                else zoo.detector.threshold
+            ),
+            action_threshold=(
+                config.action_threshold
+                if config.action_threshold is not None
+                else zoo.recognizer.threshold
+            ),
+            chunk_clips=config.cache_chunk_clips,
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def video_id(self) -> str:
+        return self._video.video_id
+
+    @property
+    def n_clips(self) -> int:
+        return self._n_clips
+
+    @property
+    def chunk_clips(self) -> int:
+        """Clips per lazily-materialised block (the vectorisation grain)."""
+        return self._chunk
+
+    def threshold(self, kind: str) -> float:
+        return self._thresholds[kind]
+
+    def units_per_clip(self, kind: str) -> int:
+        return self._units[kind]
+
+    def check_compatible(
+        self,
+        video: VideoMeta,
+        *,
+        object_threshold: float,
+        action_threshold: float,
+    ) -> None:
+        """Reject attaching an evaluator whose video or thresholds differ —
+        a shared column must answer every session's question identically."""
+        if video.video_id != self._video.video_id:
+            raise ConfigurationError(
+                f"cache holds video {self._video.video_id!r}, "
+                f"not {video.video_id!r}"
+            )
+        if video.geometry != self._video.geometry:
+            raise ConfigurationError(
+                f"cache geometry differs for video {video.video_id!r}"
+            )
+        if (
+            float(object_threshold) != self._thresholds["object"]
+            or float(action_threshold) != self._thresholds["action"]
+        ):
+            raise ConfigurationError(
+                "detection thresholds differ from the shared cache's; "
+                "sessions sharing a cache must share thresholds"
+            )
+
+    # -- the hot path -------------------------------------------------------------
+
+    def lookup(self, kind: str, label: str, clip_id: int) -> tuple[int, int, bool]:
+        """Count and units for one predicate on one clip, with charging.
+
+        Returns ``(count, units, fresh)``.  ``fresh`` is True when this is
+        the first evaluation of ``(kind, label, clip_id)`` through this
+        cache: fresh model units are charged to the zoo's cost meter at
+        the model's per-unit latency, exactly as the uncached
+        ``score_clip`` path charges them.  Later evaluations record the
+        same units as cached.
+        """
+        key = (kind, label)
+        col = self._counts.get(key)
+        if col is None or not self._ready[key][clip_id // self._chunk]:
+            self._materialise(kind, label, clip_id)
+            col = self._counts[key]
+        units = self._units[kind]
+        charged = self._charged[key]
+        fresh = not charged[clip_id]
+        model = self._zoo.detector if kind == "object" else self._zoo.recognizer
+        if fresh:
+            charged[clip_id] = True
+            self._zoo.cost_meter.record(
+                model.name, units, model.profile.ms_per_unit
+            )
+        else:
+            self._zoo.cost_meter.record_cached(model.name, units)
+        return int(col[clip_id]), units, fresh
+
+    def counts_block(
+        self, kind: str, label: str, lo: int, hi: int
+    ) -> np.ndarray:
+        """Charge-free count column slice for clips ``[lo, hi)``,
+        materialising any missing chunks.  The vectorised evaluator reads
+        whole blocks through this instead of per-clip :meth:`lookup`."""
+        key = (kind, label)
+        first = lo // self._chunk
+        last = (hi - 1) // self._chunk
+        ready = self._ready.get(key)
+        if ready is None or not all(ready[first : last + 1]):
+            for chunk in range(first, last + 1):
+                ready = self._ready.get(key)
+                if ready is None or not ready[chunk]:
+                    self._materialise(kind, label, chunk * self._chunk)
+        return self._counts[key][lo:hi]
+
+    def charge_block(
+        self, kind: str, label: str, lo: int, evaluated: np.ndarray
+    ) -> np.ndarray:
+        """Bulk equivalent of :meth:`lookup`'s charging for one label over
+        clips ``[lo, lo + len(evaluated))``.
+
+        ``evaluated`` flags the clips Algorithm 2 actually evaluated (a
+        short-circuited clip charges nothing, exactly as in the serial
+        path).  Evaluated clips not yet charged anywhere in the process
+        charge fresh model units in one meter record; already-charged ones
+        record as cached.  Totals are identical to per-clip charging.
+        Returns the boolean fresh mask (aligned with ``evaluated``).
+        """
+        key = (kind, label)
+        span = self._charged[key][lo : lo + len(evaluated)]
+        fresh = evaluated & ~span
+        n_fresh = int(fresh.sum())
+        n_cached = int(evaluated.sum()) - n_fresh
+        span |= fresh
+        units = self._units[kind]
+        model = self._zoo.detector if kind == "object" else self._zoo.recognizer
+        meter = self._zoo.cost_meter
+        if n_fresh:
+            meter.record(model.name, n_fresh * units, model.profile.ms_per_unit)
+        if n_cached:
+            meter.record_cached(model.name, n_cached * units)
+        return fresh
+
+    def counts(self, kind: str, label: str, clip_id: int) -> tuple[int, int]:
+        """Charge-free peek at one clip's count (diagnostics, tests)."""
+        key = (kind, label)
+        col = self._counts.get(key)
+        if col is None or not self._ready[key][clip_id // self._chunk]:
+            self._materialise(kind, label, clip_id)
+            col = self._counts[key]
+        return int(col[clip_id]), self._units[kind]
+
+    def _materialise(self, kind: str, label: str, clip_id: int) -> None:
+        """Build the chunk of the count column containing ``clip_id``.
+
+        One vectorised pass: threshold the model's (already memoised) full
+        score vector over the chunk's span, reshape to
+        ``(clips, units_per_clip)`` and sum — each clip's Eq. 1/2 count in
+        one shot.  Scoring charges nothing; charging follows evaluation.
+        """
+        key = (kind, label)
+        with self._lock:
+            col = self._counts.get(key)
+            if col is None:
+                col = np.zeros(self._n_clips, dtype=np.int64)
+                self._counts[key] = col
+                self._ready[key] = bytearray(self._n_chunks)
+                self._charged[key] = np.zeros(self._n_clips, dtype=bool)
+            chunk = clip_id // self._chunk
+            if self._ready[key][chunk]:
+                return
+            units = self._units[kind]
+            lo_clip = chunk * self._chunk
+            hi_clip = min(self._n_clips, lo_clip + self._chunk)
+            if kind == "object":
+                scores = self._zoo.detector.score_video(
+                    self._video, self._truth, label
+                )
+            else:
+                scores = self._zoo.recognizer.score_video(
+                    self._video, self._truth, label
+                )
+            span = scores[lo_clip * units : hi_clip * units]
+            mask = span >= self._thresholds[kind]
+            col[lo_clip:hi_clip] = mask.reshape(-1, units).sum(axis=1)
+            self._ready[key][chunk] = True
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable charge bookkeeping (counts are derived data
+        and rebuild identically; only *who has been charged* is state)."""
+        return {
+            "charged": {
+                f"{kind}:{label}": _runs_of(charged)
+                for (kind, label), charged in self._charged.items()
+                if charged.any()
+            }
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Mark clips as already-fresh-charged without charging the meter
+        (their units were metered before the checkpoint was taken)."""
+        for key, runs in state.get("charged", {}).items():
+            kind, _, label = key.partition(":")
+            if kind not in _KINDS:
+                raise ConfigurationError(
+                    f"unknown detector kind {kind!r} in cache checkpoint"
+                )
+            cache_key = (kind, label)
+            if cache_key not in self._charged:
+                self._charged[cache_key] = np.zeros(self._n_clips, dtype=bool)
+                self._counts.setdefault(
+                    cache_key, np.zeros(self._n_clips, dtype=np.int64)
+                )
+                self._ready.setdefault(cache_key, bytearray(self._n_chunks))
+            charged = self._charged[cache_key]
+            for start, end in runs:
+                charged[start : end + 1] = True

@@ -25,6 +25,13 @@ class CostMeter:
 
     _ms: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     _units: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Units served from the detection score cache instead of fresh
+    #: inference — tracked separately so the Table-8 metering stays exact:
+    #: ``units`` is real model work, ``cached_units`` is work the cache
+    #: avoided; their sum equals the units a cache-free run would charge.
+    _cached_units: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -36,6 +43,13 @@ class CostMeter:
         with self._lock:
             self._ms[model] += units * ms_per_unit
             self._units[model] += units
+
+    def record_cached(self, model: str, units: int) -> None:
+        """Record ``units`` served from a score cache (no latency charged)."""
+        if units < 0:
+            raise ValueError(f"units must be >= 0; got {units}")
+        with self._lock:
+            self._cached_units[model] += units
 
     def ms(self, model: str | None = None) -> float:
         """Accumulated milliseconds for one model (or all models)."""
@@ -51,6 +65,13 @@ class CostMeter:
                 return self._units.get(model, 0)
             return sum(self._units.values())
 
+    def cached_units(self, model: str | None = None) -> int:
+        """Accumulated cache-served units (no inference ran for these)."""
+        with self._lock:
+            if model is not None:
+                return self._cached_units.get(model, 0)
+            return sum(self._cached_units.values())
+
     def breakdown(self) -> dict[str, float]:
         """Milliseconds per model, for reporting."""
         with self._lock:
@@ -60,6 +81,7 @@ class CostMeter:
         with self._lock:
             self._ms.clear()
             self._units.clear()
+            self._cached_units.clear()
 
     def merge(self, other: "CostMeter") -> None:
         """Fold another meter's charges into this one.
@@ -72,11 +94,14 @@ class CostMeter:
         with other._lock:
             ms = dict(other._ms)
             units = dict(other._units)
+            cached = dict(other._cached_units)
         with self._lock:
             for model, value in ms.items():
                 self._ms[model] += value
             for model, value in units.items():
                 self._units[model] += value
+            for model, value in cached.items():
+                self._cached_units[model] += value
 
     # The lock is an implementation detail — drop it when pickling (for
     # process-pool workers) and rebuild it on restore.  ``copy.deepcopy``
@@ -84,9 +109,14 @@ class CostMeter:
 
     def __getstate__(self) -> dict:
         with self._lock:
-            return {"_ms": dict(self._ms), "_units": dict(self._units)}
+            return {
+                "_ms": dict(self._ms),
+                "_units": dict(self._units),
+                "_cached_units": dict(self._cached_units),
+            }
 
     def __setstate__(self, state: dict) -> None:
         self._ms = defaultdict(float, state["_ms"])
         self._units = defaultdict(int, state["_units"])
+        self._cached_units = defaultdict(int, state.get("_cached_units", {}))
         self._lock = threading.Lock()

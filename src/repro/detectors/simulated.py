@@ -59,6 +59,12 @@ class _SimulatedModel:
         self._vocabulary = vocabulary
         self._cost = cost_meter
         self._cache: dict[tuple[str, str, int], np.ndarray] = {}
+        #: Memo of complete ``score_video`` results per (video, label[, …]):
+        #: without it every per-clip evaluation re-projects the ground-truth
+        #: spans (and, for actions, re-slices frames into shots) before
+        #: hitting the synthesis cache — measurable overhead on the online
+        #: hot path where ``score_clip`` runs per predicate per clip.
+        self._video_memo: dict[tuple, np.ndarray] = {}
 
     @property
     def name(self) -> str:
@@ -144,6 +150,7 @@ class _SimulatedModel:
 
     def cache_clear(self) -> None:
         self._cache.clear()
+        self._video_memo.clear()
 
 
 class SimulatedObjectDetector(_SimulatedModel):
@@ -167,14 +174,20 @@ class SimulatedObjectDetector(_SimulatedModel):
     def score_video(
         self, video: VideoMeta, truth: GroundTruth, label: str
     ) -> np.ndarray:
+        key = (video.video_id, label, video.usable_frames)
+        memo = self._video_memo.get(key)
+        if memo is not None:
+            return memo
         self._check_label(label)
-        return self._synthesize(
+        scores = self._synthesize(
             video.video_id,
             label,
             truth.object_frames(label),
             video.usable_frames,
             outage_spans=truth.outage_frames,
         )
+        self._video_memo[key] = scores
+        return scores
 
     def score_frame(
         self, video: VideoMeta, truth: GroundTruth, label: str, frame: int
@@ -219,6 +232,13 @@ class SimulatedActionRecognizer(_SimulatedModel):
     def score_video(
         self, video: VideoMeta, truth: GroundTruth, label: str
     ) -> np.ndarray:
+        key = (
+            video.video_id, label,
+            video.geometry.frames_per_shot, video.n_shots,
+        )
+        memo = self._video_memo.get(key)
+        if memo is not None:
+            return memo
         self._check_label(label)
         shot_spans = truth.action_shots(label, video.geometry)
         outage_shots = (
@@ -226,7 +246,7 @@ class SimulatedActionRecognizer(_SimulatedModel):
             if truth.outage_frames
             else None
         )
-        return self._synthesize(
+        scores = self._synthesize(
             # Shot indexing depends on the shot length, so the cache key must
             # include it; _synthesize keys on n_units which differs per
             # geometry, plus we tag the video id with the shot length.
@@ -236,6 +256,8 @@ class SimulatedActionRecognizer(_SimulatedModel):
             video.n_shots,
             outage_spans=outage_shots,
         )
+        self._video_memo[key] = scores
+        return scores
 
     def score_shot(
         self, video: VideoMeta, truth: GroundTruth, label: str, shot: int

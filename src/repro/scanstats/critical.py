@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+import numpy as np
+
 from repro.errors import ScanStatisticsError
 from repro.scanstats.naus import naus_scan_tail
 from repro.utils.validation import require_positive_int, require_probability
@@ -104,10 +106,23 @@ class CriticalValueTable:
         if self.resolution <= 0:
             raise ScanStatisticsError("resolution must be positive")
 
-    def lookup(self, p: float) -> int:
-        """Critical value for background probability ``p`` (quantised)."""
+    def bucket_of(self, p: float) -> int:
+        """The quantised-probability bucket ``p`` falls into."""
         p = min(1.0, max(self.p_floor, float(p)))
-        bucket = int(round(math.log10(p) / self.resolution))
+        return int(round(math.log10(p) / self.resolution))
+
+    def buckets_of(self, ps) -> np.ndarray:
+        """Vectorised :meth:`bucket_of` over an array of probabilities.
+
+        One ``np.log10``/``np.rint`` pass over the whole probability axis
+        — both round half-to-even exactly like the scalar path, so the
+        buckets are identical element for element.
+        """
+        clipped = np.clip(np.asarray(ps, dtype=float), self.p_floor, 1.0)
+        return np.rint(np.log10(clipped) / self.resolution).astype(np.int64)
+
+    def lookup_bucket(self, bucket: int) -> int:
+        """Critical value for one quantised bucket (memoised)."""
         hit = self._memo.get(bucket)
         if hit is not None:
             return hit
@@ -126,3 +141,19 @@ class CriticalValueTable:
             )
         self._memo[bucket] = value
         return value
+
+    def lookup(self, p: float) -> int:
+        """Critical value for background probability ``p`` (quantised)."""
+        return self.lookup_bucket(self.bucket_of(p))
+
+    def lookup_many(self, ps) -> np.ndarray:
+        """Critical values for a whole vector of probabilities.
+
+        SVAQD refreshes every predicate's quota after every clip; this
+        routes the refresh through one vectorised pass over the quantised
+        probability axis, then resolves only the (few) distinct buckets
+        through the memo.  Identical to ``[lookup(p) for p in ps]``.
+        """
+        buckets = self.buckets_of(ps)
+        distinct = {int(b): self.lookup_bucket(int(b)) for b in np.unique(buckets)}
+        return np.array([distinct[int(b)] for b in buckets], dtype=np.int64)

@@ -105,3 +105,37 @@ class TestSharedContext:
         context.clips_processed = 9
         assert stats.clips_processed == 5
         assert stats.as_dict()["clips_processed"] == 5
+
+
+class TestCacheHitCounters:
+    def test_cached_calls_count_as_invocations_and_hits(self):
+        context = ExecutionContext()
+        context.record_model_call("object", 3)
+        context.record_model_call("object", 2, cached=True)
+        context.record_model_call("action", 1, cached=True)
+        stats = context.snapshot()
+        assert stats.detector_invocations == 5
+        assert stats.detector_cache_hits == 2
+        assert stats.recognizer_cache_hits == 1
+        assert stats.cache_hits == 3
+        assert stats.cache_hit_rate == pytest.approx(3 / 6)
+
+    def test_merge_carries_hit_counters(self):
+        a, b = ExecutionContext(), ExecutionContext()
+        b.record_model_call("object", 4, cached=True)
+        a.merge(b)
+        assert a.detector_cache_hits == 4
+        assert a.snapshot().as_dict()["detector_cache_hits"] == 4
+
+    def test_summary_surfaces_cache_and_fresh_lines(self):
+        context = ExecutionContext()
+        context.clips_processed = 2
+        context.record_model_call("object", 3)
+        context.record_model_call("object", 1, cached=True)
+        context.add_stage_time("evaluate", 0.002)
+        text = context.snapshot().summary()
+        assert "execution stats:" in text
+        assert "cache hits           : 1" in text
+        assert "hit rate 25.0%" in text
+        assert "fresh model calls    : 3" in text
+        assert "stage evaluate" in text

@@ -121,3 +121,58 @@ class TestUpdatePolicies:
                 in_guard_band=False,
             )
         assert m.quotas()["car"] > low
+
+
+class TestVectorisedRefresh:
+    def test_refresh_all_matches_per_tracker_refresh(self):
+        """The batched bucket pass must reproduce tracker.refresh() exactly
+        for every label, at any point of a run."""
+        m = QuotaManager(
+            ["car", "dog", "bike"], ["jumping"], GEO, OnlineConfig()
+        )
+        for step in range(50):
+            m.update(
+                {
+                    "car": outcome("car", "object", step % 11, 50),
+                    "dog": outcome("dog", "object", step % 3, 50),
+                    "bike": outcome("bike", "object", 0, 50),
+                    "jumping": outcome("jumping", "action", step % 2, 5),
+                },
+                positive=False,
+                in_guard_band=False,
+            )
+            vectorised = {
+                label: (m.tracker(label).k_crit, m.tracker(label).k_bg)
+                for label in m.labels()
+            }
+            for label in m.labels():
+                m.tracker(label).refresh()
+            scalar = {
+                label: (m.tracker(label).k_crit, m.tracker(label).k_bg)
+                for label in m.labels()
+            }
+            assert vectorised == scalar
+
+    def test_single_tracker_falls_back_to_scalar_path(self):
+        m = QuotaManager(["car"], [], GEO, OnlineConfig())
+        m.update(
+            {"car": outcome("car", "object", 5, 50)},
+            positive=False,
+            in_guard_band=False,
+        )
+        expected = m.tracker("car").table.lookup(m.rates()["car"])
+        assert m.quotas()["car"] == expected
+
+    def test_nonuniform_tables_use_per_tracker_refresh(self):
+        """A caller swapping in a custom-resolution table must still get
+        correct quotas via the scalar fallback."""
+        from dataclasses import replace as dc_replace
+
+        m = QuotaManager(["car", "dog"], [], GEO, OnlineConfig())
+        tracker = m.tracker("car")
+        tracker.table = dc_replace(tracker.table, resolution=0.2, _memo={})
+        m._uniform_buckets = False  # what __init__ would have detected
+        m.refresh_all()
+        for label in m.labels():
+            t = m.tracker(label)
+            assert t.k_crit == t.table.lookup(t.estimator.rate)

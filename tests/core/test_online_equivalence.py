@@ -1,0 +1,197 @@
+"""The cached/vectorised hot path is bit-identical to the serial reference.
+
+``OnlineConfig.cache_detections=False`` preserves the pre-cache execution
+path — one ``score_clip`` model call per evaluated predicate — as the
+equivalence baseline.  These property tests run randomised streams through
+both backends and require *everything* observable to match: sequences,
+per-clip evaluations, per-stage model-unit accounting and the cost meter.
+Only the cache-hit counters (zero on the reference) and wall-clock stage
+times may differ.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import OnlineConfig
+from repro.core.query import CompoundQuery, Query
+from repro.core.scheduler import MultiQueryScheduler
+from repro.core.session import StreamSession
+from repro.detectors.zoo import default_zoo
+from repro.video.model import VideoGeometry
+from repro.video.stream import ClipStream
+from repro.video.synthesis import SceneSpec, TrackSpec, synthesize_video
+
+GEOMETRIES = {
+    "paper": VideoGeometry(),  # 10 frames/shot, 5 shots/clip
+    "narrow": VideoGeometry(frames_per_shot=4, shots_per_clip=3),
+    "wide": VideoGeometry(frames_per_shot=8, shots_per_clip=10),
+}
+
+
+def random_video(seed: int, geometry: VideoGeometry):
+    """A randomised scene: one action plus 1–3 objects with random
+    occupancies and correlations."""
+    rng = random.Random(seed)
+    tracks = [
+        TrackSpec(
+            label="acting", kind="action",
+            occupancy=rng.uniform(0.05, 0.4),
+            mean_duration_s=rng.uniform(5.0, 30.0),
+        )
+    ]
+    for i in range(rng.randint(1, 3)):
+        correlated = rng.random() < 0.5
+        tracks.append(
+            TrackSpec(
+                label=f"obj{i}", kind="object",
+                occupancy=rng.uniform(0.02, 0.5),
+                mean_duration_s=rng.uniform(2.0, 15.0),
+                correlate_with="acting" if correlated else None,
+                correlation=rng.uniform(0.5, 0.95) if correlated else 0.0,
+            )
+        )
+    spec = SceneSpec(
+        video_id=f"rand{seed}",
+        duration_s=rng.uniform(60.0, 240.0),
+        tracks=tuple(tracks),
+        geometry=geometry,
+    )
+    video = synthesize_video(spec, seed=seed)
+    objects = [t.label for t in tracks if t.kind == "object"]
+    return video, Query(objects=objects, action="acting")
+
+
+def run_session(build, video, *, short_circuit: bool):
+    """Drive one freshly-built session over the full stream on a fresh
+    zoo; returns (result, zoo)."""
+    zoo = default_zoo(seed=3)
+    session = build(zoo)
+    for clip in ClipStream(video.meta):
+        session.process(clip, short_circuit=short_circuit)
+    return session.finish(), zoo
+
+
+def assert_equivalent(cached, cached_zoo, serial, serial_zoo):
+    """Everything but wall time and the hit counters must match; a single
+    cold-cache session shares nothing, so hits must be zero too."""
+    assert cached.sequences == serial.sequences
+    assert cached.evaluations == serial.evaluations
+    assert dict(cached.final_rates) == pytest.approx(
+        dict(serial.final_rates)
+    )
+    cached_stats = cached.stats.as_dict()
+    serial_stats = serial.stats.as_dict()
+    cached_stats.pop("stage_wall_s")
+    serial_stats.pop("stage_wall_s")
+    assert cached_stats == serial_stats  # includes zero cache hits
+    for model in (serial_zoo.detector.name, serial_zoo.recognizer.name):
+        assert cached_zoo.cost_meter.units(model) == (
+            serial_zoo.cost_meter.units(model)
+        )
+        assert cached_zoo.cost_meter.ms(model) == pytest.approx(
+            serial_zoo.cost_meter.ms(model)
+        )
+    assert cached_zoo.cost_meter.cached_units() == 0
+
+
+@pytest.mark.parametrize("geometry", sorted(GEOMETRIES))
+@pytest.mark.parametrize("seed", [11, 23, 37])
+@pytest.mark.parametrize("short_circuit", [True, False])
+class TestConjunctiveEquivalence:
+    @pytest.mark.parametrize("dynamic", [False, True])
+    def test_svaq_svaqd_identical_to_serial(
+        self, seed, geometry, short_circuit, dynamic
+    ):
+        video, query = random_video(seed, GEOMETRIES[geometry])
+        probe_every = [0, 1, 3, 8][seed % 4]
+        configs = {
+            backend: OnlineConfig(
+                cache_detections=backend == "cached",
+                probe_every=probe_every,
+            )
+            for backend in ("cached", "serial")
+        }
+        runs = {
+            backend: run_session(
+                lambda zoo, c=config: StreamSession.for_query(
+                    zoo, query, video, c, dynamic=dynamic
+                ),
+                video,
+                short_circuit=short_circuit,
+            )
+            for backend, config in configs.items()
+        }
+        assert_equivalent(*runs["cached"], *runs["serial"])
+
+
+@pytest.mark.parametrize("seed", [5, 19])
+@pytest.mark.parametrize("short_circuit", [True, False])
+class TestCompoundEquivalence:
+    def test_cnf_identical_to_serial(self, seed, short_circuit):
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        compound = CompoundQuery.disjunction([
+            Query(objects=[obj], action="acting") for obj in query.objects
+        ])
+        runs = {}
+        for backend in ("cached", "serial"):
+            config = OnlineConfig(cache_detections=backend == "cached")
+            runs[backend] = run_session(
+                lambda zoo, c=config: StreamSession.for_compound(
+                    zoo, compound, video, c, dynamic=True
+                ),
+                video,
+                short_circuit=short_circuit,
+            )
+        assert_equivalent(*runs["cached"], *runs["serial"])
+
+
+@pytest.mark.parametrize("seed", [13, 29, 43])
+class TestSharedCacheEquivalence:
+    """N sessions sharing one cache reproduce N solo serial runs exactly,
+    and the shared meter splits the serial charge into fresh + cached."""
+
+    def test_lockstep_fleet_matches_serial_runs(self, seed):
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        queries = [
+            Query(objects=query.objects[:1], action="acting"),
+            query,
+            Query(objects=query.objects, action="acting"),
+        ]
+
+        serial_zoo = default_zoo(seed=3)
+        serial_config = OnlineConfig(cache_detections=False)
+        references = []
+        for q in queries:
+            session = StreamSession.for_query(
+                serial_zoo, q, video, serial_config, dynamic=True
+            )
+            for clip in ClipStream(video.meta):
+                session.process(clip)
+            references.append(session.finish())
+
+        shared_zoo = default_zoo(seed=3)
+        run = MultiQueryScheduler(shared_zoo, queries).run(video)
+
+        total_logical = {"object": 0, "action": 0}
+        for i, reference in enumerate(references):
+            result = run[f"q{i}"]
+            assert result.sequences == reference.sequences
+            assert result.evaluations == reference.evaluations
+            stats = result.stats
+            total_logical["object"] += stats.detector_invocations
+            total_logical["action"] += stats.recognizer_invocations
+            # Logical invocation counts are cache-independent.
+            assert stats.detector_invocations == (
+                reference.stats.detector_invocations
+            )
+            assert stats.recognizer_invocations == (
+                reference.stats.recognizer_invocations
+            )
+        for model in (serial_zoo.detector.name, serial_zoo.recognizer.name):
+            assert serial_zoo.cost_meter.units(model) == (
+                shared_zoo.cost_meter.units(model)
+                + shared_zoo.cost_meter.cached_units(model)
+            )

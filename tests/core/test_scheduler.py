@@ -1,0 +1,185 @@
+"""Multi-query stream scheduler: shared-cache lockstep execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OnlineConfig
+from repro.core.context import ExecutionContext
+from repro.core.engine import OnlineEngine
+from repro.core.query import CompoundQuery, Query
+from repro.core.scheduler import (
+    MultiQueryScheduler,
+    QuerySpec,
+    as_specs,
+)
+from repro.detectors.zoo import default_zoo
+from repro.errors import ConfigurationError
+from tests.conftest import make_kitchen_video
+
+VIDEO = make_kitchen_video(seed=41, duration_s=240.0, video_id="schedvid")
+QUERIES = [
+    Query(objects=["faucet"], action="washing dishes"),
+    Query(objects=["person"], action="washing dishes"),
+    Query(objects=["faucet", "person"], action="washing dishes"),
+]
+
+
+def solo_results(config=None, algorithm="svaqd"):
+    """Each query run alone on a fresh zoo — the reference the scheduler
+    must reproduce."""
+    engine = OnlineEngine(zoo=default_zoo(seed=3),
+                          config=config or OnlineConfig())
+    return [engine.run(q, VIDEO, algorithm) for q in QUERIES]
+
+
+class TestAsSpecs:
+    def test_auto_names_bare_queries(self):
+        specs = as_specs(QUERIES, algorithm="svaq")
+        assert [s.name for s in specs] == ["q0", "q1", "q2"]
+        assert all(s.algorithm == "svaq" for s in specs)
+
+    def test_specs_pass_through(self):
+        spec = QuerySpec("mine", QUERIES[0], algorithm="svaq")
+        assert as_specs([spec]) == [spec]
+
+    def test_mixed_input_keeps_positional_names(self):
+        specs = as_specs([QUERIES[0], QuerySpec("named", QUERIES[1])])
+        assert [s.name for s in specs] == ["q0", "named"]
+
+    def test_rejects_duplicates_empties_and_junk(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            as_specs([QuerySpec("a", QUERIES[0]), QuerySpec("a", QUERIES[1])])
+        with pytest.raises(ConfigurationError, match="at least one"):
+            as_specs([])
+        with pytest.raises(ConfigurationError, match="expected Query"):
+            as_specs(["not a query"])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError, match="unknown online"):
+            QuerySpec("a", QUERIES[0], algorithm="offline")
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("algorithm", ["svaq", "svaqd"])
+    def test_results_match_solo_runs(self, algorithm):
+        scheduler = MultiQueryScheduler(
+            default_zoo(seed=3), as_specs(QUERIES, algorithm=algorithm)
+        )
+        run = scheduler.run(VIDEO)
+        solo = solo_results(algorithm=algorithm)
+        assert run.video_id == VIDEO.video_id
+        for name, reference in zip(["q0", "q1", "q2"], solo):
+            result = run[name]
+            assert result.sequences == reference.sequences
+            assert result.evaluations == reference.evaluations
+            assert result.final_rates == pytest.approx(reference.final_rates)
+
+    def test_per_query_stats_match_solo_modulo_cache_fields(self):
+        run = MultiQueryScheduler(default_zoo(seed=3), QUERIES).run(VIDEO)
+        for result, reference in zip(
+            (run[f"q{i}"] for i in range(3)), solo_results()
+        ):
+            shared = result.stats.as_dict()
+            solo = reference.stats.as_dict()
+            for stats in (shared, solo):
+                stats.pop("stage_wall_s")
+                stats.pop("detector_cache_hits")
+                stats.pop("recognizer_cache_hits")
+                stats.pop("cache_hit_rate")
+            assert shared == solo
+
+    def test_shared_cache_meters_fresh_plus_cached(self):
+        """serial fresh units == shared fresh + shared cached, per model."""
+        serial_zoo = default_zoo(seed=3)
+        serial_engine = OnlineEngine(
+            zoo=serial_zoo, config=OnlineConfig(cache_detections=False)
+        )
+        for query in QUERIES:
+            serial_engine.run(query, VIDEO, "svaqd")
+
+        shared_zoo = default_zoo(seed=3)
+        MultiQueryScheduler(shared_zoo, QUERIES).run(VIDEO)
+        for model in (serial_zoo.detector.name, serial_zoo.recognizer.name):
+            assert serial_zoo.cost_meter.units(model) == (
+                shared_zoo.cost_meter.units(model)
+                + shared_zoo.cost_meter.cached_units(model)
+            )
+        # Three overlapping queries must actually share work.
+        assert shared_zoo.cost_meter.cached_units() > 0
+        assert shared_zoo.cost_meter.units() < serial_zoo.cost_meter.units()
+
+    def test_later_sessions_record_cache_hits(self):
+        run = MultiQueryScheduler(default_zoo(seed=3), QUERIES).run(VIDEO)
+        # q0 evaluates faucet + washing dishes first on every clip, so it
+        # pays fresh; q1's washing-dishes and q2's everything overlap.
+        assert run["q0"].stats.cache_hits == 0
+        assert run["q2"].stats.cache_hits > 0
+
+    def test_mixed_fleet_and_compound(self):
+        compound = CompoundQuery.disjunction([
+            Query(objects=["faucet"], action="washing dishes"),
+            Query(objects=["person"], action="washing dishes"),
+        ])
+        specs = [
+            QuerySpec("static", QUERIES[0], algorithm="svaq"),
+            QuerySpec("dynamic", QUERIES[1], algorithm="svaqd"),
+            QuerySpec("cnf", compound, algorithm="svaqd"),
+        ]
+        run = MultiQueryScheduler(default_zoo(seed=3), specs).run(VIDEO)
+        engine = OnlineEngine(zoo=default_zoo(seed=3))
+        assert run["static"].sequences == engine.run(
+            QUERIES[0], VIDEO, "svaq"
+        ).sequences
+        assert run["dynamic"].sequences == engine.run(
+            QUERIES[1], VIDEO, "svaqd"
+        ).sequences
+        assert run["cnf"].sequences == engine.run_compound(
+            compound, VIDEO, "svaqd"
+        ).sequences
+
+    def test_merged_context_totals_private_sessions(self):
+        context = ExecutionContext()
+        run = MultiQueryScheduler(default_zoo(seed=3), QUERIES).run(
+            VIDEO, context=context
+        )
+        total = sum(run[f"q{i}"].stats.model_invocations for i in range(3))
+        assert context.snapshot().model_invocations == total
+        assert context.clips_processed == 3 * VIDEO.meta.n_clips
+
+
+class TestEngineFacade:
+    def test_run_queries(self):
+        engine = OnlineEngine(zoo=default_zoo(seed=3))
+        run = engine.run_queries(QUERIES, VIDEO)
+        for result, reference in zip(
+            (run[f"q{i}"] for i in range(3)), solo_results()
+        ):
+            assert result.sequences == reference.sequences
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_run_queries_many(self, executor):
+        videos = [
+            VIDEO,
+            make_kitchen_video(seed=42, duration_s=180.0, video_id="vid-b"),
+        ]
+        engine = OnlineEngine(zoo=default_zoo(seed=3))
+        context = ExecutionContext()
+        runs = engine.run_queries_many(
+            QUERIES, videos, executor=executor, context=context
+        )
+        assert list(runs) == ["schedvid", "vid-b"]
+        reference = OnlineEngine(zoo=default_zoo(seed=3))
+        for video in videos:
+            for i, query in enumerate(QUERIES):
+                assert runs[video.video_id][f"q{i}"].sequences == (
+                    reference.run(query, video, "svaqd").sequences
+                )
+        assert context.clips_processed == sum(
+            3 * v.meta.n_clips for v in videos
+        )
+
+    def test_run_queries_many_rejects_unknown_executor(self):
+        engine = OnlineEngine(zoo=default_zoo(seed=3))
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            engine.run_queries_many(QUERIES, [VIDEO], executor="process")

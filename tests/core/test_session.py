@@ -281,3 +281,73 @@ class TestSelectiveOrdering:
 
         with _pytest.raises(Exception):
             replace(OnlineConfig(), predicate_order="random")
+
+
+class TestCacheCheckpointState:
+    """v3 checkpoints carry the detection cache's charge bookkeeping."""
+
+    def test_version_is_3_and_cache_state_rides_along(self, zoo):
+        stream = ClipStream(VIDEO.meta)
+        session = SvaqdSession(zoo, QUERY, VIDEO, OnlineConfig())
+        for _ in range(6):
+            session.process(stream.next())
+        state = session.state_dict()
+        assert state["version"] == 3
+        charged = state["cache"]["charged"]
+        # Six clips evaluated the leading predicate without interruption.
+        assert charged["object:faucet"] == [[0, 5]]
+
+    def test_v2_checkpoint_without_cache_entry_loads(self, zoo):
+        """Checkpoints written before v3 have no ``cache`` key and must
+        resume bit-identically (the cache simply starts cold)."""
+        stream = ClipStream(VIDEO.meta)
+        first = SvaqdSession(zoo, QUERY, VIDEO, OnlineConfig())
+        for _ in range(20):
+            first.process(stream.next())
+        state = json.loads(json.dumps(first.state_dict()))
+        del state["cache"]
+        state["version"] = 2
+        resumed = SvaqdSession.from_state_dict(
+            state, zoo, QUERY, VIDEO, OnlineConfig()
+        )
+        while not stream.end():
+            resumed.process(stream.next())
+        assert resumed.finish().sequences == run_full(zoo).sequences
+
+    def test_serial_reference_checkpoints_null_cache(self, zoo):
+        config = OnlineConfig(cache_detections=False)
+        stream = ClipStream(VIDEO.meta)
+        session = SvaqdSession(zoo, QUERY, VIDEO, config)
+        session.process(stream.next())
+        state = json.loads(json.dumps(session.state_dict()))
+        assert state["cache"] is None
+        resumed = SvaqdSession.from_state_dict(
+            state, zoo, QUERY, VIDEO, config
+        )
+        assert resumed.cache is None
+
+    def test_restored_cache_does_not_recharge_fresh_units(self):
+        """A resumed session's cache meters pre-checkpoint clips as cached
+        when they are evaluated again (e.g. by a second query attaching to
+        the restored cache)."""
+        from repro.detectors.zoo import default_zoo
+
+        zoo_a = default_zoo(seed=3)
+        stream = ClipStream(VIDEO.meta)
+        first = SvaqdSession(zoo_a, QUERY, VIDEO, OnlineConfig())
+        for _ in range(10):
+            first.process(stream.next())
+        state = json.loads(json.dumps(first.state_dict()))
+
+        zoo_b = default_zoo(seed=3)
+        resumed = SvaqdSession.from_state_dict(
+            state, zoo_b, QUERY, VIDEO, OnlineConfig()
+        )
+        # Loading charges nothing...
+        assert zoo_b.cost_meter.units() == 0
+        # ...and a pre-checkpoint clip re-evaluated through the restored
+        # cache meters as a hit, not as fresh work.
+        _, units, fresh = resumed.cache.lookup("object", "faucet", 0)
+        assert not fresh
+        assert zoo_b.cost_meter.units() == 0
+        assert zoo_b.cost_meter.cached_units(zoo_b.detector.name) == units

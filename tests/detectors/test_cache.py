@@ -1,0 +1,190 @@
+"""DetectionScoreCache: vectorised counts, charge metering, checkpoints."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import OnlineConfig
+from repro.detectors.cache import DetectionScoreCache, _runs_of
+from repro.detectors.zoo import default_zoo
+from repro.errors import ConfigurationError
+from tests.conftest import make_kitchen_video
+
+VIDEO = make_kitchen_video(seed=31, duration_s=240.0, video_id="cachevid")
+LABELS = {"object": ["faucet", "person"], "action": ["washing dishes"]}
+
+
+def make_cache(zoo, **kwargs) -> DetectionScoreCache:
+    return DetectionScoreCache(
+        zoo,
+        VIDEO.meta,
+        VIDEO.truth,
+        object_threshold=zoo.detector.threshold,
+        action_threshold=zoo.recognizer.threshold,
+        **kwargs,
+    )
+
+
+class TestCounts:
+    @pytest.mark.parametrize("chunk_clips", [1, 7, 64, 10_000])
+    def test_counts_match_serial_score_clip(self, zoo, chunk_clips):
+        """Every clip's cached count equals the serial Eq. 1/2 count, for
+        any chunking."""
+        cache = make_cache(zoo, chunk_clips=chunk_clips)
+        for kind, labels in LABELS.items():
+            model = zoo.detector if kind == "object" else zoo.recognizer
+            for label in labels:
+                for clip_id in range(VIDEO.meta.n_clips):
+                    scores = model.score_clip(
+                        VIDEO.meta, VIDEO.truth, label, clip_id
+                    )
+                    expected = int(
+                        np.count_nonzero(scores >= model.threshold)
+                    )
+                    count, units = cache.counts(kind, label, clip_id)
+                    assert count == expected
+                    assert units == len(scores)
+
+    def test_units_per_clip(self, zoo):
+        cache = make_cache(zoo)
+        geometry = VIDEO.meta.geometry
+        assert cache.units_per_clip("object") == geometry.frames_per_clip
+        assert cache.units_per_clip("action") == geometry.shots_per_clip
+
+    def test_counts_do_not_charge(self, zoo):
+        fresh = default_zoo(seed=3)
+        cache = make_cache(fresh)
+        cache.counts("object", "faucet", 0)
+        assert fresh.cost_meter.units() == 0
+        assert fresh.cost_meter.cached_units() == 0
+
+
+class TestCharging:
+    def test_first_lookup_charges_fresh_units(self):
+        zoo = default_zoo(seed=3)
+        cache = make_cache(zoo)
+        count, units, fresh = cache.lookup("object", "faucet", 5)
+        assert fresh
+        assert units == VIDEO.meta.geometry.frames_per_clip
+        name = zoo.detector.name
+        assert zoo.cost_meter.units(name) == units
+        assert zoo.cost_meter.ms(name) == pytest.approx(
+            units * zoo.detector.profile.ms_per_unit
+        )
+        assert zoo.cost_meter.cached_units(name) == 0
+
+    def test_repeat_lookup_meters_cached_units(self):
+        zoo = default_zoo(seed=3)
+        cache = make_cache(zoo)
+        first = cache.lookup("action", "washing dishes", 2)
+        again = cache.lookup("action", "washing dishes", 2)
+        assert first[:2] == again[:2]
+        assert first[2] and not again[2]
+        name = zoo.recognizer.name
+        units = VIDEO.meta.geometry.shots_per_clip
+        assert zoo.cost_meter.units(name) == units  # charged once
+        assert zoo.cost_meter.cached_units(name) == units
+
+    def test_fresh_plus_cached_equals_serial(self):
+        """The Table-8 invariant: across any access pattern, fresh+cached
+        units equal what the uncached path would have charged."""
+        zoo = default_zoo(seed=3)
+        cache = make_cache(zoo, chunk_clips=8)
+        accesses = [(kind, label, clip)
+                    for kind, labels in LABELS.items()
+                    for label in labels
+                    for clip in (0, 1, 1, 5, 5, 5, 2)]
+        serial = 0
+        for kind, label, clip in accesses:
+            _, units, _ = cache.lookup(kind, label, clip)
+            serial += units
+        meter = zoo.cost_meter
+        assert meter.units() + meter.cached_units() == serial
+
+
+class TestCompatibility:
+    def test_rejects_other_video(self, zoo):
+        cache = make_cache(zoo)
+        other = make_kitchen_video(seed=32, duration_s=240.0,
+                                   video_id="othervid")
+        with pytest.raises(ConfigurationError, match="cache holds video"):
+            cache.check_compatible(
+                other.meta,
+                object_threshold=zoo.detector.threshold,
+                action_threshold=zoo.recognizer.threshold,
+            )
+
+    def test_rejects_threshold_mismatch(self, zoo):
+        cache = make_cache(zoo)
+        with pytest.raises(ConfigurationError, match="thresholds differ"):
+            cache.check_compatible(
+                VIDEO.meta,
+                object_threshold=0.99,
+                action_threshold=zoo.recognizer.threshold,
+            )
+
+    def test_rejects_nonpositive_chunk(self, zoo):
+        with pytest.raises(ConfigurationError, match="chunk_clips"):
+            make_cache(zoo, chunk_clips=0)
+
+    def test_for_video_resolves_config_thresholds(self, zoo):
+        config = OnlineConfig(object_threshold=0.25, action_threshold=0.75)
+        cache = DetectionScoreCache.for_video(zoo, VIDEO, config)
+        assert cache.threshold("object") == 0.25
+        assert cache.threshold("action") == 0.75
+        default = DetectionScoreCache.for_video(zoo, VIDEO)
+        assert default.threshold("object") == zoo.detector.threshold
+        assert default.threshold("action") == zoo.recognizer.threshold
+
+
+class TestCheckpointing:
+    def test_state_round_trip_preserves_charged_set(self):
+        zoo = default_zoo(seed=3)
+        cache = make_cache(zoo)
+        for clip in (0, 1, 2, 7, 9):
+            cache.lookup("object", "faucet", clip)
+        cache.lookup("action", "washing dishes", 4)
+        state = json.loads(json.dumps(cache.state_dict()))
+
+        restored_zoo = default_zoo(seed=3)
+        restored = make_cache(restored_zoo)
+        restored.load_state_dict(state)
+        # Restoring must not re-charge the meter...
+        assert restored_zoo.cost_meter.units() == 0
+        # ...and previously-charged clips now meter as cached.
+        _, units, fresh = restored.lookup("object", "faucet", 7)
+        assert not fresh
+        assert restored_zoo.cost_meter.units(restored_zoo.detector.name) == 0
+        assert (
+            restored_zoo.cost_meter.cached_units(restored_zoo.detector.name)
+            == units
+        )
+        # An uncharged clip still charges fresh units.
+        _, _, fresh = restored.lookup("object", "faucet", 3)
+        assert fresh
+
+    def test_state_dict_is_run_length_encoded(self, zoo):
+        fresh_zoo = default_zoo(seed=3)
+        cache = make_cache(fresh_zoo)
+        for clip in (0, 1, 2, 10, 12):
+            cache.lookup("object", "faucet", clip)
+        state = cache.state_dict()
+        assert state["charged"]["object:faucet"] == [[0, 2], [10, 10], [12, 12]]
+
+    def test_rejects_unknown_kind(self, zoo):
+        cache = make_cache(zoo)
+        with pytest.raises(ConfigurationError, match="unknown detector kind"):
+            cache.load_state_dict({"charged": {"pose:hand": [[0, 1]]}})
+
+
+class TestRunsOf:
+    def test_empty_and_full(self):
+        assert _runs_of(np.zeros(4, dtype=bool)) == []
+        assert _runs_of(np.ones(4, dtype=bool)) == [[0, 3]]
+
+    def test_mixed_runs(self):
+        mask = np.array([1, 1, 0, 1, 0, 0, 1], dtype=bool)
+        assert _runs_of(mask) == [[0, 1], [3, 3], [6, 6]]

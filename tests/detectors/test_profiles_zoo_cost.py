@@ -104,3 +104,37 @@ class TestCostMeter:
 
     def test_unknown_model_zero(self):
         assert CostMeter().ms("ghost") == 0.0
+
+    def test_cached_units_tracked_separately(self):
+        meter = CostMeter()
+        meter.record("m", 10, 2.0)
+        meter.record_cached("m", 4)
+        assert meter.units("m") == 10
+        assert meter.cached_units("m") == 4
+        assert meter.ms("m") == 20.0  # cache hits charge no latency
+        assert meter.cached_units() == 4
+        with pytest.raises(ValueError):
+            meter.record_cached("m", -1)
+        meter.reset()
+        assert meter.cached_units() == 0
+
+    def test_merge_and_pickle_carry_cached_units(self):
+        import pickle
+
+        a, b = CostMeter(), CostMeter()
+        a.record_cached("m", 2)
+        b.record_cached("m", 3)
+        a.merge(b)
+        assert a.cached_units("m") == 5
+        restored = pickle.loads(pickle.dumps(a))
+        assert restored.cached_units("m") == 5
+
+    def test_pre_cache_pickles_still_load(self):
+        meter = CostMeter()
+        meter.record("m", 1, 1.0)
+        state = meter.__getstate__()
+        del state["_cached_units"]  # as written before the field existed
+        legacy = CostMeter()
+        legacy.__setstate__(state)
+        assert legacy.units("m") == 1
+        assert legacy.cached_units("m") == 0
