@@ -185,6 +185,90 @@ SMOKE_SWEEP = [
 ]
 
 
+def run_chaos(profile_name: str, seed: int, out: Path) -> int:
+    """Fault-injection smoke leg for the offline pipeline: ingest a small
+    video batch through a faulty zoo (capturing per-video failures and
+    retrying them), save/load the repository atomically, and answer a
+    top-K query off the salvaged metadata — zero crashes allowed."""
+    import tempfile
+
+    from repro.core.config import OnlineConfig
+    from repro.detectors.faults import fault_profile, faulty_zoo
+    from repro.detectors.zoo import default_zoo
+    from repro.storage.ingest import ingest_many, retry_failed
+    from repro.video.synthesis import SceneSpec, TrackSpec, synthesize_video
+
+    profile = fault_profile(profile_name).with_seed(seed)
+    zoo = faulty_zoo(default_zoo(seed=seed), profile)
+    config = OnlineConfig(
+        cache_detections=False,
+        retry_max_attempts=4,
+        failure_policy="hold_last_estimate",
+    )
+    videos = [
+        synthesize_video(
+            SceneSpec(
+                video_id=f"chaos-{i}",
+                duration_s=90.0,
+                tracks=(
+                    TrackSpec(label="jumping", kind="action",
+                              occupancy=0.2, mean_duration_s=12.0),
+                    TrackSpec(label="car", kind="object", occupancy=0.15,
+                              correlate_with="jumping", correlation=0.8),
+                ),
+            ),
+            seed=seed + i,
+        )
+        for i in range(3)
+    ]
+    t0 = time.perf_counter()
+    outcomes = ingest_many(
+        videos, zoo, ["car"], ["jumping"], PaperScoring(), config,
+        on_error="capture",
+    )
+    rounds = 0
+    while any(not o.ok for o in outcomes) and rounds < 5:
+        outcomes = retry_failed(
+            outcomes, zoo, ["car"], ["jumping"], PaperScoring(), config
+        )
+        rounds += 1
+    repo = VideoRepository()
+    for outcome in outcomes:
+        if outcome.ok:
+            repo.add(outcome.ingest)
+    assert repo.n_videos > 0, "every video failed ingestion"
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "repo"
+        repo.save(target)
+        repo = VideoRepository.load(target)
+    result = RVAQ(repo, PaperScoring(), RankingConfig()).top_k(QUERY, 5)
+    wall = time.perf_counter() - t0
+    failed = sum(1 for o in outcomes if not o.ok)
+    print(
+        f"chaos [{profile.name}]: videos={len(videos)} "
+        f"ingested={repo.n_videos} still_failed={failed} "
+        f"retry_rounds={rounds} retries={zoo.cost_meter.retries()} "
+        f"giveups={zoo.cost_meter.giveups()} ranked={len(result.ranked)} "
+        f"wall={wall:.2f}s"
+    )
+    payload = {
+        "benchmark": "offline_topk",
+        "mode": "chaos",
+        "fault_profile": profile.name,
+        "n_videos": len(videos),
+        "ingested": repo.n_videos,
+        "still_failed": failed,
+        "retry_rounds": rounds,
+        "model_retries": zoo.cost_meter.retries(),
+        "model_giveups": zoo.cost_meter.giveups(),
+        "ranked": len(result.ranked),
+        "wall_s": round(wall, 6),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -197,11 +281,19 @@ def main(argv: list[str] | None = None) -> int:
         help="timing repeats per leg (default: 3, smoke: 1)",
     )
     parser.add_argument(
+        "--fault-profile", default="none",
+        help="run the chaos smoke leg under this fault profile instead of "
+             "the timing sweep (none, transient, flaky, chaos)",
+    )
+    parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).resolve().parent.parent
         / "BENCH_offline_topk.json",
     )
     args = parser.parse_args(argv)
+
+    if args.fault_profile != "none":
+        return run_chaos(args.fault_profile, args.seed, args.out)
 
     sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
     repeats = args.repeats or (1 if args.smoke else 3)

@@ -203,6 +203,58 @@ def run_workload(
     }
 
 
+def run_chaos(video, profile_name: str, seed: int, out: Path) -> int:
+    """Fault-injection smoke leg: the query fleet must finish, degrade
+    gracefully and report its retry accounting — zero crashes allowed."""
+    from repro.core.context import ExecutionContext
+    from repro.detectors.faults import fault_profile, faulty_zoo
+
+    profile = fault_profile(profile_name).with_seed(seed)
+    zoo = faulty_zoo(default_zoo(seed=3), profile)
+    config = OnlineConfig(
+        cache_detections=False,
+        retry_max_attempts=4,
+        failure_policy="hold_last_estimate",
+    )
+    queries = build_queries(4)
+    context = ExecutionContext()
+    t0 = time.perf_counter()
+    for dynamic in (False, True):
+        for query in queries:
+            session = StreamSession.for_query(
+                zoo, query, video, config, dynamic=dynamic, context=context
+            )
+            stream = ClipStream(video.meta)
+            while not stream.end():
+                session.process(stream.next())
+            session.finish()
+    wall = time.perf_counter() - t0
+    stats = context.snapshot()
+    injected = sum(
+        model.injected_faults
+        for model in (zoo.detector, zoo.recognizer, zoo.tracker)
+    )
+    print(
+        f"chaos [{profile.name}]: {len(queries)} queries x svaq+svaqd  "
+        f"injected={injected}  retries={stats.model_retries}  "
+        f"giveups={stats.model_giveups}  "
+        f"degraded_clips={stats.clips_degraded}  wall={wall:.2f}s"
+    )
+    payload = {
+        "benchmark": "online_throughput",
+        "mode": "chaos",
+        "fault_profile": profile.name,
+        "injected_faults": injected,
+        "model_retries": stats.model_retries,
+        "model_giveups": stats.model_giveups,
+        "clips_degraded": stats.clips_degraded,
+        "wall_s": round(wall, 6),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -215,6 +267,11 @@ def main(argv: list[str] | None = None) -> int:
         help="timing repeats per leg (default: 3, smoke: 1)",
     )
     parser.add_argument(
+        "--fault-profile", default="none",
+        help="run the chaos smoke leg under this fault profile instead of "
+             "the timing sweep (none, transient, flaky, chaos)",
+    )
+    parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).resolve().parent.parent
         / "BENCH_online_throughput.json",
@@ -224,6 +281,9 @@ def main(argv: list[str] | None = None) -> int:
     duration_s = 120.0 if args.smoke else 1800.0
     repeats = args.repeats or (1 if args.smoke else 3)
     video = build_video(duration_s, args.seed)
+
+    if args.fault_profile != "none":
+        return run_chaos(video, args.fault_profile, args.seed, args.out)
 
     if args.smoke:
         sweep = [

@@ -49,6 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print per-stage execution counters after an online run",
     )
+    query.add_argument(
+        "--fault-profile", default="none",
+        help="inject simulated detector faults: none, transient, flaky, "
+             "chaos (seeded from --seed, so runs are reproducible)",
+    )
+    query.add_argument(
+        "--retries", type=int, default=1,
+        help="max attempts per model invocation (1 = no retries)",
+    )
+    query.add_argument(
+        "--on-failure", default="fail_clip",
+        choices=["fail_clip", "skip_predicate", "hold_last_estimate"],
+        help="per-predicate degradation policy once retries are exhausted",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -109,6 +123,8 @@ def _print_stats(stats) -> None:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro import OfflineEngine, OnlineEngine, parse, plan
+    from repro.core.config import OnlineConfig, RankingConfig
+    from repro.detectors.faults import fault_profile, faulty_zoo
     from repro.detectors.zoo import default_zoo
     from repro.video.datasets import DISTRACTOR_OBJECTS, build_movie, movie_by_title
 
@@ -118,23 +134,74 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"plan : mode={compiled.mode} "
           f"query={(compiled.query or compiled.compound).describe()}")
 
+    profile = fault_profile(args.fault_profile).with_seed(args.seed)
+    zoo = faulty_zoo(default_zoo(seed=args.seed), profile)
+    online_config = OnlineConfig(
+        # Injected faults are per model invocation; the chunked cache
+        # collapses those to one draw per (label, video), which would make
+        # `--fault-profile` look like a no-op.  Serial per-clip evaluation
+        # gives faults (and retries) their real surface.
+        cache_detections=not profile.active,
+        retry_max_attempts=args.retries,
+        failure_policy=args.on_failure,
+    )
+    if profile.active:
+        print(f"faults: profile={profile.name} retries={args.retries} "
+              f"on-failure={args.on_failure}")
+
     if compiled.mode == "online":
         from repro import ExecutionContext
 
-        engine = OnlineEngine(zoo=default_zoo(seed=args.seed))
+        engine = OnlineEngine(zoo=zoo, config=online_config)
         context = ExecutionContext() if args.stats else None
         result = compiled.execute_online(engine, video, context=context)
         print(f"sequences: {result.sequences.as_tuples()}")
+        if getattr(result, "degraded_sequences", ()):
+            spans = [(iv.start, iv.end) for iv in result.degraded_sequences]
+            print(f"degraded : {spans}")
         if context is not None:
             _print_stats(context.snapshot())
         return 0
 
-    engine = OfflineEngine(zoo=default_zoo(seed=args.seed))
-    engine.ingest(
-        video,
-        object_labels=[*spec.objects, "person", *DISTRACTOR_OBJECTS],
-        action_labels=[spec.action],
-    )
+    engine = OfflineEngine(zoo=zoo, config=RankingConfig(online=online_config))
+    object_labels = [*spec.objects, "person", *DISTRACTOR_OBJECTS]
+    action_labels = [spec.action]
+    if profile.active:
+        # Ingestion gives up per video when retries run out; capture the
+        # outcome and re-run failed videos instead of crashing the query.
+        # One ingest is thousands of model invocations, so a shallow
+        # budget leaves a give-up somewhere almost surely — escalate the
+        # per-invocation budget each round.
+        from dataclasses import replace
+
+        for round_no in range(1, 6):
+            engine = OfflineEngine(
+                zoo=zoo,
+                config=RankingConfig(
+                    online=replace(
+                        online_config,
+                        retry_max_attempts=args.retries * round_no,
+                    )
+                ),
+            )
+            outcomes = engine.ingest_many(
+                [video], object_labels, action_labels, on_error="capture"
+            )
+            if outcomes[0].ok:
+                break
+        else:
+            print(f"ingestion failed after {round_no} rounds: "
+                  f"{outcomes[0].error}")
+            return 1
+        print(f"ingest : ok after {round_no} round(s) "
+              f"(retries={zoo.cost_meter.retries()}, "
+              f"give-ups={zoo.cost_meter.giveups()})")
+    else:
+        engine.ingest(
+            video,
+            object_labels=object_labels,
+            action_labels=action_labels,
+        )
     result = compiled.execute_offline(engine)
     for video_id, start, end, score in engine.localized(result):
         print(f"{video_id}: clips [{start}, {end}]  score={score:.1f}")

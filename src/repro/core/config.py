@@ -94,6 +94,50 @@ class OnlineConfig:
     #: stream cursor (a chunk's column is a few KB per label, so memory
     #: is not the constraint).
     cache_chunk_clips: int = 256
+    #: Model-invocation retry budget.  1 = fail fast (the fault-free
+    #: default, which keeps every hot path bit-identical to the
+    #: pre-fault-tolerance engine); >1 arms per-call retries with
+    #: exponential backoff at the model boundary.
+    retry_max_attempts: int = 1
+    #: Base backoff before the second attempt, in seconds (doubling per
+    #: further attempt).  0 retries immediately — right for the simulated
+    #: substrate, where failures are injected rather than load-induced.
+    retry_backoff_s: float = 0.0
+    #: Per-invocation wall-clock deadline including backoff, or ``None``
+    #: for attempts-only budgeting.
+    retry_deadline_s: float | None = None
+    #: What a clip does when a predicate's model gives up after retries:
+    #: ``fail_clip`` (strict — the whole clip errors out), ``skip_predicate``
+    #: (drop the predicate from this clip's conjunction and flag the clip
+    #: degraded), or ``hold_last_estimate`` (reuse the predicate's previous
+    #: clip's counts so SVAQD's background tracker advances smoothly).
+    failure_policy: str = "fail_clip"
+    #: Per-label overrides of ``failure_policy`` (label -> policy name).
+    failure_policy_overrides: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def fault_tolerant(self) -> bool:
+        """Whether retry/degradation machinery is armed at all.
+
+        False means the engine runs the exact pre-fault-tolerance code
+        paths; the equivalence suites pin that bit-identity.
+        """
+        return (
+            self.retry_max_attempts > 1
+            or self.retry_deadline_s is not None
+            or self.failure_policy != "fail_clip"
+            or bool(self.failure_policy_overrides)
+        )
+
+    def retry_policy(self):
+        """The :class:`~repro.detectors.retry.RetryPolicy` this config arms."""
+        from repro.detectors.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            backoff_s=self.retry_backoff_s,
+            deadline_s=self.retry_deadline_s,
+        )
 
     def __post_init__(self) -> None:
         require_probability(self.alpha, "alpha")
@@ -122,6 +166,23 @@ class OnlineConfig:
                 f"got {self.predicate_order!r}"
             )
         require_positive_int(self.cache_chunk_clips, "cache_chunk_clips")
+        require_positive_int(self.retry_max_attempts, "retry_max_attempts")
+        if self.retry_backoff_s < 0.0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
+        if self.retry_deadline_s is not None and self.retry_deadline_s <= 0.0:
+            raise ConfigurationError("retry_deadline_s must be positive")
+        known = ("fail_clip", "skip_predicate", "hold_last_estimate")
+        if self.failure_policy not in known:
+            raise ConfigurationError(
+                f"failure_policy must be one of {known}; "
+                f"got {self.failure_policy!r}"
+            )
+        for label, policy in self.failure_policy_overrides:
+            if policy not in known:
+                raise ConfigurationError(
+                    f"failure_policy override for {label!r} must be one of "
+                    f"{known}; got {policy!r}"
+                )
 
     def with_p0(self, p0: float) -> "OnlineConfig":
         """Both background probabilities set to ``p0`` (Figure 2's sweep)."""

@@ -52,6 +52,20 @@ class ExecutionStats:
     predicates_skipped: int = 0
     quota_refreshes: int = 0
     sequences_emitted: int = 0
+    #: Fault-tolerance accounting: failed attempts that were retried, of
+    #: which how many were deadline timeouts, and invocations whose retry
+    #: budget ran out entirely (each give-up then resolves through a
+    #: degradation policy — the counters below).
+    model_retries: int = 0
+    model_timeouts: int = 0
+    model_giveups: int = 0
+    #: Degradation outcomes: predicate evaluations resolved by a
+    #: degradation policy instead of a model answer, clips carrying at
+    #: least one such predicate, and emitted sequences touching at least
+    #: one degraded clip (their precision guarantee is weakened).
+    predicates_degraded: int = 0
+    clips_degraded: int = 0
+    sequences_degraded: int = 0
     stage_wall_s: Mapping[str, float] = field(default_factory=dict)
 
     @property
@@ -91,6 +105,12 @@ class ExecutionStats:
             "short_circuit_savings": self.short_circuit_savings,
             "quota_refreshes": self.quota_refreshes,
             "sequences_emitted": self.sequences_emitted,
+            "model_retries": self.model_retries,
+            "model_timeouts": self.model_timeouts,
+            "model_giveups": self.model_giveups,
+            "predicates_degraded": self.predicates_degraded,
+            "clips_degraded": self.clips_degraded,
+            "sequences_degraded": self.sequences_degraded,
             "stage_wall_s": dict(self.stage_wall_s),
         }
 
@@ -115,6 +135,19 @@ class ExecutionStats:
             f"  quota refreshes      : {self.quota_refreshes}",
             f"  sequences emitted    : {self.sequences_emitted}",
         ]
+        if (
+            self.model_retries or self.model_timeouts or self.model_giveups
+            or self.predicates_degraded or self.clips_degraded
+            or self.sequences_degraded
+        ):
+            lines += [
+                f"  model retries        : {self.model_retries}"
+                f" ({self.model_timeouts} timeouts)",
+                f"  model give-ups       : {self.model_giveups}",
+                f"  degraded             : {self.predicates_degraded}"
+                f" predicates, {self.clips_degraded} clips,"
+                f" {self.sequences_degraded} sequences",
+            ]
         for stage, seconds in self.stage_wall_s.items():
             lines.append(f"  stage {stage:<15}: {seconds * 1e3:.1f} ms")
         return "\n".join(lines)
@@ -134,6 +167,12 @@ class ExecutionContext:
     predicates_skipped: int = 0
     quota_refreshes: int = 0
     sequences_emitted: int = 0
+    model_retries: int = 0
+    model_timeouts: int = 0
+    model_giveups: int = 0
+    predicates_degraded: int = 0
+    clips_degraded: int = 0
+    sequences_degraded: int = 0
     _stage_wall_s: dict[str, float] = field(default_factory=dict, repr=False)
 
     # -- recording ---------------------------------------------------------------
@@ -156,6 +195,14 @@ class ExecutionContext:
             self.detector_invocations += n
             if cached:
                 self.detector_cache_hits += n
+
+    def record_retry(self, error: Exception) -> None:
+        """Account one failed-but-retried model attempt."""
+        from repro.errors import ModelTimeoutError
+
+        self.model_retries += 1
+        if isinstance(error, ModelTimeoutError):
+            self.model_timeouts += 1
 
     def add_stage_time(self, stage: str, seconds: float) -> None:
         self._stage_wall_s[stage] = (
@@ -188,6 +235,12 @@ class ExecutionContext:
         self.predicates_skipped += other.predicates_skipped
         self.quota_refreshes += other.quota_refreshes
         self.sequences_emitted += other.sequences_emitted
+        self.model_retries += other.model_retries
+        self.model_timeouts += other.model_timeouts
+        self.model_giveups += other.model_giveups
+        self.predicates_degraded += other.predicates_degraded
+        self.clips_degraded += other.clips_degraded
+        self.sequences_degraded += other.sequences_degraded
         stage_times = (
             other.stage_wall_s()
             if isinstance(other, ExecutionContext)
@@ -215,5 +268,11 @@ class ExecutionContext:
             predicates_skipped=self.predicates_skipped,
             quota_refreshes=self.quota_refreshes,
             sequences_emitted=self.sequences_emitted,
+            model_retries=self.model_retries,
+            model_timeouts=self.model_timeouts,
+            model_giveups=self.model_giveups,
+            predicates_degraded=self.predicates_degraded,
+            clips_degraded=self.clips_degraded,
+            sequences_degraded=self.sequences_degraded,
             stage_wall_s=dict(self._stage_wall_s),
         )

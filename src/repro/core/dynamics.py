@@ -207,6 +207,13 @@ class QuotaManager:
         for label, tracker in self._trackers.items():
             outcome = outcomes.get(label)
             if outcome is not None and outcome.evaluated:
+                if outcome.degraded:
+                    # hold_last_estimate: replayed counts are not fresh
+                    # evidence — a flapping detector must not poison the
+                    # background estimate (Eq. 6), so the clock advances
+                    # with rate-preserving imputation instead.
+                    tracker.estimator.advance(outcome.units)
+                    continue
                 if policy == "all":
                     fold = True
                 elif policy == "positive":

@@ -27,7 +27,13 @@ from repro.core.svaq import SVAQ, OnlineResult
 from repro.core.svaqd import SVAQD
 from repro.detectors.zoo import ModelZoo, default_zoo
 from repro.errors import ConfigurationError, StorageError
-from repro.storage.ingest import IngestExecutor, ingest_many, ingest_video
+from repro.storage.ingest import (
+    IngestErrorPolicy,
+    IngestExecutor,
+    IngestOutcome,
+    ingest_many,
+    ingest_video,
+)
 from repro.storage.repository import VideoRepository
 from repro.video.synthesis import LabeledVideo
 
@@ -262,16 +268,25 @@ class OfflineEngine:
         *,
         executor: IngestExecutor = "serial",
         max_workers: int | None = None,
-    ) -> None:
+        on_error: IngestErrorPolicy = "raise",
+    ) -> list[IngestOutcome] | None:
         """Ingest a collection of videos, optionally in parallel.
 
         ``executor`` is ``"serial"``, ``"thread"`` or ``"process"`` (see
         :func:`repro.storage.ingest.ingest_many`); results and cost
         accounting are identical across executors, and videos enter the
         repository in input order regardless of completion order.
+
+        Under ``on_error="capture"`` the per-video outcome list is
+        returned; the successful videos are in the repository and the
+        failures are reported instead of raised, so a flaky batch can be
+        resumed with :func:`repro.storage.ingest.retry_failed`.  The
+        default ``"raise"`` keeps the all-or-nothing surface
+        (:class:`~repro.errors.IngestBatchError` still carries the
+        salvageable outcomes).
         """
         videos = list(videos)
-        ingests = ingest_many(
+        result = ingest_many(
             videos,
             self.zoo,
             object_labels=object_labels,
@@ -280,10 +295,18 @@ class OfflineEngine:
             config=self.config.online,
             executor=executor,
             max_workers=max_workers,
+            on_error=on_error,
         )
-        for video, ingest in zip(videos, ingests):
+        if on_error == "capture":
+            for outcome in result:
+                if outcome.ok:
+                    self.repository.add(outcome.ingest)
+                    self._videos[outcome.video_id] = outcome.video
+            return result
+        for video, ingest in zip(videos, result):
             self.repository.add(ingest)
             self._videos[video.video_id] = video
+        return None
 
     def remove(self, video_id: str) -> None:
         self.repository.remove(video_id)

@@ -34,8 +34,9 @@ from repro.core.config import OnlineConfig
 from repro.core.context import ExecutionContext
 from repro.core.query import Query
 from repro.detectors.cache import DetectionScoreCache
+from repro.detectors.retry import ensure_finite, invoke_with_retry
 from repro.detectors.zoo import ModelZoo
-from repro.errors import QueryError
+from repro.errors import ModelGaveUpError, QueryError
 from repro.video.ground_truth import GroundTruth
 from repro.video.model import VideoMeta
 
@@ -48,6 +49,13 @@ class PredicateOutcome(NamedTuple):
     inside the clip (valid only when evaluated); ``indicator`` is
     ``1_{o_i}(c)`` / ``1_a(c)``.
 
+    ``degraded`` marks an outcome resolved by a degradation policy rather
+    than a model answer after retries ran out: a skipped predicate
+    (``evaluated=False, indicator=True`` — excluded from the conjunction)
+    or a held estimate (``evaluated=True`` with the previous clip's
+    counts).  The quota layer advances past degraded outcomes instead of
+    folding them into background estimates.
+
     A ``NamedTuple`` rather than a frozen dataclass: one instance is built
     per evaluated predicate per clip per session, and tuple construction
     is several times cheaper than a frozen dataclass ``__init__``.
@@ -59,6 +67,7 @@ class PredicateOutcome(NamedTuple):
     count: int = 0
     units: int = 0
     indicator: bool = False
+    degraded: bool = False
 
 
 class ClipEvaluation(NamedTuple):
@@ -69,11 +78,57 @@ class ClipEvaluation(NamedTuple):
     positive: bool
     outcomes: tuple[PredicateOutcome, ...]
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any predicate was resolved by a degradation policy."""
+        return any(item.degraded for item in self.outcomes)
+
     def outcome(self, label: str) -> PredicateOutcome:
         for item in self.outcomes:
             if item.label == label:
                 return item
         raise QueryError(f"no predicate {label!r} in this evaluation")
+
+
+def resolve_giveup(
+    label: str,
+    kind: str,
+    quota: int,
+    policy: str,
+    last_good: Mapping[str, PredicateOutcome],
+    error: Exception,
+    context: ExecutionContext | None,
+    zoo: ModelZoo,
+) -> PredicateOutcome:
+    """Translate an exhausted retry budget into a degradation outcome.
+
+    Shared by the conjunctive and CNF evaluators so both answer a model
+    give-up the same way: ``fail_clip`` re-raises (strict mode — the run
+    crashes rather than degrade), ``skip_predicate`` drops the predicate
+    from this clip's conjunction (``indicator=True`` so the remaining
+    predicates decide), ``hold_last_estimate`` replays the predicate's
+    last good counts against the current quota.  A hold with no history
+    falls back to a skip — there is nothing to hold yet.
+    """
+    model = zoo.recognizer.name if kind == "action" else zoo.detector.name
+    zoo.cost_meter.record_giveup(model)
+    if context is not None:
+        context.model_giveups += 1
+    if policy == "fail_clip":
+        raise error
+    if context is not None:
+        context.predicates_degraded += 1
+    if policy == "hold_last_estimate":
+        last = last_good.get(label)
+        if last is not None:
+            return PredicateOutcome(
+                label, kind, evaluated=True,
+                count=last.count, units=last.units,
+                indicator=last.count >= quota, degraded=True,
+            )
+    return PredicateOutcome(
+        label, kind, evaluated=False, indicator=True, degraded=True
+    )
 
 
 class ClipEvaluator:
@@ -149,6 +204,16 @@ class ClipEvaluator:
         #: (label, quota) -> count -> interned evaluated outcome, used by
         #: the static-quota chunk path (see :meth:`evaluate_chunk`).
         self._outcome_memo: dict[tuple[str, int], dict[int, PredicateOutcome]] = {}
+        # Fault tolerance: with the machinery disarmed (the default) the
+        # per-clip loop takes the exact pre-fault-tolerance branch, so the
+        # equivalence suites can pin bit-identity.
+        self._armed = self._config.fault_tolerant
+        self._retry = self._config.retry_policy() if self._armed else None
+        self._policy_for = dict(self._config.failure_policy_overrides)
+        self._default_policy = self._config.failure_policy
+        #: label -> last successfully evaluated outcome, the source of
+        #: ``hold_last_estimate`` replays.
+        self._last_good: dict[str, PredicateOutcome] = {}
 
     @property
     def video(self) -> VideoMeta:
@@ -184,6 +249,8 @@ class ClipEvaluator:
         scores = self._zoo.detector.score_clip(
             self._video, self._truth, label, clip_id
         )
+        if self._armed:
+            ensure_finite(scores, f"detector scores ({label!r}, clip {clip_id})")
         if self.context is not None:
             self.context.record_model_call("object")
         return int(np.count_nonzero(scores >= self._object_threshold)), len(scores)
@@ -199,9 +266,71 @@ class ClipEvaluator:
         scores = self._zoo.recognizer.score_clip(
             self._video, self._truth, label, clip_id
         )
+        if self._armed:
+            ensure_finite(scores, f"recognizer scores ({label!r}, clip {clip_id})")
         if self.context is not None:
             self.context.record_model_call("action")
         return int(np.count_nonzero(scores >= self._action_threshold)), len(scores)
+
+    # -- fault-tolerant counting -------------------------------------------------
+
+    def robust_outcome(
+        self, label: str, kind: str, clip_id: int, quota: int
+    ) -> PredicateOutcome:
+        """One predicate's outcome under retries and degradation.
+
+        Runs the regular count helper inside the configured
+        :class:`~repro.detectors.retry.RetryPolicy`; an exhausted budget
+        resolves through the predicate's degradation policy (which may
+        re-raise, for ``fail_clip``).
+        """
+        model = (
+            self._zoo.recognizer.name if kind == "action"
+            else self._zoo.detector.name
+        )
+        counter = self.action_count if kind == "action" else self.object_count
+
+        def on_retry(error: Exception, attempt: int) -> None:
+            self._zoo.cost_meter.record_retry(model)
+            if self.context is not None:
+                self.context.record_retry(error)
+
+        try:
+            count, units = invoke_with_retry(
+                lambda: counter(label, clip_id),
+                self._retry,
+                describe=f"{model} on {label!r} (clip {clip_id})",
+                on_retry=on_retry,
+            )
+        except ModelGaveUpError as error:
+            return resolve_giveup(
+                label, kind, quota,
+                self._policy_for.get(label, self._default_policy),
+                self._last_good, error, self.context, self._zoo,
+            )
+        outcome = PredicateOutcome(
+            label, kind, evaluated=True,
+            count=count, units=units, indicator=count >= quota,
+        )
+        self._last_good[label] = outcome
+        return outcome
+
+    def held_state(self) -> dict:
+        """Checkpoint payload of the hold-last-estimate memory."""
+        return {
+            label: [o.count, o.units]
+            for label, o in self._last_good.items()
+        }
+
+    def load_held_state(self, state: Mapping[str, Sequence[int]]) -> None:
+        self._last_good = {
+            label: PredicateOutcome(
+                label,
+                "action" if label in self._action_set else "object",
+                evaluated=True, count=int(count), units=int(units),
+            )
+            for label, (count, units) in state.items()
+        }
 
     # -- Algorithm 2 ----------------------------------------------------------------
 
@@ -235,10 +364,21 @@ class ClipEvaluator:
         positive = True
         skipping = False
         action_set = self._action_set
+        armed = self._armed
         for label in labels:
             kind = "action" if label in action_set else "object"
             if skipping:
                 outcomes.append(self._skipped[label])
+                continue
+            if armed:
+                outcome = self.robust_outcome(label, kind, clip_id, k_crit[label])
+                outcomes.append(outcome)
+                # A degraded skip is excluded from the conjunction: its
+                # indicator is vacuously true and must not short-circuit.
+                if not outcome.indicator:
+                    positive = False
+                    if short_circuit:
+                        skipping = True
                 continue
             if kind == "action":
                 count, units = self.action_count(label, clip_id)

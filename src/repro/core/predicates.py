@@ -22,18 +22,24 @@ import numpy as np
 
 from repro.core.config import OnlineConfig
 from repro.core.context import ExecutionContext, ExecutionStats
-from repro.core.indicators import ClipEvaluation, ClipEvaluator, PredicateOutcome
+from repro.core.indicators import (
+    ClipEvaluation,
+    ClipEvaluator,
+    PredicateOutcome,
+    resolve_giveup,
+)
 from repro.core.query import CompoundQuery, Query
 from repro.core.results import CompoundEvaluation, CompoundResult, OnlineResult
 from repro.detectors.cache import DetectionScoreCache
+from repro.detectors.retry import ensure_finite, invoke_with_retry
 from repro.detectors.zoo import ModelZoo
-from repro.errors import QueryError
+from repro.errors import ModelGaveUpError, QueryError
 from repro.utils.intervals import IntervalSet
 from repro.video.synthesis import LabeledVideo
 
 
 def _outcome_to_dict(outcome: PredicateOutcome) -> dict:
-    return {
+    state = {
         "label": outcome.label,
         "kind": outcome.kind,
         "evaluated": outcome.evaluated,
@@ -41,6 +47,9 @@ def _outcome_to_dict(outcome: PredicateOutcome) -> dict:
         "units": outcome.units,
         "indicator": outcome.indicator,
     }
+    if outcome.degraded:
+        state["degraded"] = True
+    return state
 
 
 def _outcome_from_dict(state: dict) -> PredicateOutcome:
@@ -51,6 +60,7 @@ def _outcome_from_dict(state: dict) -> PredicateOutcome:
         count=state["count"],
         units=state["units"],
         indicator=state["indicator"],
+        degraded=state.get("degraded", False),
     )
 
 
@@ -130,6 +140,13 @@ class ConjunctivePredicate:
     ) -> Mapping[str, PredicateOutcome]:
         return {o.label: o for o in evaluation.outcomes}
 
+    def held_state(self) -> dict:
+        """Hold-last-estimate memory, for checkpoints."""
+        return self._evaluator.held_state()
+
+    def load_held_state(self, state: Mapping) -> None:
+        self._evaluator.load_held_state(state)
+
     # -- checkpoint serialisation ----------------------------------------------
 
     def evaluation_to_dict(self, evaluation: ClipEvaluation) -> dict:
@@ -156,6 +173,7 @@ class ConjunctivePredicate:
         final_rates: Mapping[str, float],
         k_crit_trace: tuple[Mapping[str, int], ...],
         stats: ExecutionStats | None,
+        degraded_clips: tuple[int, ...] = (),
     ) -> OnlineResult:
         return OnlineResult(
             query=self._query,
@@ -165,6 +183,7 @@ class ConjunctivePredicate:
             k_crit_trace=k_crit_trace,
             final_rates=final_rates,
             stats=stats,
+            degraded_clips=degraded_clips,
         )
 
 
@@ -247,6 +266,13 @@ class CnfPredicate:
                 action_threshold=self._action_threshold,
             )
         self._cache = cache
+        # Fault tolerance (mirrors ClipEvaluator): disarmed = the exact
+        # pre-fault-tolerance hot path.
+        self._armed = config.fault_tolerant
+        self._retry = config.retry_policy() if self._armed else None
+        self._policy_for = dict(config.failure_policy_overrides)
+        self._default_policy = config.failure_policy
+        self._last_good: dict[str, PredicateOutcome] = {}
 
     @property
     def compound(self) -> CompoundQuery:
@@ -272,6 +298,65 @@ class CnfPredicate:
     def attach_context(self, context: ExecutionContext) -> None:
         self._context = context
 
+    def _count(self, kind: str, label: str, clip_id: int) -> tuple[int, int]:
+        """Positive predictions and occurrence units of one label on one
+        clip, charged exactly as the conjunctive evaluator charges."""
+        if self._cache is not None:
+            count, units, fresh = self._cache.lookup(kind, label, clip_id)
+            if self._context is not None:
+                self._context.record_model_call(kind, cached=not fresh)
+            return count, units
+        if kind == "action":
+            scores = self._zoo.recognizer.score_clip(
+                self._meta, self._truth, label, clip_id
+            )
+            threshold = self._action_threshold
+        else:
+            scores = self._zoo.detector.score_clip(
+                self._meta, self._truth, label, clip_id
+            )
+            threshold = self._object_threshold
+        if self._armed:
+            ensure_finite(scores, f"scores ({label!r}, clip {clip_id})")
+        if self._context is not None:
+            self._context.record_model_call(kind)
+        return int(np.count_nonzero(scores >= threshold)), len(scores)
+
+    def _robust_outcome(
+        self, label: str, kind: str, clip_id: int, quota: int
+    ) -> PredicateOutcome:
+        """Retry-wrapped counting with degradation (mirrors
+        :meth:`repro.core.indicators.ClipEvaluator.robust_outcome`)."""
+        model = (
+            self._zoo.recognizer.name if kind == "action"
+            else self._zoo.detector.name
+        )
+
+        def on_retry(error: Exception, attempt: int) -> None:
+            self._zoo.cost_meter.record_retry(model)
+            if self._context is not None:
+                self._context.record_retry(error)
+
+        try:
+            count, units = invoke_with_retry(
+                lambda: self._count(kind, label, clip_id),
+                self._retry,
+                describe=f"{model} on {label!r} (clip {clip_id})",
+                on_retry=on_retry,
+            )
+        except ModelGaveUpError as error:
+            return resolve_giveup(
+                label, kind, quota,
+                self._policy_for.get(label, self._default_policy),
+                self._last_good, error, self._context, self._zoo,
+            )
+        outcome = PredicateOutcome(
+            label, kind, evaluated=True,
+            count=count, units=units, indicator=count >= quota,
+        )
+        self._last_good[label] = outcome
+        return outcome
+
     def evaluate(
         self,
         clip_id: int,
@@ -287,30 +372,17 @@ class CnfPredicate:
             if memo is not None:
                 return memo.indicator
             kind = "action" if label in self._action_set else "object"
-            if self._cache is not None:
-                count, units, fresh = self._cache.lookup(kind, label, clip_id)
-                if self._context is not None:
-                    self._context.record_model_call(kind, cached=not fresh)
+            if self._armed:
+                outcome = self._robust_outcome(
+                    label, kind, clip_id, quotas[label]
+                )
             else:
-                if kind == "action":
-                    scores = self._zoo.recognizer.score_clip(
-                        self._meta, self._truth, label, clip_id
-                    )
-                    threshold = self._action_threshold
-                else:
-                    scores = self._zoo.detector.score_clip(
-                        self._meta, self._truth, label, clip_id
-                    )
-                    threshold = self._object_threshold
-                if self._context is not None:
-                    self._context.record_model_call(kind)
-                count = int(np.count_nonzero(scores >= threshold))
-                units = len(scores)
-            outcome = PredicateOutcome(
-                label, kind, evaluated=True,
-                count=count, units=units,
-                indicator=count >= quotas[label],
-            )
+                count, units = self._count(kind, label, clip_id)
+                outcome = PredicateOutcome(
+                    label, kind, evaluated=True,
+                    count=count, units=units,
+                    indicator=count >= quotas[label],
+                )
             outcomes[label] = outcome
             return outcome.indicator
 
@@ -345,6 +417,23 @@ class CnfPredicate:
         self, evaluation: CompoundEvaluation
     ) -> Mapping[str, PredicateOutcome]:
         return evaluation.outcomes
+
+    def held_state(self) -> dict:
+        """Hold-last-estimate memory, for checkpoints."""
+        return {
+            label: [o.count, o.units]
+            for label, o in self._last_good.items()
+        }
+
+    def load_held_state(self, state: Mapping) -> None:
+        self._last_good = {
+            label: PredicateOutcome(
+                label,
+                "action" if label in self._action_set else "object",
+                evaluated=True, count=int(count), units=int(units),
+            )
+            for label, (count, units) in state.items()
+        }
 
     # -- checkpoint serialisation ----------------------------------------------
 
@@ -383,6 +472,7 @@ class CnfPredicate:
         final_rates: Mapping[str, float],
         k_crit_trace: tuple[Mapping[str, int], ...],
         stats: ExecutionStats | None,
+        degraded_clips: tuple[int, ...] = (),
     ) -> CompoundResult:
         return CompoundResult(
             compound=self._compound,
@@ -392,4 +482,5 @@ class CnfPredicate:
             final_rates=dict(final_rates),
             k_crit_trace=k_crit_trace,
             stats=stats,
+            degraded_clips=degraded_clips,
         )

@@ -15,7 +15,27 @@ from typing import Mapping
 from repro.core.context import ExecutionStats
 from repro.core.indicators import ClipEvaluation, PredicateOutcome
 from repro.core.query import CompoundQuery, Query
-from repro.utils.intervals import IntervalSet
+from repro.utils.intervals import Interval, IntervalSet
+
+
+def degraded_sequence_spans(
+    sequences: IntervalSet, degraded_clips: tuple[int, ...]
+) -> tuple[Interval, ...]:
+    """The result sequences touching at least one degraded clip.
+
+    These sequences were decided with one or more predicates resolved by
+    a degradation policy instead of a model answer, so the scan-statistic
+    precision guarantee does not fully cover them — callers wanting the
+    strict guarantee filter them out.
+    """
+    if not degraded_clips:
+        return ()
+    clips = sorted(set(degraded_clips))
+    return tuple(
+        span
+        for span in sequences
+        if any(span.start <= clip <= span.end for clip in clips)
+    )
 
 
 @dataclass(frozen=True)
@@ -34,6 +54,9 @@ class OnlineResult:
     #: Per-stage execution counters of the run (model invocations,
     #: short-circuit savings, probe clips, stage wall time).
     stats: ExecutionStats | None = None
+    #: Clips on which at least one predicate was resolved by a degradation
+    #: policy (empty unless fault tolerance was armed and models gave up).
+    degraded_clips: tuple[int, ...] = ()
 
     @property
     def n_clips(self) -> int:
@@ -42,6 +65,11 @@ class OnlineResult:
     @property
     def positive_clips(self) -> int:
         return sum(1 for ev in self.evaluations if ev.positive)
+
+    @property
+    def degraded_sequences(self) -> tuple:
+        """Result sequences touching a degraded clip (weakened guarantee)."""
+        return degraded_sequence_spans(self.sequences, self.degraded_clips)
 
     def predicate_indicator_rate(self, label: str) -> float:
         """Fraction of evaluated clips on which a predicate's indicator
@@ -66,6 +94,11 @@ class CompoundEvaluation:
     #: truth value per clause, ``None`` when short-circuited
     clause_values: tuple[bool | None, ...]
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any predicate was resolved by a degradation policy."""
+        return any(o.degraded for o in self.outcomes.values())
+
 
 @dataclass(frozen=True)
 class CompoundResult:
@@ -79,7 +112,15 @@ class CompoundResult:
     k_crit_trace: tuple[Mapping[str, int], ...] = ()
     #: Per-stage execution counters of the run.
     stats: ExecutionStats | None = None
+    #: Clips on which at least one predicate was resolved by a degradation
+    #: policy (empty unless fault tolerance was armed and models gave up).
+    degraded_clips: tuple[int, ...] = ()
 
     @property
     def n_clips(self) -> int:
         return len(self.evaluations)
+
+    @property
+    def degraded_sequences(self) -> tuple:
+        """Result sequences touching a degraded clip (weakened guarantee)."""
+        return degraded_sequence_spans(self.sequences, self.degraded_clips)

@@ -64,6 +64,7 @@ from repro.core.predicates import (
     cnf_label_kinds,
 )
 from repro.core.query import CompoundQuery, Query
+from repro.core.results import degraded_sequence_spans
 from repro.core.sequences import SequenceAssembler
 from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.zoo import ModelZoo
@@ -72,9 +73,10 @@ from repro.video.model import ClipView
 from repro.video.synthesis import LabeledVideo
 
 #: Format tag written into checkpoints; bump on incompatible changes.
-#: v3 adds the detection-score-cache charge state; v1/v2 checkpoints
-#: (no ``cache`` entry) still load.
-CHECKPOINT_VERSION = 3
+#: v3 adds the detection-score-cache charge state; v4 adds the
+#: fault-tolerance state (degraded clips + hold-last-estimate memory).
+#: v1–v3 checkpoints (missing entries) still load.
+CHECKPOINT_VERSION = 4
 
 
 class StreamSession:
@@ -104,11 +106,16 @@ class StreamSession:
         # Static quotas freeze Algorithm 2's inputs for whole cache chunks,
         # so conjunctive sessions with a cache evaluate chunk-at-a-time
         # through a buffer (SVAQD moves quotas per clip and stays serial).
+        # Armed fault tolerance needs the per-clip retry/degradation path,
+        # so it also disables chunking.
+        self._armed = self._config.fault_tolerant
         self._chunkable = (
             not policy.dynamic
+            and not self._armed
             and getattr(predicate, "supports_chunking", False)
             and predicate.cache is not None
         )
+        self._degraded_clips: list[int] = []
         self._chunk_buffer: list[tuple[Any, tuple]] = []
         self._buffer_pos = 0
         self._buffer_short_circuit: bool | None = None
@@ -377,13 +384,18 @@ class StreamSession:
         if probing:
             context.probe_clips += 1
             for outcome in outcome_map.values():
-                if outcome.evaluated:
+                # Degraded outcomes carry no fresh model evidence, so they
+                # must not teach the selectivity estimator.
+                if outcome.evaluated and not outcome.degraded:
                     self._probed[outcome.label] += 1
                     self._fired[outcome.label] += int(outcome.indicator)
         self._clip_index += 1
         context.clips_processed += 1
         context.predicates_evaluated += evaluated_n
         context.predicates_skipped += self._n_labels - evaluated_n
+        if self._armed and evaluation.degraded:
+            context.clips_degraded += 1
+            self._degraded_clips.append(clip.clip_id)
         self._evaluations.append(evaluation)
         start = time.perf_counter()
         emitted = self._assembler.push(clip.clip_id, evaluation.positive)
@@ -436,6 +448,13 @@ class StreamSession:
             )
             if emitted is not None:
                 self._context.sequences_emitted += 1
+            if self._degraded_clips:
+                self._context.sequences_degraded += len(
+                    degraded_sequence_spans(
+                        self._assembler.result(),
+                        tuple(self._degraded_clips),
+                    )
+                )
             self._finished = True
             self._final_stats = self._context.snapshot()
         return self._predicate.build_result(
@@ -445,6 +464,7 @@ class StreamSession:
             final_rates=self._policy.rates(),
             k_crit_trace=tuple(self._trace) if self._record_trace else (),
             stats=self._final_stats,
+            degraded_clips=tuple(self._degraded_clips),
         )
 
     # -- checkpointing -------------------------------------------------------------
@@ -478,6 +498,16 @@ class StreamSession:
             "selectivity": {"fired": self._fired, "probed": self._probed},
             "trace": list(self._trace),
             "cache": cache.state_dict() if cache is not None else None,
+            # v4: fault-tolerance state.  The degraded-clip list feeds the
+            # final result/stats; the held estimates make a resumed
+            # ``hold_last_estimate`` session replay the same counts the
+            # uninterrupted run would.
+            "degraded_clips": list(self._degraded_clips),
+            "held": (
+                self._predicate.held_state()
+                if hasattr(self._predicate, "held_state")
+                else {}
+            ),
         }
 
     def load_state_dict(self, state: dict) -> "StreamSession":
@@ -516,6 +546,12 @@ class StreamSession:
         if cache_state is not None and cache is not None:
             cache.load_state_dict(cache_state)
         self._assembler = SequenceAssembler.from_state_dict(state["assembler"])
+        self._degraded_clips = [
+            int(c) for c in state.get("degraded_clips", [])
+        ]
+        held = state.get("held")
+        if held and hasattr(self._predicate, "load_held_state"):
+            self._predicate.load_held_state(held)
         selectivity = state.get("selectivity", {})
         self._fired.update(selectivity.get("fired", {}))
         self._probed.update(selectivity.get("probed", {}))

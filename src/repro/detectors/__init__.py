@@ -18,6 +18,13 @@ from repro.detectors.base import (
     TrackedDetection,
 )
 from repro.detectors.cost import CostMeter
+from repro.detectors.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    fault_profile,
+    faulty_zoo,
+)
 from repro.detectors.profiles import (
     CENTERTRACK,
     I3D,
@@ -32,6 +39,7 @@ from repro.detectors.simulated import (
     SimulatedActionRecognizer,
     SimulatedObjectDetector,
 )
+from repro.detectors.retry import RetryPolicy, invoke_with_retry
 from repro.detectors.tracker import SimulatedTracker
 from repro.detectors.zoo import ModelZoo, default_zoo, ideal_zoo
 
@@ -56,4 +64,11 @@ __all__ = [
     "ModelZoo",
     "default_zoo",
     "ideal_zoo",
+    "FaultProfile",
+    "FaultInjector",
+    "FAULT_PROFILES",
+    "fault_profile",
+    "faulty_zoo",
+    "RetryPolicy",
+    "invoke_with_retry",
 ]

@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.detectors.zoo import ModelZoo
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CorruptedOutputError
 from repro.video.ground_truth import GroundTruth
 from repro.video.model import VideoMeta
 
@@ -302,6 +302,14 @@ class DetectionScoreCache:
                     self._video, self._truth, label
                 )
             span = scores[lo_clip * units : hi_clip * units]
+            if not np.isfinite(span).all():
+                # Corrupted model output must not become count-column
+                # truth; the chunk stays unmaterialised (nothing was
+                # written), so a retried lookup re-scores it cleanly.
+                raise CorruptedOutputError(
+                    f"{kind} scores for {label!r} contain non-finite "
+                    f"values in clips [{lo_clip}, {hi_clip})"
+                )
             mask = span >= self._thresholds[kind]
             col[lo_clip:hi_clip] = mask.reshape(-1, units).sum(axis=1)
             self._ready[key][chunk] = True

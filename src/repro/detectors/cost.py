@@ -32,6 +32,15 @@ class CostMeter:
     _cached_units: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: Failed-then-retried attempts and exhausted retry budgets per model.
+    #: Retried attempts do real (wasted) backend work, so operators need
+    #: them itemised next to the useful units above.
+    _retries: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    _giveups: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -50,6 +59,30 @@ class CostMeter:
             raise ValueError(f"units must be >= 0; got {units}")
         with self._lock:
             self._cached_units[model] += units
+
+    def record_retry(self, model: str, n: int = 1) -> None:
+        """Record ``n`` failed attempts of ``model`` that were retried."""
+        with self._lock:
+            self._retries[model] += n
+
+    def record_giveup(self, model: str, n: int = 1) -> None:
+        """Record ``n`` invocations of ``model`` whose retries ran out."""
+        with self._lock:
+            self._giveups[model] += n
+
+    def retries(self, model: str | None = None) -> int:
+        """Accumulated retried attempts."""
+        with self._lock:
+            if model is not None:
+                return self._retries.get(model, 0)
+            return sum(self._retries.values())
+
+    def giveups(self, model: str | None = None) -> int:
+        """Accumulated exhausted retry budgets."""
+        with self._lock:
+            if model is not None:
+                return self._giveups.get(model, 0)
+            return sum(self._giveups.values())
 
     def ms(self, model: str | None = None) -> float:
         """Accumulated milliseconds for one model (or all models)."""
@@ -82,6 +115,8 @@ class CostMeter:
             self._ms.clear()
             self._units.clear()
             self._cached_units.clear()
+            self._retries.clear()
+            self._giveups.clear()
 
     def merge(self, other: "CostMeter") -> None:
         """Fold another meter's charges into this one.
@@ -95,6 +130,8 @@ class CostMeter:
             ms = dict(other._ms)
             units = dict(other._units)
             cached = dict(other._cached_units)
+            retries = dict(other._retries)
+            giveups = dict(other._giveups)
         with self._lock:
             for model, value in ms.items():
                 self._ms[model] += value
@@ -102,6 +139,10 @@ class CostMeter:
                 self._units[model] += value
             for model, value in cached.items():
                 self._cached_units[model] += value
+            for model, value in retries.items():
+                self._retries[model] += value
+            for model, value in giveups.items():
+                self._giveups[model] += value
 
     # The lock is an implementation detail — drop it when pickling (for
     # process-pool workers) and rebuild it on restore.  ``copy.deepcopy``
@@ -113,10 +154,14 @@ class CostMeter:
                 "_ms": dict(self._ms),
                 "_units": dict(self._units),
                 "_cached_units": dict(self._cached_units),
+                "_retries": dict(self._retries),
+                "_giveups": dict(self._giveups),
             }
 
     def __setstate__(self, state: dict) -> None:
         self._ms = defaultdict(float, state["_ms"])
         self._units = defaultdict(int, state["_units"])
         self._cached_units = defaultdict(int, state.get("_cached_units", {}))
+        self._retries = defaultdict(int, state.get("_retries", {}))
+        self._giveups = defaultdict(int, state.get("_giveups", {}))
         self._lock = threading.Lock()

@@ -36,6 +36,36 @@ class DetectorError(ReproError, RuntimeError):
     a label outside its vocabulary)."""
 
 
+class ModelExecutionError(ReproError, RuntimeError):
+    """A deployed model failed *at inference time* — the infrastructure
+    failures (backend errors, timeouts, corrupted outputs) the
+    fault-tolerance layer retries and degrades around, as opposed to
+    :class:`DetectorError` which flags caller bugs."""
+
+
+class TransientModelError(ModelExecutionError):
+    """A model invocation failed transiently (flaky backend, dropped RPC);
+    retrying the same call may succeed."""
+
+
+class ModelTimeoutError(ModelExecutionError):
+    """A model invocation exceeded its (simulated or configured) deadline."""
+
+
+class CorruptedOutputError(ModelExecutionError):
+    """A model returned unusable output (non-finite scores); the attempt
+    is treated as failed and may be retried."""
+
+
+class ModelGaveUpError(ModelExecutionError):
+    """Retries were exhausted (or the per-call deadline passed) without a
+    usable model answer.  ``last_error`` holds the final attempt's failure."""
+
+    def __init__(self, message: str, last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
 class QueryError(ReproError, ValueError):
     """A query object is malformed (no action, duplicate predicates, labels
     outside the deployed models' vocabularies)."""
@@ -53,6 +83,20 @@ class StorageError(ReproError, RuntimeError):
 
 class IngestError(StorageError):
     """The ingestion phase failed (video already ingested, empty video)."""
+
+
+class IngestBatchError(IngestError):
+    """One or more videos of an ``ingest_many`` batch failed.
+
+    Raised only under ``on_error="raise"`` — *after* every completed
+    worker's cost charges were merged back into the shared meter.
+    ``outcomes`` carries the full per-video outcome list (successes
+    included) so callers can salvage the completed ingests.
+    """
+
+    def __init__(self, message: str, outcomes: list | None = None) -> None:
+        super().__init__(message)
+        self.outcomes = outcomes or []
 
 
 class SqlSyntaxError(ReproError, ValueError):

@@ -7,7 +7,13 @@ so the Table 6–8 comparisons count identically.
 """
 
 from repro.storage.access import AccessStats
-from repro.storage.ingest import VideoIngest, ingest_video
+from repro.storage.ingest import (
+    IngestOutcome,
+    VideoIngest,
+    ingest_many,
+    ingest_video,
+    retry_failed,
+)
 from repro.storage.repository import VideoRepository
 from repro.storage.table import ClipScoreTable
 
@@ -15,6 +21,9 @@ __all__ = [
     "AccessStats",
     "ClipScoreTable",
     "VideoIngest",
+    "IngestOutcome",
     "ingest_video",
+    "ingest_many",
+    "retry_failed",
     "VideoRepository",
 ]

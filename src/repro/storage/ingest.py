@@ -24,8 +24,9 @@ from repro.core.config import OnlineConfig
 from repro.core.query import Query
 from repro.core.scoring import PaperScoring, ScoringScheme
 from repro.core.svaqd import SVAQD
+from repro.detectors.retry import ensure_finite, invoke_with_retry
 from repro.detectors.zoo import ModelZoo
-from repro.errors import IngestError
+from repro.errors import IngestBatchError, IngestError, ModelGaveUpError
 from repro.storage.table import ClipScoreTable
 from repro.utils.intervals import IntervalSet
 from repro.video.model import ClipView
@@ -90,14 +91,38 @@ def ingest_video(
         raise IngestError("duplicate action labels for ingestion")
     meta = video.meta
     cost_before = zoo.cost_meter.ms()
+    retry = config.retry_policy() if config.fault_tolerant else None
+
+    def _invoke(call, model_name, describe, validate=None):
+        """Model-invocation boundary: plain call when fault tolerance is
+        off (bit-identical to the pre-retry code path), retried per
+        ``config`` otherwise, with retries/give-ups charged to the meter."""
+        if retry is None:
+            return call()
+
+        def _on_retry(error, attempt):
+            zoo.cost_meter.record_retry(model_name)
+
+        try:
+            return invoke_with_retry(
+                call, retry, validate=validate, describe=describe,
+                on_retry=_on_retry,
+            )
+        except ModelGaveUpError:
+            zoo.cost_meter.record_giveup(model_name)
+            raise
 
     object_tables: dict[str, ClipScoreTable] = {}
     object_sequences: dict[str, IntervalSet] = {}
     for label in object_labels:
         rows = []
         for clip_id in meta.clip_ids():
-            tracked = zoo.tracker.tracks_in_clip(
-                meta, video.truth, label, ClipView(meta, clip_id)
+            tracked = _invoke(
+                lambda cid=clip_id: zoo.tracker.tracks_in_clip(
+                    meta, video.truth, label, ClipView(meta, cid)
+                ),
+                zoo.tracker.name,
+                f"tracker on {video.video_id}/{label}/clip {clip_id}",
             )
             rows.append(
                 (clip_id, scoring.object_clip_score(t.score for t in tracked))
@@ -111,7 +136,16 @@ def ingest_video(
     action_sequences: dict[str, IntervalSet] = {}
     shots_per_clip = meta.geometry.shots_per_clip
     for label in action_labels:
-        shot_scores = zoo.recognizer.score_video(meta, video.truth, label)
+        shot_scores = _invoke(
+            lambda lbl=label: zoo.recognizer.score_video(
+                meta, video.truth, lbl
+            ),
+            zoo.recognizer.name,
+            f"recogniser on {video.video_id}/{label}",
+            validate=lambda scores, lbl=label: ensure_finite(
+                scores, f"recogniser scores for {lbl!r}"
+            ),
+        )
         usable = meta.n_clips * shots_per_clip
         per_clip = np.asarray(shot_scores[:usable]).reshape(
             meta.n_clips, shots_per_clip
@@ -150,6 +184,30 @@ def _label_sequences(
 
 IngestExecutor = Literal["serial", "thread", "process"]
 
+IngestErrorPolicy = Literal["raise", "capture"]
+
+
+@dataclass
+class IngestOutcome:
+    """Per-video result of an :func:`ingest_many` batch.
+
+    Exactly one of ``ingest`` / ``error`` is set.  The original video
+    rides along so :func:`retry_failed` can re-run failures without the
+    caller re-threading inputs to outcomes.
+    """
+
+    video: LabeledVideo
+    ingest: VideoIngest | None = None
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def video_id(self) -> str:
+        return self.video.video_id
+
 
 def _ingest_task(
     video: LabeledVideo,
@@ -160,11 +218,37 @@ def _ingest_task(
     config: OnlineConfig | None,
 ):
     """Process-pool entry point: run one ingestion on a private (pickled)
-    zoo and ship the ingest plus the worker-side cost charges back."""
-    ingest = ingest_video(
-        video, zoo, object_labels, action_labels, scoring, config
-    )
-    return ingest, zoo.cost_meter
+    zoo and ship the ingest (or the failure) plus the worker-side cost
+    charges back — a failed video's partial charges are real work and
+    must not be dropped on the floor with the exception."""
+    try:
+        ingest = ingest_video(
+            video, zoo, object_labels, action_labels, scoring, config
+        )
+    except Exception as exc:
+        return None, exc, zoo.cost_meter
+    return ingest, None, zoo.cost_meter
+
+
+def _settle(
+    outcomes: list[IngestOutcome], on_error: IngestErrorPolicy
+) -> list[VideoIngest] | list[IngestOutcome]:
+    """Turn a fully accounted outcome list into the caller-facing result."""
+    if on_error == "capture":
+        return outcomes
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        detail = "; ".join(
+            f"{o.video_id}: {o.error}" for o in failures[:3]
+        )
+        if len(failures) > 3:
+            detail += "; ..."
+        raise IngestBatchError(
+            f"{len(failures)} of {len(outcomes)} videos failed ingestion "
+            f"({detail})",
+            outcomes=outcomes,
+        )
+    return [o.ingest for o in outcomes]
 
 
 def ingest_many(
@@ -177,7 +261,8 @@ def ingest_many(
     *,
     executor: IngestExecutor = "serial",
     max_workers: int | None = None,
-) -> list[VideoIngest]:
+    on_error: IngestErrorPolicy = "raise",
+) -> list[VideoIngest] | list[IngestOutcome]:
     """Run the ingestion phase over many videos, optionally in parallel.
 
     Ingestion is embarrassingly parallel across videos — each video's
@@ -199,15 +284,32 @@ def ingest_many(
     their workers' inference charges back into ``zoo.cost_meter``, so
     per-video ``ingest_cost_ms`` and the shared meter totals match the
     serial run exactly.
+
+    Failure handling: one video's failure never discards the rest of the
+    batch.  Every worker's cost charges — including a failed worker's
+    partial charges — are merged back into the shared meter first; then
+    ``on_error="raise"`` (the default) raises
+    :class:`~repro.errors.IngestBatchError` carrying the full per-video
+    :class:`IngestOutcome` list (successes included, so completed ingests
+    are salvageable), while ``on_error="capture"`` returns that outcome
+    list instead of raising.  With no failures, ``"raise"`` returns the
+    plain :class:`VideoIngest` list exactly as before.
     """
     videos = list(videos)
+    if on_error not in ("raise", "capture"):
+        raise IngestError(f"unknown on_error policy {on_error!r}")
     if executor == "serial":
-        return [
-            ingest_video(
-                video, zoo, object_labels, action_labels, scoring, config
-            )
-            for video in videos
-        ]
+        outcomes = []
+        for video in videos:
+            try:
+                ingest = ingest_video(
+                    video, zoo, object_labels, action_labels, scoring, config
+                )
+            except Exception as exc:
+                outcomes.append(IngestOutcome(video=video, error=exc))
+            else:
+                outcomes.append(IngestOutcome(video=video, ingest=ingest))
+        return _settle(outcomes, on_error)
     if executor == "thread":
         from concurrent.futures import ThreadPoolExecutor
 
@@ -225,10 +327,17 @@ def ingest_many(
                 )
                 for video, fork in zip(videos, forks)
             ]
-            results = [future.result() for future in futures]
+            outcomes = []
+            for video, future in zip(videos, futures):
+                try:
+                    ingest = future.result()
+                except Exception as exc:
+                    outcomes.append(IngestOutcome(video=video, error=exc))
+                else:
+                    outcomes.append(IngestOutcome(video=video, ingest=ingest))
         for fork in forks:
             zoo.cost_meter.merge(fork.cost_meter)
-        return results
+        return _settle(outcomes, on_error)
     if executor == "process":
         from concurrent.futures import ProcessPoolExecutor
 
@@ -245,8 +354,57 @@ def ingest_many(
                 )
                 for video in videos
             ]
-            shipped = [future.result() for future in futures]
-        for _, meter in shipped:
-            zoo.cost_meter.merge(meter)
-        return [ingest for ingest, _ in shipped]
+            shipped = []
+            for future in futures:
+                try:
+                    shipped.append(future.result())
+                except Exception as exc:
+                    # The task itself never raises; this is transport
+                    # failure (unpicklable payload, dead worker) — the
+                    # worker-side meter is unrecoverable then.
+                    shipped.append((None, exc, None))
+        outcomes = []
+        for video, (ingest, error, meter) in zip(videos, shipped):
+            if meter is not None:
+                zoo.cost_meter.merge(meter)
+            outcomes.append(
+                IngestOutcome(video=video, ingest=ingest, error=error)
+            )
+        return _settle(outcomes, on_error)
     raise IngestError(f"unknown ingest executor {executor!r}")
+
+
+def retry_failed(
+    outcomes: Sequence[IngestOutcome],
+    zoo: ModelZoo,
+    object_labels: Sequence[str],
+    action_labels: Sequence[str],
+    scoring: ScoringScheme | None = None,
+    config: OnlineConfig | None = None,
+    *,
+    executor: IngestExecutor = "serial",
+    max_workers: int | None = None,
+) -> list[IngestOutcome]:
+    """Re-ingest only the failed videos of a captured outcome list.
+
+    Returns a full outcome list in the original order with each failure
+    replaced by its fresh outcome (which may itself be a failure again);
+    successes are passed through untouched, so repeated rounds converge
+    on transient faults without re-paying for completed work.
+    """
+    failed = [o for o in outcomes if not o.ok]
+    if not failed:
+        return list(outcomes)
+    redone = ingest_many(
+        [o.video for o in failed],
+        zoo,
+        object_labels,
+        action_labels,
+        scoring,
+        config,
+        executor=executor,
+        max_workers=max_workers,
+        on_error="capture",
+    )
+    by_id = {o.video_id: o for o in redone}
+    return [by_id.get(o.video_id, o) for o in outcomes]

@@ -19,7 +19,10 @@ ingested metadata (not the synthetic videos) through ``.npz`` + JSON files.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import shutil
 from bisect import bisect_right
 from pathlib import Path
 
@@ -197,59 +200,116 @@ class VideoRepository:
     # -- persistence ---------------------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Write the ingested metadata to ``directory``.
+        """Write the ingested metadata to ``directory``, atomically.
 
         Format 2: each table's score-sorted ``(cids, scores)`` columns are
         exported directly (:meth:`ClipScoreTable.as_columns`) instead of
         re-assembling Nx2 row tuples through per-clip random accesses, and
         clip ids keep their integer dtype.  :meth:`load` accepts both this
         and the format-1 layout.
+
+        Crash safety: everything is staged in a sibling temporary
+        directory — the manifest last, carrying a sha256 per data file —
+        and only a fully written stage is promoted over ``directory``.  A
+        crash at any point during staging leaves a previously saved
+        repository untouched; :meth:`load` verifies the checksums, so a
+        torn copy of the directory is detected rather than half-loaded.
         """
-        root = Path(directory)
-        root.mkdir(parents=True, exist_ok=True)
-        manifest = {"format": 2, "videos": []}
-        for video_id, ingest in self._ingests.items():
-            safe = _safe_name(video_id)
-            manifest["videos"].append({"video_id": video_id, "file": f"{safe}.npz"})
-            arrays: dict[str, np.ndarray] = {}
-            meta = {
-                "video_id": video_id,
-                "n_clips": ingest.n_clips,
-                "object_labels": list(ingest.object_tables.keys()),
-                "action_labels": list(ingest.action_tables.keys()),
-                "object_sequences": {
-                    k: v.as_tuples() for k, v in ingest.object_sequences.items()
-                },
-                "action_sequences": {
-                    k: v.as_tuples() for k, v in ingest.action_sequences.items()
-                },
-                "ingest_cost_ms": ingest.ingest_cost_ms,
-            }
-            for kind, tables in (
-                ("obj", ingest.object_tables),
-                ("act", ingest.action_tables),
-            ):
-                for i, (label, table) in enumerate(tables.items()):
-                    cids, scores = table.as_columns()
-                    arrays[f"{kind}_{i}_cids"] = cids
-                    arrays[f"{kind}_{i}_scores"] = scores
-            np.savez_compressed(root / f"{safe}.npz", **arrays)
-            (root / f"{safe}.json").write_text(json.dumps(meta))
-        (root / "manifest.json").write_text(json.dumps(manifest))
+        root = Path(directory).resolve()
+        root.parent.mkdir(parents=True, exist_ok=True)
+        staging = root.parent / f"{root.name}.saving-{os.getpid()}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir()
+        try:
+            manifest = {"format": 2, "videos": []}
+            names = _unique_safe_names(self._ingests.keys())
+            for video_id, ingest in self._ingests.items():
+                safe = names[video_id]
+                arrays: dict[str, np.ndarray] = {}
+                meta = {
+                    "video_id": video_id,
+                    "n_clips": ingest.n_clips,
+                    "object_labels": list(ingest.object_tables.keys()),
+                    "action_labels": list(ingest.action_tables.keys()),
+                    "object_sequences": {
+                        k: v.as_tuples()
+                        for k, v in ingest.object_sequences.items()
+                    },
+                    "action_sequences": {
+                        k: v.as_tuples()
+                        for k, v in ingest.action_sequences.items()
+                    },
+                    "ingest_cost_ms": ingest.ingest_cost_ms,
+                }
+                for kind, tables in (
+                    ("obj", ingest.object_tables),
+                    ("act", ingest.action_tables),
+                ):
+                    for i, (label, table) in enumerate(tables.items()):
+                        cids, scores = table.as_columns()
+                        arrays[f"{kind}_{i}_cids"] = cids
+                        arrays[f"{kind}_{i}_scores"] = scores
+                np.savez_compressed(staging / f"{safe}.npz", **arrays)
+                (staging / f"{safe}.json").write_text(json.dumps(meta))
+                manifest["videos"].append(
+                    {
+                        "video_id": video_id,
+                        "file": f"{safe}.npz",
+                        "meta": f"{safe}.json",
+                        "sha256": {
+                            f"{safe}.npz": _sha256(staging / f"{safe}.npz"),
+                            f"{safe}.json": _sha256(staging / f"{safe}.json"),
+                        },
+                    }
+                )
+            (staging / "manifest.json").write_text(json.dumps(manifest))
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        _promote(staging, root)
 
     @classmethod
     def load(cls, directory: str | Path) -> "VideoRepository":
-        """Reconstruct a repository previously written with :meth:`save`."""
+        """Reconstruct a repository previously written with :meth:`save`.
+
+        Detects torn state: a manifest that is not valid JSON, a data file
+        the manifest references but that is missing, or one whose sha256
+        does not match the manifest's record (manifests from before the
+        checksums existed skip that verification) all raise
+        :class:`~repro.errors.StorageError` instead of loading garbage.
+        """
         root = Path(directory)
         manifest_path = root / "manifest.json"
         if not manifest_path.exists():
             raise StorageError(f"no repository manifest under {root}")
-        manifest = json.loads(manifest_path.read_text())
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"repository manifest under {root} is not valid JSON — "
+                f"torn or interrupted save: {exc}"
+            ) from exc
         repo = cls()
         for entry in manifest["videos"]:
-            safe = _safe_name(entry["video_id"])
-            meta = json.loads((root / f"{safe}.json").read_text())
-            arrays = np.load(root / f"{safe}.npz")
+            npz_name = entry.get("file") or f"{_safe_name(entry['video_id'])}.npz"
+            meta_name = entry.get("meta") or f"{npz_name[:-4]}.json"
+            checksums = entry.get("sha256", {})
+            for name in (npz_name, meta_name):
+                path = root / name
+                if not path.exists():
+                    raise StorageError(
+                        f"repository under {root} references {name} but the "
+                        f"file is missing — torn or partial save"
+                    )
+                expected = checksums.get(name)
+                if expected is not None and _sha256(path) != expected:
+                    raise StorageError(
+                        f"checksum mismatch for {name} under {root} — "
+                        f"torn or corrupted save"
+                    )
+            meta = json.loads((root / meta_name).read_text())
+            arrays = np.load(root / npz_name)
             object_tables = {}
             for i, label in enumerate(meta["object_labels"]):
                 object_tables[label] = _load_table(arrays, "obj", i, label)
@@ -296,3 +356,58 @@ def _load_table(arrays, kind: str, i: int, label: str) -> ClipScoreTable:
 
 def _safe_name(video_id: str) -> str:
     return "".join(c if c.isalnum() or c in "-_" else "_" for c in video_id)
+
+
+def _unique_safe_names(video_ids) -> dict[str, str]:
+    """Map each video id to a collision-free file stem.
+
+    ``_safe_name`` is lossy ("a/b" and "a:b" both sanitise to "a_b"), so
+    ids whose stems collide are disambiguated with a deterministic short
+    hash of the raw id — previously the later video silently overwrote
+    the earlier one's arrays on disk.  Unambiguous ids keep their plain
+    stem, so existing directories and their manifests stay byte-stable.
+    """
+    by_stem: dict[str, list[str]] = {}
+    for video_id in video_ids:
+        by_stem.setdefault(_safe_name(video_id), []).append(video_id)
+    names: dict[str, str] = {}
+    for stem, ids in by_stem.items():
+        if len(ids) == 1:
+            names[ids[0]] = stem
+        else:
+            for video_id in ids:
+                digest = hashlib.sha1(video_id.encode()).hexdigest()[:8]
+                names[video_id] = f"{stem}-{digest}"
+    if len(set(names.values())) != len(names):
+        raise StorageError("video ids produce colliding file names")
+    return names
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _promote(staging: Path, root: Path) -> None:
+    """Atomically promote a fully staged repository over ``root``.
+
+    A fresh save is one rename.  Overwriting parks the old directory,
+    renames the stage into place and only then deletes the parked copy;
+    if the swap itself fails the old repository is restored.
+    """
+    if not root.exists():
+        os.rename(staging, root)
+        return
+    parked = root.parent / f"{root.name}.replaced-{os.getpid()}"
+    if parked.exists():
+        shutil.rmtree(parked)
+    os.rename(root, parked)
+    try:
+        os.rename(staging, root)
+    except BaseException:
+        os.rename(parked, root)
+        raise
+    shutil.rmtree(parked, ignore_errors=True)

@@ -161,7 +161,14 @@ class TestPersistenceFormats:
         legacy.mkdir()
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         (legacy / "manifest.json").write_text(
-            json.dumps({"videos": manifest["videos"]})
+            json.dumps(
+                {
+                    "videos": [
+                        {"video_id": e["video_id"], "file": e["file"]}
+                        for e in manifest["videos"]
+                    ]
+                }
+            )
         )
         for entry in manifest["videos"]:
             safe = entry["file"][:-4]
