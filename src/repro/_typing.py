@@ -7,7 +7,7 @@ are ``float`` in ``[0, 1]`` unless a scoring function says otherwise.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Any, Dict, Union
 
 ClipId = int
 FrameIndex = int
@@ -17,3 +17,7 @@ VideoId = str
 Label = str
 Score = float
 Seed = Union[int, None]
+
+#: JSON-serialisable checkpoint payload, the currency of every
+#: ``state_dict``/``load_state_dict``/``from_state_dict`` in the engine.
+StateDict = Dict[str, Any]

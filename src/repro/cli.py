@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro import __version__
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.context import ExecutionStats
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,7 +120,7 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_stats(stats) -> None:
+def _print_stats(stats: "ExecutionStats") -> None:
     print(stats.summary())
 
 
@@ -275,7 +278,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Output piped into a pager/head that closed early — normal exit.
         try:
             sys.stdout.close()
-        except Exception:
+        except OSError:  # reprolint: disable=RL004 - best-effort flush on a dead pipe
             pass
         return 0
 

@@ -13,6 +13,7 @@ Groups the paper's tunables in one place:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.utils.validation import (
@@ -20,6 +21,9 @@ from repro.utils.validation import (
     require_positive_int,
     require_probability,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.detectors.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -129,7 +133,7 @@ class OnlineConfig:
             or bool(self.failure_policy_overrides)
         )
 
-    def retry_policy(self):
+    def retry_policy(self) -> "RetryPolicy":
         """The :class:`~repro.detectors.retry.RetryPolicy` this config arms."""
         from repro.detectors.retry import RetryPolicy
 

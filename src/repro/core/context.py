@@ -17,6 +17,7 @@ whole query set.
 
 from __future__ import annotations
 
+from repro._typing import StateDict
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -90,7 +91,7 @@ class ExecutionStats:
         total = self.predicates_evaluated + self.predicates_skipped
         return self.predicates_skipped / total if total else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> StateDict:
         """JSON-friendly rendering (reports, ``--stats``)."""
         return {
             "clips_processed": self.clips_processed,

@@ -22,6 +22,7 @@ from repro.core.indicators import PredicateOutcome
 from repro.scanstats.critical import CriticalValueTable
 from repro.scanstats.kernel import KernelRateEstimator
 from repro.video.model import VideoGeometry
+from repro._typing import StateDict
 
 
 @dataclass
@@ -47,6 +48,14 @@ class PredicateTracker:
 
 class QuotaManager:
     """Per-predicate dynamic quotas for one streaming run."""
+
+    #: Not checkpointed (RL002): rebuilt from constructor arguments — the
+    #: caller reconstructs the manager with the same labels/geometry/config
+    #: before ``load_state_dict``, and the tracker list / bucket-uniformity
+    #: flag are derived from that construction, not from online state.
+    _CHECKPOINT_EXCLUDE = frozenset(
+        {"_config", "_tracker_list", "_uniform_buckets"}
+    )
 
     def __init__(
         self,
@@ -149,7 +158,7 @@ class QuotaManager:
 
     # -- checkpointing -----------------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         """JSON-serialisable snapshot of every estimator.
 
         Each entry records the estimator *class* alongside its state so
@@ -167,7 +176,7 @@ class QuotaManager:
             }
         }
 
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: StateDict) -> None:
         """Restore estimator states from :meth:`state_dict` output.
 
         Entries without a ``class`` tag (checkpoints from before the tag

@@ -39,6 +39,7 @@ from repro.detectors.zoo import ModelZoo
 from repro.errors import ModelGaveUpError, QueryError
 from repro.video.ground_truth import GroundTruth
 from repro.video.model import VideoMeta
+from repro._typing import StateDict
 
 
 class PredicateOutcome(NamedTuple):
@@ -315,7 +316,7 @@ class ClipEvaluator:
         self._last_good[label] = outcome
         return outcome
 
-    def held_state(self) -> dict:
+    def held_state(self) -> StateDict:
         """Checkpoint payload of the hold-last-estimate memory."""
         return {
             label: [o.count, o.units]

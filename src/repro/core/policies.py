@@ -26,6 +26,7 @@ from repro.core.indicators import PredicateOutcome
 from repro.errors import ConfigurationError
 from repro.scanstats.critical import critical_value
 from repro.video.model import VideoGeometry
+from repro._typing import StateDict
 
 
 def derive_static_quotas(
@@ -99,11 +100,11 @@ class QuotaPolicy(ABC):
         return {}
 
     @abstractmethod
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         """JSON-serialisable snapshot of the policy's dynamic state."""
 
     @abstractmethod
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: StateDict) -> None:
         """Restore from :meth:`state_dict` output."""
 
 
@@ -144,10 +145,10 @@ class StaticQuotaPolicy(QuotaPolicy):
     ) -> None:
         """Static quotas never move; the update is a no-op by design."""
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         return {"kind": "static", "quotas": dict(self._quotas)}
 
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: StateDict) -> None:
         self._quotas = {
             label: int(k) for label, k in state["quotas"].items()
         }
@@ -192,14 +193,14 @@ class DynamicQuotaPolicy(QuotaPolicy):
             outcomes, positive=positive, in_guard_band=in_guard_band
         )
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         return {"kind": "dynamic", **self._manager.state_dict()}
 
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: StateDict) -> None:
         self._manager.load_state_dict(state)
 
 
-def policy_from_state_dict(state: dict, fallback: QuotaPolicy) -> QuotaPolicy:
+def policy_from_state_dict(state: StateDict, fallback: QuotaPolicy) -> QuotaPolicy:
     """Validate that a checkpointed policy state matches the session's
     configured policy kind, then restore it in place."""
     kind = state.get("kind", "dynamic")

@@ -36,9 +36,10 @@ from repro.detectors.zoo import ModelZoo
 from repro.errors import ModelGaveUpError, QueryError
 from repro.utils.intervals import IntervalSet
 from repro.video.synthesis import LabeledVideo
+from repro._typing import StateDict
 
 
-def _outcome_to_dict(outcome: PredicateOutcome) -> dict:
+def _outcome_to_dict(outcome: PredicateOutcome) -> StateDict:
     state = {
         "label": outcome.label,
         "kind": outcome.kind,
@@ -52,7 +53,7 @@ def _outcome_to_dict(outcome: PredicateOutcome) -> dict:
     return state
 
 
-def _outcome_from_dict(state: dict) -> PredicateOutcome:
+def _outcome_from_dict(state: StateDict) -> PredicateOutcome:
     return PredicateOutcome(
         label=state["label"],
         kind=state["kind"],
@@ -128,7 +129,7 @@ class ConjunctivePredicate:
         quotas: Mapping[str, int],
         *,
         short_circuit: bool,
-    ):
+    ) -> tuple[list[ClipEvaluation], list[tuple[int, int, int, int, int]]]:
         """Vectorised Algorithm 2 over ``start``'s whole cache chunk (see
         :meth:`repro.core.indicators.ClipEvaluator.evaluate_chunk`)."""
         return self._evaluator.evaluate_chunk(
@@ -140,7 +141,7 @@ class ConjunctivePredicate:
     ) -> Mapping[str, PredicateOutcome]:
         return {o.label: o for o in evaluation.outcomes}
 
-    def held_state(self) -> dict:
+    def held_state(self) -> StateDict:
         """Hold-last-estimate memory, for checkpoints."""
         return self._evaluator.held_state()
 
@@ -149,14 +150,14 @@ class ConjunctivePredicate:
 
     # -- checkpoint serialisation ----------------------------------------------
 
-    def evaluation_to_dict(self, evaluation: ClipEvaluation) -> dict:
+    def evaluation_to_dict(self, evaluation: ClipEvaluation) -> StateDict:
         return {
             "clip_id": evaluation.clip_id,
             "positive": evaluation.positive,
             "outcomes": [_outcome_to_dict(o) for o in evaluation.outcomes],
         }
 
-    def evaluation_from_dict(self, state: dict) -> ClipEvaluation:
+    def evaluation_from_dict(self, state: StateDict) -> ClipEvaluation:
         return ClipEvaluation(
             clip_id=state["clip_id"],
             positive=state["positive"],
@@ -418,7 +419,7 @@ class CnfPredicate:
     ) -> Mapping[str, PredicateOutcome]:
         return evaluation.outcomes
 
-    def held_state(self) -> dict:
+    def held_state(self) -> StateDict:
         """Hold-last-estimate memory, for checkpoints."""
         return {
             label: [o.count, o.units]
@@ -437,7 +438,7 @@ class CnfPredicate:
 
     # -- checkpoint serialisation ----------------------------------------------
 
-    def evaluation_to_dict(self, evaluation: CompoundEvaluation) -> dict:
+    def evaluation_to_dict(self, evaluation: CompoundEvaluation) -> StateDict:
         return {
             "clip_id": evaluation.clip_id,
             "positive": evaluation.positive,
@@ -448,7 +449,7 @@ class CnfPredicate:
             "clause_values": list(evaluation.clause_values),
         }
 
-    def evaluation_from_dict(self, state: dict) -> CompoundEvaluation:
+    def evaluation_from_dict(self, state: StateDict) -> CompoundEvaluation:
         return CompoundEvaluation(
             clip_id=state["clip_id"],
             positive=state["positive"],

@@ -67,7 +67,7 @@ class OnlineResult:
         return sum(1 for ev in self.evaluations if ev.positive)
 
     @property
-    def degraded_sequences(self) -> tuple:
+    def degraded_sequences(self) -> tuple[Interval, ...]:
         """Result sequences touching a degraded clip (weakened guarantee)."""
         return degraded_sequence_spans(self.sequences, self.degraded_clips)
 
@@ -121,6 +121,6 @@ class CompoundResult:
         return len(self.evaluations)
 
     @property
-    def degraded_sequences(self) -> tuple:
+    def degraded_sequences(self) -> tuple[Interval, ...]:
         """Result sequences touching a degraded clip (weakened guarantee)."""
         return degraded_sequence_spans(self.sequences, self.degraded_clips)

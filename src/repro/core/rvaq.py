@@ -332,7 +332,9 @@ class RVAQ:
 
     # -- decision frontier ---------------------------------------------------------------
 
-    def _apply_decisions(self, cols: _BoundColumns, skip, k: int) -> bool:
+    def _apply_decisions(
+        self, cols: _BoundColumns, skip: "IntervalSkipSet | set[int]", k: int
+    ) -> bool:
         """Maintain ``PQ_lo^K`` / ``PQ_up^¬K``, grow ``C_skip`` and test the
         stopping condition (Eq. 15).
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import AbstractSet
+from typing import AbstractSet, Any
 
 from repro.core.config import RankingConfig
 from repro.core.query import Query
@@ -31,7 +31,7 @@ from repro.errors import QueryError
 from repro.storage.access import AccessStats
 from repro.storage.repository import VideoRepository
 from repro.storage.table import ClipScoreTable
-from repro.utils.intervals import intersect_all
+from repro.utils.intervals import IntervalSet, intersect_all
 
 
 class ReferenceTBClipIterator:
@@ -219,7 +219,7 @@ class ReferenceRVAQ:
         primary, *extra = query.actions
         return primary, [*extra, *query.objects, *query.relationships]
 
-    def result_sequences(self, query: Query):
+    def result_sequences(self, query: Query) -> IntervalSet:
         primary, others = self._split_labels(query)
         sets = [self._repo.sequences(primary)]
         sets.extend(self._repo.sequences(label) for label in others)
@@ -294,13 +294,17 @@ class ReferenceRVAQ:
         )
 
     @staticmethod
-    def _locate(starts, states, cid):
+    def _locate(
+        starts: list[int], states: list[Any], cid: int
+    ) -> int | None:
         pos = bisect_right(starts, cid) - 1
         if pos >= 0 and cid in states[pos].interval:
             return pos
         return None
 
-    def _fold_top(self, states, starts, cid, score):
+    def _fold_top(
+        self, states: list[Any], starts: list[int], cid: int, score: float
+    ) -> None:
         pos = self._locate(starts, states, cid)
         if pos is None:
             return
@@ -308,7 +312,9 @@ class ReferenceRVAQ:
         st.up_partial = self._scoring.combine(st.up_partial, score)
         st.up_missing -= 1
 
-    def _fold_bottom(self, states, starts, cid, score):
+    def _fold_bottom(
+        self, states: list[Any], starts: list[int], cid: int, score: float
+    ) -> None:
         pos = self._locate(starts, states, cid)
         if pos is None:
             return
@@ -316,7 +322,14 @@ class ReferenceRVAQ:
         st.lo_partial = self._scoring.combine(st.lo_partial, score)
         st.lo_missing -= 1
 
-    def _refresh_bounds(self, states, s_top, s_btm, c_top, c_btm):
+    def _refresh_bounds(
+        self,
+        states: list[Any],
+        s_top: float | None,
+        s_btm: float | None,
+        c_top: int | None,
+        c_btm: int | None,
+    ) -> None:
         for st in states:
             if st.decided_in or st.decided_out:
                 continue
@@ -341,7 +354,9 @@ class ReferenceRVAQ:
                 lower = st.upper
             st.lower = max(st.lower, lower)
 
-    def _apply_decisions(self, states, skip, k) -> bool:
+    def _apply_decisions(
+        self, states: list[Any], skip: set[int], k: int
+    ) -> bool:
         order = sorted(range(len(states)), key=lambda i: states[i].lower, reverse=True)
         top_set = set(order[:k])
         b_lo_k = (

@@ -14,6 +14,7 @@ from typing import Callable, Iterable
 
 from repro.errors import VideoModelError
 from repro.utils.intervals import Interval, IntervalSet
+from repro._typing import StateDict
 
 
 @dataclass
@@ -75,7 +76,7 @@ class SequenceAssembler:
 
     # -- checkpointing -------------------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         """JSON-serialisable snapshot: closed sequences, the open run and
         the last clip seen — everything the merge logic depends on."""
         return {
@@ -88,7 +89,7 @@ class SequenceAssembler:
     @classmethod
     def from_state_dict(
         cls,
-        state: dict,
+        state: StateDict,
         on_emit: Callable[[Interval], None] | None = None,
     ) -> "SequenceAssembler":
         """Rebuild an assembler from :meth:`state_dict` output.

@@ -42,7 +42,7 @@ conjunctive configuration.
 from __future__ import annotations
 
 import time
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.core.config import OnlineConfig
 from repro.core.context import (
@@ -71,6 +71,7 @@ from repro.detectors.zoo import ModelZoo
 from repro.errors import ConfigurationError
 from repro.video.model import ClipView
 from repro.video.synthesis import LabeledVideo
+from repro._typing import StateDict
 
 #: Format tag written into checkpoints; bump on incompatible changes.
 #: v3 adds the detection-score-cache charge state; v4 adds the
@@ -81,6 +82,32 @@ CHECKPOINT_VERSION = 4
 
 class StreamSession:
     """Incremental execution of one online query over one video stream."""
+
+    #: Not checkpointed (RL002).  The deterministic components are
+    #: reconstructed by the caller (see :meth:`load_state_dict`): the
+    #: video/config/context handles and everything derived from them
+    #: (``_labels``/``_n_labels``/``_armed``/``_chunkable``) come from
+    #: building the session the same way the checkpointed one was built.
+    #: ``_evaluations`` is per-clip trace data, deliberately *not* part of
+    #: resumable state — a resumed session records only post-resume
+    #: evaluations (contract pinned by ``test_session.py``), while
+    #: sequences/stats do round-trip.  ``_record_trace`` is a constructor
+    #: flag and ``_final_stats`` only exists after finish (finished
+    #: sessions refuse to checkpoint).
+    _CHECKPOINT_EXCLUDE = frozenset(
+        {
+            "_video",
+            "_config",
+            "_context",
+            "_labels",
+            "_n_labels",
+            "_armed",
+            "_chunkable",
+            "_evaluations",
+            "_record_trace",
+            "_final_stats",
+        }
+    )
 
     def __init__(
         self,
@@ -204,8 +231,8 @@ class StreamSession:
 
     @staticmethod
     def _build_policy(
-        frame_labels,
-        action_labels,
+        frame_labels: Iterable[str],
+        action_labels: Iterable[str],
         video: LabeledVideo,
         config: OnlineConfig,
         *,
@@ -239,7 +266,7 @@ class StreamSession:
         return self._policy
 
     @property
-    def cache(self):
+    def cache(self) -> DetectionScoreCache | None:
         """The session's detection score cache (None = serial path)."""
         return self._predicate.cache
 
@@ -290,7 +317,9 @@ class StreamSession:
 
     # -- streaming --------------------------------------------------------------
 
-    def process(self, clip: ClipView, *, short_circuit: bool = True):
+    def process(
+        self, clip: ClipView, *, short_circuit: bool = True
+    ) -> ClipEvaluation | None:
         """Evaluate one clip and fold it into the session state.
 
         Stage timing is inlined (``perf_counter`` pairs rather than the
@@ -422,7 +451,7 @@ class StreamSession:
         self._pending_map = outcome_map
         return evaluation
 
-    def finish(self):
+    def finish(self) -> Any:
         """Close the stream and return the run's result."""
         if not self._finished:
             start = time.perf_counter()
@@ -469,7 +498,7 @@ class StreamSession:
 
     # -- checkpointing -------------------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         """Complete dynamic state, JSON-serialisable.
 
         Captures everything that influences future decisions: the quota
@@ -510,7 +539,7 @@ class StreamSession:
             ),
         }
 
-    def load_state_dict(self, state: dict) -> "StreamSession":
+    def load_state_dict(self, state: StateDict) -> "StreamSession":
         """Restore the dynamic state captured by :meth:`state_dict`.
 
         The deterministic components (models, video, query, config) are
@@ -598,7 +627,7 @@ class SvaqdSession(StreamSession):
     @classmethod
     def from_state_dict(
         cls,
-        state: dict,
+        state: StateDict,
         zoo: ModelZoo,
         query: Query,
         video: LabeledVideo,

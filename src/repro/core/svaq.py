@@ -15,7 +15,7 @@ thin stream-driving loop over it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.config import OnlineConfig
 from repro.core.context import ExecutionContext
@@ -26,6 +26,9 @@ from repro.core.session import StreamSession
 from repro.detectors.zoo import ModelZoo
 from repro.video.stream import ClipStream
 from repro.video.synthesis import LabeledVideo
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.video.model import VideoGeometry
 
 __all__ = ["SVAQ", "OnlineResult"]
 
@@ -45,7 +48,7 @@ class SVAQ:
     config: OnlineConfig = field(default_factory=OnlineConfig)
     k_crit_overrides: Mapping[str, int] = field(default_factory=dict)
 
-    def initial_critical_values(self, video_geometry) -> dict[str, int]:
+    def initial_critical_values(self, video_geometry: VideoGeometry) -> dict[str, int]:
         """``k_crit_o_init`` / ``k_crit_a_init`` for every predicate."""
         return derive_static_quotas(
             self.query.frame_level_labels,

@@ -47,7 +47,7 @@ import heapq
 from typing import Container
 
 from repro.core.scoring import ScoringScheme
-from repro.errors import StorageError
+from repro.errors import ConfigurationError, StorageError
 from repro.storage.access import AccessStats
 from repro.storage.table import ClipScoreTable
 
@@ -146,7 +146,7 @@ class TBClipIterator:
         serial algorithm.
         """
         if budget <= 0:
-            raise ValueError(f"batch budget must be positive; got {budget}")
+            raise ConfigurationError(f"batch budget must be positive; got {budget}")
         pairs: list[Pair] = []
         for _ in range(budget):
             pair = self.next_pair()

@@ -42,6 +42,7 @@ from repro.detectors.zoo import ModelZoo
 from repro.errors import ConfigurationError, CorruptedOutputError
 from repro.video.ground_truth import GroundTruth
 from repro.video.model import VideoMeta
+from repro._typing import StateDict
 
 if TYPE_CHECKING:  # pragma: no cover - layering: detectors must not pull core
     from repro.core.config import OnlineConfig
@@ -69,6 +70,15 @@ class DetectionScoreCache:
     could share one safely, though the intended deployment is one cache
     per video stream.
     """
+
+    #: Not checkpointed (RL002): the zoo/video/truth handles and the
+    #: threshold/chunk/unit geometry are constructor inputs — the caller
+    #: rebuilds the cache identically before ``load_state_dict``, which
+    #: restores only the mutable charge bookkeeping (count columns are
+    #: re-materialised on demand and scored identically by construction).
+    _CHECKPOINT_EXCLUDE = frozenset(
+        {"_zoo", "_video", "_truth", "_thresholds", "_chunk", "_units", "_lock"}
+    )
 
     def __init__(
         self,
@@ -113,7 +123,7 @@ class DetectionScoreCache:
     def for_video(
         cls,
         zoo: ModelZoo,
-        video,
+        video: "LabeledVideo",
         config: "OnlineConfig | None" = None,
     ) -> "DetectionScoreCache":
         """A cache for one :class:`~repro.video.synthesis.LabeledVideo`,
@@ -179,8 +189,10 @@ class DetectionScoreCache:
                 f"cache geometry differs for video {video.video_id!r}"
             )
         if (
-            float(object_threshold) != self._thresholds["object"]
-            or float(action_threshold) != self._thresholds["action"]
+            # Exact identity on purpose: sessions sharing a cache must be
+            # configured with the *same* thresholds, not nearby ones.
+            float(object_threshold) != self._thresholds["object"]  # reprolint: disable=RL005
+            or float(action_threshold) != self._thresholds["action"]  # reprolint: disable=RL005
         ):
             raise ConfigurationError(
                 "detection thresholds differ from the shared cache's; "
@@ -316,7 +328,7 @@ class DetectionScoreCache:
 
     # -- checkpointing -----------------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         """JSON-serialisable charge bookkeeping (counts are derived data
         and rebuild identically; only *who has been charged* is state)."""
         return {
@@ -327,7 +339,7 @@ class DetectionScoreCache:
             }
         }
 
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: StateDict) -> None:
         """Mark clips as already-fresh-charged without charging the meter
         (their units were metered before the checkpoint was taken)."""
         for key, runs in state.get("charged", {}).items():

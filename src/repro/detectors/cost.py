@@ -12,6 +12,8 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
+from repro.errors import ConfigurationError
+from repro._typing import StateDict
 
 
 @dataclass
@@ -48,7 +50,7 @@ class CostMeter:
     def record(self, model: str, units: int, ms_per_unit: float) -> None:
         """Charge ``units`` inferences of ``model`` at ``ms_per_unit``."""
         if units < 0:
-            raise ValueError(f"units must be >= 0; got {units}")
+            raise ConfigurationError(f"units must be >= 0; got {units}")
         with self._lock:
             self._ms[model] += units * ms_per_unit
             self._units[model] += units
@@ -56,7 +58,7 @@ class CostMeter:
     def record_cached(self, model: str, units: int) -> None:
         """Record ``units`` served from a score cache (no latency charged)."""
         if units < 0:
-            raise ValueError(f"units must be >= 0; got {units}")
+            raise ConfigurationError(f"units must be >= 0; got {units}")
         with self._lock:
             self._cached_units[model] += units
 
@@ -148,7 +150,7 @@ class CostMeter:
     # process-pool workers) and rebuild it on restore.  ``copy.deepcopy``
     # goes through the same hooks, which is what makes forked zoos cheap.
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> StateDict:
         with self._lock:
             return {
                 "_ms": dict(self._ms),
@@ -158,7 +160,7 @@ class CostMeter:
                 "_giveups": dict(self._giveups),
             }
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: StateDict) -> None:
         self._ms = defaultdict(float, state["_ms"])
         self._units = defaultdict(int, state["_units"])
         self._cached_units = defaultdict(int, state.get("_cached_units", {}))

@@ -23,7 +23,7 @@ the chaos benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dataclass_replace
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -199,9 +199,9 @@ class FaultInjector:
         video_id: str,
         label: str,
         unit: object,
-        call,
-        stale_call=None,
-    ):
+        call: Callable[[], Any],
+        stale_call: Callable[[], Any] | None = None,
+    ) -> Any:
         """Run one wrapped invocation under the profile.
 
         ``stale_call`` produces the stuck-output payload (the previous
@@ -247,13 +247,13 @@ class FaultInjector:
 class FaultyObjectDetector(FaultInjector):
     """Fault-injecting proxy over a per-frame object detector."""
 
-    def score_video(self, video, truth, label):
+    def score_video(self, video: Any, truth: Any, label: str) -> Any:
         return self._apply(
             "score_video", video.video_id, label, "video",
             lambda: self._inner.score_video(video, truth, label),
         )
 
-    def score_frame(self, video, truth, label, frame):
+    def score_frame(self, video: Any, truth: Any, label: str, frame: int) -> Any:
         return self._apply(
             "score_frame", video.video_id, label, frame,
             lambda: self._inner.score_frame(video, truth, label, frame),
@@ -263,7 +263,7 @@ class FaultyObjectDetector(FaultInjector):
             ),
         )
 
-    def score_clip(self, video, truth, label, clip_id):
+    def score_clip(self, video: Any, truth: Any, label: str, clip_id: int) -> Any:
         return self._apply(
             "score_clip", video.video_id, label, clip_id,
             lambda: self._inner.score_clip(video, truth, label, clip_id),
@@ -277,13 +277,13 @@ class FaultyObjectDetector(FaultInjector):
 class FaultyActionRecognizer(FaultInjector):
     """Fault-injecting proxy over a per-shot action recognizer."""
 
-    def score_video(self, video, truth, label):
+    def score_video(self, video: Any, truth: Any, label: str) -> Any:
         return self._apply(
             "score_video", video.video_id, label, "video",
             lambda: self._inner.score_video(video, truth, label),
         )
 
-    def score_shot(self, video, truth, label, shot):
+    def score_shot(self, video: Any, truth: Any, label: str, shot: int) -> Any:
         return self._apply(
             "score_shot", video.video_id, label, shot,
             lambda: self._inner.score_shot(video, truth, label, shot),
@@ -293,7 +293,7 @@ class FaultyActionRecognizer(FaultInjector):
             ),
         )
 
-    def score_clip(self, video, truth, label, clip_id):
+    def score_clip(self, video: Any, truth: Any, label: str, clip_id: int) -> Any:
         return self._apply(
             "score_clip", video.video_id, label, clip_id,
             lambda: self._inner.score_clip(video, truth, label, clip_id),
@@ -308,10 +308,10 @@ class FaultyTracker(FaultInjector):
     """Fault-injecting proxy over an object tracker (NaN mode does not
     apply to track lists; such draws fall through to clean calls)."""
 
-    def tracks_in_clip(self, video, truth, label, clip):
+    def tracks_in_clip(self, video: Any, truth: Any, label: str, clip: Any) -> Any:
         clip_id = clip.clip_id
 
-        def stale():
+        def stale() -> Any:
             from repro.video.model import ClipView
 
             return self._inner.tracks_in_clip(

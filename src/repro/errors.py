@@ -8,6 +8,8 @@ language, storage, statistics).
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
@@ -94,7 +96,7 @@ class IngestBatchError(IngestError):
     included) so callers can salvage the completed ingests.
     """
 
-    def __init__(self, message: str, outcomes: list | None = None) -> None:
+    def __init__(self, message: str, outcomes: list[Any] | None = None) -> None:
         super().__init__(message)
         self.outcomes = outcomes or []
 

@@ -24,9 +24,10 @@ from repro.core.indicators import ClipEvaluator
 from repro.core.query import Query
 from repro.core.sequences import SequenceAssembler
 from repro.core.svaq import SVAQ
-from repro.detectors.zoo import default_zoo
+from repro.detectors.zoo import ModelZoo, default_zoo
 from repro.utils.intervals import IntervalSet
 from repro.utils.tables import render_table
+from repro.video.synthesis import LabeledVideo
 from repro.video.datasets import build_youtube_set, youtube_set_by_id
 from repro.video.stream import ClipStream
 
@@ -53,7 +54,11 @@ class OrderAblationResult:
 
 
 def _run_with_order(
-    zoo, video, query: Query, config: OnlineConfig, order: Sequence[str]
+    zoo: ModelZoo,
+    video: LabeledVideo,
+    query: Query,
+    config: OnlineConfig,
+    order: Sequence[str],
 ) -> IntervalSet:
     """SVAQ's loop with an explicit predicate evaluation order."""
     evaluator = ClipEvaluator(zoo, video.meta, video.truth, query, config)
@@ -68,7 +73,12 @@ def _run_with_order(
     return assembler.result()
 
 
-def _selectivity_order(zoo, videos, query: Query, config: OnlineConfig) -> list[str]:
+def _selectivity_order(
+    zoo: ModelZoo,
+    videos: Sequence[LabeledVideo],
+    query: Query,
+    config: OnlineConfig,
+) -> list[str]:
     """Estimate per-predicate clip-level selectivity on the first video and
     order ascending (most selective predicate first)."""
     probe = SVAQ(zoo, query, config).run(videos[0], short_circuit=False)

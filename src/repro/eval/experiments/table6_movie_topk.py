@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.core.engine import OfflineEngine
 from repro.core.query import Query
@@ -53,7 +53,7 @@ class Table6Result:
     n_sequences: int
     measurements: tuple[TopKMeasurement, ...]
 
-    def rows(self):
+    def rows(self) -> Iterator[tuple[Any, ...]]:
         for m in self.measurements:
             yield (
                 m.algorithm, m.k, m.runtime_ms, m.random_accesses,

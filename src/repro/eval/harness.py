@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 from repro.core.config import OnlineConfig
 from repro.core.context import ExecutionContext
 from repro.core.query import Query
+from repro.errors import ConfigurationError
 from repro.core.svaq import SVAQ, OnlineResult
 from repro.core.svaqd import SVAQD
 from repro.detectors.zoo import ModelZoo
@@ -42,7 +43,7 @@ def online_algorithm(
         return SVAQ(zoo, query, config)
     if name == "svaqd":
         return SVAQD(zoo, query, config)
-    raise ValueError(f"unknown online algorithm {name!r}")
+    raise ConfigurationError(f"unknown online algorithm {name!r}")
 
 
 def ground_truth_clips(video: LabeledVideo, query: Query) -> IntervalSet:

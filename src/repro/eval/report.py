@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
+from typing import Any
 
 from repro import __version__
 from repro.eval import experiments
@@ -59,7 +60,7 @@ def generate(
         if names is not None and name not in names:
             continue
         module = getattr(experiments, name)
-        kwargs: dict = {"seed": seed}
+        kwargs: dict[str, Any] = {"seed": seed}
         if "scale" in overrides:
             if overrides["scale"] == "double":
                 kwargs["scale"] = min(1.0, 2 * scale)

@@ -1,0 +1,110 @@
+"""Command-line front end: ``python -m repro.lint src tests``.
+
+Exit codes: 0 clean (baselined/suppressed findings do not fail the run),
+1 new findings or unparsable files, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.base import all_rules
+from repro.lint.baseline import Baseline
+from repro.lint.runner import lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based contract checker for the repro engine",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", default="",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path,
+        help="baseline file of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="append a per-rule markdown summary table to the output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, rule in all_rules().items():
+            print(f"{code} {rule.name}: {rule.rationale}")
+        return 0
+
+    select = (
+        [c for c in args.select.split(",") if c.strip()] if args.select else None
+    )
+    ignore = [c for c in args.ignore.split(",") if c.strip()]
+
+    if args.write_baseline and args.baseline is None:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None and not args.write_baseline:
+        if args.baseline.exists():
+            try:
+                baseline = Baseline.load(args.baseline)
+            except (ValueError, KeyError, OSError) as exc:
+                print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+
+    report = lint_paths(
+        [Path(p) for p in args.paths],
+        select=select,
+        ignore=ignore,
+        baseline=baseline,
+    )
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.baseline}",
+        )
+        return 0
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    if args.summary:
+        print()
+        print(report.render_summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

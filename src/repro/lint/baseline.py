@@ -1,0 +1,95 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline is a JSON multiset of finding fingerprints
+(``path :: code :: enclosing-scope``).  Matching on the enclosing scope
+rather than the line number keeps grandfathered findings pinned through
+unrelated edits above them, while still ratcheting: a *new* violation in
+the same scope only matches if the baseline recorded that many.
+
+``reprolint --write-baseline`` snapshots the current findings;
+``--baseline FILE`` subtracts them on later runs.  The intended workflow
+is an empty (or absent) baseline — the repo keeps itself clean — but the
+mechanism is what lets the gate land on a codebase with pre-existing
+findings without a flag day.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.base import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, str]] = ()) -> None:
+        self._entries = Counter(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(f.fingerprint() for f in findings)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline format in {path}; expected version {_VERSION}"
+            )
+        entries = []
+        for entry in data.get("entries", []):
+            entries.append(
+                (str(entry["path"]), str(entry["code"]), str(entry["context"]))
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"path": p, "code": code, "context": context}
+            for (p, code, context), count in sorted(self._entries.items())
+            for _ in range(count)
+        ]
+        path.write_text(
+            json.dumps({"version": _VERSION, "entries": entries}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Baseline):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._entries.items()))
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split ``findings`` into (new, grandfathered).
+
+        Consumes baseline entries as a multiset: two findings with the
+        same fingerprint need two baseline entries, so adding a second
+        violation next to a grandfathered one still fails.
+        """
+        budget = Counter(self._entries)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if budget[key] > 0:
+                budget[key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old

@@ -1,0 +1,56 @@
+"""``# reprolint: disable=...`` pragma parsing and suppression.
+
+Three forms, mirroring the linters people already know:
+
+* ``# reprolint: disable=RL001`` — suppress on the same line;
+* ``# reprolint: disable-next=RL001`` — suppress on the following line;
+* ``# reprolint: disable-file=RL001`` — suppress everywhere in the file.
+
+Codes are comma-separated; ``all`` matches every rule.  Pragmas are an
+escape hatch for *intentional* violations (e.g. an experiment reading raw
+model scores on purpose) — the comment sits next to the code it excuses,
+which is exactly where a reviewer wants the justification.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.lint.base import Finding
+
+__all__ = ["FilePragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next|-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+class FilePragmas:
+    """Suppression state for one source file."""
+
+    def __init__(self, source: str) -> None:
+        self.file_wide: set[str] = set()
+        self.by_line: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "reprolint" not in line:
+                continue
+            for match in _PRAGMA_RE.finditer(line):
+                codes = {
+                    code.strip().upper()
+                    for code in match.group("codes").split(",")
+                    if code.strip()
+                }
+                kind = match.group("kind")
+                if kind == "disable-file":
+                    self.file_wide |= codes
+                elif kind == "disable-next":
+                    self.by_line.setdefault(lineno + 1, set()).update(codes)
+                else:
+                    self.by_line.setdefault(lineno, set()).update(codes)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for codes in (self.file_wide, self.by_line.get(finding.line, ())):
+            if finding.code in codes or "ALL" in codes:
+                return True
+        return False

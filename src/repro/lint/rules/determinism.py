@@ -1,0 +1,102 @@
+"""RL003 determinism: no unseeded RNG or wall-clock reads in replayable code.
+
+The engine's equivalence suites and fault tapes (PRs 2–4) only hold if
+``core/``, ``scanstats/`` and ``storage/`` are pure functions of their
+inputs and seeds.  Global RNG state (``random.random()``,
+``np.random.rand()``) and timestamps (``time.time()``,
+``datetime.now()``) break replay in ways no test notices until a flake.
+
+Allowed: explicitly seeded generator *construction*
+(``np.random.default_rng(seed)``, ``random.Random(seed)``) and the
+monotonic duration clocks (``time.perf_counter``, ``time.monotonic``)
+used for stage timing — durations are instrumentation, not decisions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.base import Finding, LintContext, Rule, dotted_name, register
+
+#: Constructors that are fine *when given an explicit seed argument*.
+_SEEDABLE = frozenset(
+    {
+        "random.Random",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.SeedSequence",
+        "numpy.random.SeedSequence",
+        "np.random.RandomState",
+        "numpy.random.RandomState",
+        "np.random.Generator",
+        "numpy.random.Generator",
+    }
+)
+
+#: Wall-clock reads that make replays diverge.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+@dataclass
+class DeterminismRule(Rule):
+    code: str = "RL003"
+    name: str = "determinism"
+    rationale: str = (
+        "unseeded randomness and wall-clock reads in replay-critical "
+        "packages break fault-tape replay and the equivalence suites"
+    )
+    scopes: tuple[tuple[str, ...], ...] = (
+        ("repro", "core"),
+        ("repro", "scanstats"),
+        ("repro", "storage"),
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _CLOCK_CALLS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"wall-clock read {name}() in a replay-critical module; "
+                    "thread a clock in explicitly (or use "
+                    "time.perf_counter for durations)",
+                )
+            elif name in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"{name}() constructed without a seed; pass an "
+                        "explicit seed so runs replay",
+                    )
+            elif name.startswith(("random.", "np.random.", "numpy.random.")):
+                # Everything else on those modules mutates/reads the
+                # process-global RNG stream.
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"global-state RNG call {name}() in a replay-critical "
+                    "module; use a seeded np.random.Generator owned by the "
+                    "caller instead",
+                )

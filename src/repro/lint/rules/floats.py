@@ -1,0 +1,110 @@
+"""RL005 float-equality: no ``==``/``!=`` on float expressions in
+equivalence-critical modules.
+
+The serial/batched/cached paths are proven *bit-identical* by the
+equivalence suites, and that guarantee is exactly why accidental float
+``==`` is dangerous here: it works today because the paths are identical,
+then breaks silently the day an optimisation reorders a reduction.
+Comparisons of scores, rates and probabilities must state their intent —
+``np.array_equal`` (bit-identity on purpose), ``np.allclose`` /
+``math.isclose`` (tolerance on purpose) — instead of an ``==`` whose
+semantics the next reader cannot tell.
+
+Statically we cannot type expressions, so the rule flags ``==``/``!=``
+where an operand is *syntactically float-valued*: a float literal, a call
+into the float-producing NumPy surface (``np.mean``, ``np.sum``, ...,
+``.astype(float)``), or ``float(...)``.  Intentional sentinel checks
+(e.g. ``weight == 0.0`` guarding a division) carry a
+``# reprolint: disable=RL005`` pragma, which is the documentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.base import Finding, LintContext, Rule, dotted_name, register
+
+#: NumPy calls whose result is float-typed regardless of input dtype.
+_FLOAT_PRODUCERS = frozenset(
+    {
+        "mean",
+        "average",
+        "std",
+        "var",
+        "median",
+        "exp",
+        "log",
+        "log1p",
+        "sqrt",
+        "linspace",
+        "divide",
+        "true_divide",
+        "quantile",
+        "percentile",
+    }
+)
+
+
+@register
+@dataclass
+class FloatEqualityRule(Rule):
+    code: str = "RL005"
+    name: str = "float-equality"
+    rationale: str = (
+        "== on float expressions hides whether bit-identity or tolerance "
+        "was meant; the equivalence-critical modules must say which"
+    )
+    scopes: tuple[tuple[str, ...], ...] = (
+        ("repro", "core"),
+        ("repro", "scanstats"),
+        ("repro", "detectors"),
+        ("repro", "storage"),
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            reason = next(
+                (r for op in operands if (r := self._float_reason(op))), None
+            )
+            if reason is None:
+                continue
+            yield ctx.finding(
+                node,
+                self.code,
+                f"==/!= on a float-valued expression ({reason}); use "
+                "np.array_equal for intentional bit-identity, "
+                "np.allclose/math.isclose for tolerance, or pragma an "
+                "intentional sentinel check",
+            )
+
+    @staticmethod
+    def _float_reason(node: ast.expr) -> str | None:
+        """Why ``node`` is float-valued, or None if we cannot tell."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return f"float literal {node.value!r}"
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_name(sub.func)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if name == "float":
+                return "float(...) cast"
+            if leaf == "astype" and any(
+                isinstance(a, ast.Name) and a.id == "float" for a in sub.args
+            ):
+                return ".astype(float)"
+            if (
+                name.startswith(("np.", "numpy."))
+                and leaf in _FLOAT_PRODUCERS
+            ):
+                return f"{name}(...)"
+        return None

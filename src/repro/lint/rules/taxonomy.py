@@ -1,0 +1,134 @@
+"""RL004 error-taxonomy: raises use :mod:`repro.errors`; no silent except.
+
+Callers embedding the engine catch :class:`~repro.errors.ReproError` (or a
+layer-specific subclass) and rely on the taxonomy documented there — the
+degradation layer in particular dispatches on
+:class:`~repro.errors.ModelExecutionError` vs caller-bug errors.  A stray
+``raise ValueError`` escapes every one of those nets.
+
+Three checks:
+
+* ``raise <BuiltinError>(...)`` for the generic builtins
+  (``ValueError``/``RuntimeError``/...) — use the matching
+  :mod:`repro.errors` subclass, which still *is* a ``ValueError`` /
+  ``RuntimeError`` via multiple inheritance.  A small whitelist stays
+  legal: ``NotImplementedError`` (abstract methods), ``KeyError`` /
+  ``IndexError`` (mapping/sequence semantics), ``StopIteration``,
+  ``AssertionError`` and ``TimeoutError``.
+* bare ``except:`` — catches ``SystemExit``/``KeyboardInterrupt`` too;
+* swallowed handlers (body is only ``pass``/``...``) — a fault silently
+  eaten is a fault the meters and stats never see.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.base import Finding, LintContext, Rule, dotted_name, register
+
+#: Builtin exceptions whose direct raise is always fine.
+STDLIB_WHITELIST = frozenset(
+    {
+        "NotImplementedError",
+        "KeyError",
+        "IndexError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "AssertionError",
+        "TimeoutError",
+        "KeyboardInterrupt",
+        "SystemExit",
+    }
+)
+
+#: Generic builtins that must be replaced by a taxonomy subclass.
+_GENERIC_BUILTINS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "OSError",
+        "IOError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "AttributeError",
+        "LookupError",
+        "EnvironmentError",
+    }
+)
+
+
+@register
+@dataclass
+class ErrorTaxonomyRule(Rule):
+    code: str = "RL004"
+    name: str = "error-taxonomy"
+    rationale: str = (
+        "errors outside the repro.errors taxonomy escape the ReproError "
+        "catch-alls and the degradation layer's retryable/caller-bug split"
+    )
+    scopes: tuple[tuple[str, ...], ...] = (("repro",),)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+
+    def _check_raise(self, ctx: LintContext, node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:  # bare re-raise inside a handler
+            return
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = dotted_name(exc)
+        if name is None:
+            return
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf == "AttributeError" and ctx.qualname(node).rsplit(".", 1)[
+            -1
+        ] in ("__getattr__", "__getattribute__", "__setattr__", "__delattr__"):
+            # The attribute protocol *requires* AttributeError here
+            # (hasattr/getattr dispatch on it).
+            return
+        if leaf in _GENERIC_BUILTINS and leaf not in STDLIB_WHITELIST:
+            yield ctx.finding(
+                node,
+                self.code,
+                f"raise of generic builtin {leaf}; raise the matching "
+                "repro.errors subclass instead (taxonomy classes multiply "
+                f"inherit from the builtins, so `except {leaf}` callers "
+                "keep working)",
+            )
+
+    def _check_handler(
+        self, ctx: LintContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield ctx.finding(
+                node,
+                self.code,
+                "bare `except:` also catches SystemExit/KeyboardInterrupt; "
+                "name the exceptions (`except Exception:` at minimum)",
+            )
+        if all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is ...
+            )
+            for stmt in node.body
+        ):
+            yield ctx.finding(
+                node,
+                self.code,
+                "exception swallowed (handler body is only `pass`); handle "
+                "it, log it through the stats/meter layer, or narrow the "
+                "caught type and justify with a pragma",
+            )

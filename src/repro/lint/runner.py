@@ -1,0 +1,177 @@
+"""File discovery, rule execution, pragma/baseline filtering, reporting."""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.lint.base import Finding, LintContext, Rule, all_rules
+from repro.lint.baseline import Baseline
+from repro.lint.pragmas import FilePragmas
+
+__all__ = ["LintReport", "collect_files", "lint_paths", "lint_source"]
+
+#: Directory names never scanned: fixture trees hold *intentional*
+#: violations the test suite feeds to the linter directly.
+_SKIPPED_DIRS = frozenset(
+    {"fixtures", "__pycache__", ".git", ".venv", "build", "dist"}
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts(self) -> dict[str, int]:
+        """Non-baselined finding count per rule code, every rule present."""
+        counts = {code: 0 for code in all_rules()}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    # -- output formats ----------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        for error in self.parse_errors:
+            lines.append(f"error: {error}")
+        per_rule = ", ".join(
+            f"{code}: {n}" for code, n in self.counts().items() if n
+        )
+        lines.append(
+            f"{len(self.findings)} finding(s)"
+            + (f" ({per_rule})" if per_rule else "")
+            + f" in {self.files_checked} file(s);"
+            f" {len(self.baselined)} baselined, {self.suppressed} suppressed"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "findings": [f.to_json() for f in self.findings],
+                "counts": self.counts(),
+                "files_checked": self.files_checked,
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed,
+                "parse_errors": self.parse_errors,
+            },
+            indent=2,
+        )
+
+    def render_summary(self) -> str:
+        """One markdown table — the CI job-summary payload."""
+        rules = all_rules()
+        counts = self.counts()
+        lines = [
+            "### reprolint",
+            "",
+            "| rule | name | findings |",
+            "| --- | --- | ---: |",
+        ]
+        for code, rule in rules.items():
+            lines.append(f"| {code} | {rule.name} | {counts.get(code, 0)} |")
+        lines.append(
+            f"| | **total** | **{len(self.findings)}** |",
+        )
+        lines.append("")
+        lines.append(
+            f"{self.files_checked} files checked, "
+            f"{len(self.baselined)} baselined, {self.suppressed} suppressed."
+        )
+        return "\n".join(lines)
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into the sorted list of .py files to lint."""
+    out: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            out.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not _SKIPPED_DIRS.intersection(sub.parts):
+                    out.append(sub)
+    return out
+
+
+def lint_source(
+    path: str,
+    source: str,
+    rules: Mapping[str, Rule] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source file (pragmas applied, no baseline).
+
+    This is the entry point the test suite uses to feed fixture files
+    through individual rules.
+    """
+    active = rules if rules is not None else all_rules()
+    tree = ast.parse(source, filename=path)
+    ctx = LintContext(path=path, source=source, tree=tree)
+    pragmas = FilePragmas(source)
+    findings: list[Finding] = []
+    for rule in active.values():
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not pragmas.suppresses(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] = (),
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint files/directories and return a filtered :class:`LintReport`."""
+    rules = all_rules()
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        rules = {code: rule for code, rule in rules.items() if code in wanted}
+    for code in ignore:
+        rules.pop(code.upper(), None)
+
+    report = LintReport()
+    raw: list[Finding] = []
+    for file_path in collect_files(paths):
+        rel = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{rel}: {exc}")
+            continue
+        report.files_checked += 1
+        ctx = LintContext(path=rel, source=source, tree=tree)
+        pragmas = FilePragmas(source)
+        for rule in rules.values():
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if pragmas.suppresses(finding):
+                    report.suppressed += 1
+                else:
+                    raw.append(finding)
+    raw.sort()
+    if baseline is not None:
+        report.findings, report.baselined = baseline.partition(raw)
+    else:
+        report.findings = raw
+    return report

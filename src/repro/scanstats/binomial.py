@@ -27,9 +27,10 @@ def log_binom_pmf(k: int, n: int, p: float) -> float:
         raise ScanStatisticsError(f"binomial p must be in [0, 1]; got {p}")
     if k < 0 or k > n:
         return -math.inf
-    if p == 0.0:
+    # Exact degenerate-distribution branches on purpose (not tolerance).
+    if p == 0.0:  # reprolint: disable=RL005
         return 0.0 if k == 0 else -math.inf
-    if p == 1.0:
+    if p == 1.0:  # reprolint: disable=RL005
         return 0.0 if k == n else -math.inf
     log_comb = (
         math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)

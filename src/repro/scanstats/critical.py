@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import ScanStatisticsError
@@ -61,9 +63,10 @@ def critical_value(
     alpha = require_probability(alpha, "significance level alpha")
     if alpha <= 0.0:
         raise ScanStatisticsError("alpha must be > 0 for a finite quota")
-    if p == 0.0:
+    # Exact degenerate-probability branches on purpose (not tolerance).
+    if p == 0.0:  # reprolint: disable=RL005
         return 1  # any event at all is significant
-    if p == 1.0:
+    if p == 1.0:  # reprolint: disable=RL005
         return w + (0 if cap_at_window else 1)
     k = _critical_value_cached(float(p), int(w), int(n), float(alpha))
     if cap_at_window:
@@ -111,7 +114,7 @@ class CriticalValueTable:
         p = min(1.0, max(self.p_floor, float(p)))
         return int(round(math.log10(p) / self.resolution))
 
-    def buckets_of(self, ps) -> np.ndarray:
+    def buckets_of(self, ps: "np.ndarray | Sequence[float]") -> np.ndarray:
         """Vectorised :meth:`bucket_of` over an array of probabilities.
 
         One ``np.log10``/``np.rint`` pass over the whole probability axis
@@ -146,7 +149,7 @@ class CriticalValueTable:
         """Critical value for background probability ``p`` (quantised)."""
         return self.lookup_bucket(self.bucket_of(p))
 
-    def lookup_many(self, ps) -> np.ndarray:
+    def lookup_many(self, ps: "np.ndarray | Sequence[float]") -> np.ndarray:
         """Critical values for a whole vector of probabilities.
 
         SVAQD refreshes every predicate's quota after every clip; this

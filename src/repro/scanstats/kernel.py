@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ScanStatisticsError
 from repro.utils.validation import require_positive
+from repro._typing import StateDict
 
 
 @dataclass
@@ -213,7 +214,7 @@ class KernelRateEstimator:
 
     # -- persistence ---------------------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> StateDict:
         """JSON-serialisable snapshot of the estimator (checkpointing)."""
         return {
             "bandwidth": self.bandwidth,
@@ -227,7 +228,7 @@ class KernelRateEstimator:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "KernelRateEstimator":
+    def from_state_dict(cls, state: StateDict) -> "KernelRateEstimator":
         """Rebuild an estimator from :meth:`state_dict` output."""
         estimator = cls(
             bandwidth=state["bandwidth"],

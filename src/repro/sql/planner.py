@@ -10,6 +10,7 @@ corresponding engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.context import ExecutionContext
 from repro.core.engine import OfflineEngine, OnlineEngine
@@ -24,6 +25,10 @@ from repro.sql.ast import (
     SelectStatement,
 )
 from repro.video.synthesis import LabeledVideo
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.compound import CompoundResult
+    from repro.core.results import OnlineResult
 
 
 @dataclass(frozen=True)
@@ -44,7 +49,7 @@ class Plan:
         algorithm: str = "svaqd",
         *,
         context: ExecutionContext | None = None,
-    ):
+    ) -> "OnlineResult | CompoundResult":
         """Run an online plan; OR queries execute through the compound
         (CNF) engine and return its :class:`CompoundResult`.  ``context``
         collects per-stage execution counters across the run."""

@@ -16,7 +16,7 @@ models support:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Literal, Mapping, Sequence
+from typing import Any, Callable, Iterable, Literal, Mapping, Sequence
 
 import numpy as np
 
@@ -24,9 +24,15 @@ from repro.core.config import OnlineConfig
 from repro.core.query import Query
 from repro.core.scoring import PaperScoring, ScoringScheme
 from repro.core.svaqd import SVAQD
+from repro.detectors.cost import CostMeter
 from repro.detectors.retry import ensure_finite, invoke_with_retry
 from repro.detectors.zoo import ModelZoo
-from repro.errors import IngestBatchError, IngestError, ModelGaveUpError
+from repro.errors import (
+    IngestBatchError,
+    IngestError,
+    ModelExecutionError,
+    ModelGaveUpError,
+)
 from repro.storage.table import ClipScoreTable
 from repro.utils.intervals import IntervalSet
 from repro.video.model import ClipView
@@ -93,14 +99,19 @@ def ingest_video(
     cost_before = zoo.cost_meter.ms()
     retry = config.retry_policy() if config.fault_tolerant else None
 
-    def _invoke(call, model_name, describe, validate=None):
+    def _invoke(
+        call: Callable[[], Any],
+        model_name: str,
+        describe: str,
+        validate: Callable[[Any], Any] | None = None,
+    ) -> Any:
         """Model-invocation boundary: plain call when fault tolerance is
         off (bit-identical to the pre-retry code path), retried per
         ``config`` otherwise, with retries/give-ups charged to the meter."""
         if retry is None:
             return call()
 
-        def _on_retry(error, attempt):
+        def _on_retry(error: ModelExecutionError, attempt: int) -> None:
             zoo.cost_meter.record_retry(model_name)
 
         try:
@@ -216,7 +227,7 @@ def _ingest_task(
     action_labels: Sequence[str],
     scoring: ScoringScheme | None,
     config: OnlineConfig | None,
-):
+) -> "tuple[VideoIngest | None, Exception | None, CostMeter]":
     """Process-pool entry point: run one ingestion on a private (pickled)
     zoo and ship the ingest (or the failure) plus the worker-side cost
     charges back — a failed video's partial charges are real work and

@@ -25,6 +25,7 @@ import os
 import shutil
 from bisect import bisect_right
 from pathlib import Path
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -246,7 +247,7 @@ class VideoRepository:
                     ("obj", ingest.object_tables),
                     ("act", ingest.action_tables),
                 ):
-                    for i, (label, table) in enumerate(tables.items()):
+                    for i, table in enumerate(tables.values()):
                         cids, scores = table.as_columns()
                         arrays[f"{kind}_{i}_cids"] = cids
                         arrays[f"{kind}_{i}_scores"] = scores
@@ -336,7 +337,9 @@ class VideoRepository:
         return repo
 
 
-def _load_table(arrays, kind: str, i: int, label: str) -> ClipScoreTable:
+def _load_table(
+    arrays: Mapping[str, np.ndarray], kind: str, i: int, label: str
+) -> ClipScoreTable:
     """Rebuild one table from either persistence format.
 
     Format 2 stores score-sorted ``{kind}_{i}_cids`` / ``{kind}_{i}_scores``
@@ -358,7 +361,7 @@ def _safe_name(video_id: str) -> str:
     return "".join(c if c.isalnum() or c in "-_" else "_" for c in video_id)
 
 
-def _unique_safe_names(video_ids) -> dict[str, str]:
+def _unique_safe_names(video_ids: Iterable[str]) -> dict[str, str]:
     """Map each video id to a collision-free file stem.
 
     ``_safe_name`` is lossy ("a/b" and "a:b" both sanitise to "a_b"), so

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.errors import ConfigurationError
+
 
 def format_cell(value: object, precision: int = 2) -> str:
     """Render one cell: floats at fixed precision, everything else via str."""
@@ -63,6 +65,6 @@ def render_series(
     columns = [x_values, *series.values()]
     lengths = {len(col) for col in columns}
     if len(lengths) != 1:
-        raise ValueError("all series must have the same length as x_values")
+        raise ConfigurationError("all series must have the same length as x_values")
     rows = list(zip(*columns))
     return render_table(headers, rows, title=title, precision=precision)

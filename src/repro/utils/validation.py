@@ -44,7 +44,7 @@ def require_positive(value: float, name: str) -> float:
     return value
 
 
-def require_in(value: object, options: tuple, name: str) -> object:
+def require_in(value: object, options: tuple[object, ...], name: str) -> object:
     if value not in options:
         raise ConfigurationError(f"{name} must be one of {options}; got {value!r}")
     return value

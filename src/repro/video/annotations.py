@@ -20,9 +20,10 @@ from pathlib import Path
 from repro.errors import GroundTruthError
 from repro.utils.intervals import IntervalSet
 from repro.video.ground_truth import GroundTruth
+from repro._typing import StateDict
 
 
-def ground_truth_to_dict(truth: GroundTruth) -> dict:
+def ground_truth_to_dict(truth: GroundTruth) -> StateDict:
     """A JSON-serialisable representation of the annotations."""
     return {
         "n_frames": truth.n_frames,
@@ -40,7 +41,7 @@ def ground_truth_to_dict(truth: GroundTruth) -> dict:
     }
 
 
-def ground_truth_from_dict(payload: dict) -> GroundTruth:
+def ground_truth_from_dict(payload: StateDict) -> GroundTruth:
     """Rebuild annotations from :func:`ground_truth_to_dict` output."""
     try:
         return GroundTruth(

@@ -1,0 +1,66 @@
+"""RL002 fixture — checkpoint classes with and without full coverage."""
+
+
+class BadIncomplete:
+    def __init__(self, w):
+        self._count = 0
+        self._forgotten = []  # line 7: finding (not in state_dict/exclude)
+        self._w = w
+
+    def state_dict(self):
+        return {"count": self._count, "w": self._w}
+
+    def load_state_dict(self, state):
+        self._count = state["count"]
+        self._w = state["w"]
+
+
+class GoodCovered:
+    def __init__(self):
+        self._count = 0
+        self._open_run = None
+
+    def state_dict(self):
+        return {"count": self._count, "open_run": self._open_run}
+
+    def load_state_dict(self, state):
+        self._count = state["count"]
+        self._open_run = state["open_run"]
+
+
+class GoodExcluded:
+    _CHECKPOINT_EXCLUDE = frozenset({"_derived"})
+
+    def __init__(self, config):
+        self._derived = config.value
+        self._count = 0
+
+    def state_dict(self):
+        return {"count": self._count}
+
+    def load_state_dict(self, state):
+        self._count = state["count"]
+
+
+class GoodClassmethodRestore:
+    def __init__(self):
+        self._tail = []
+
+    def state_dict(self):
+        return {"tail": list(self._tail)}
+
+    @classmethod
+    def from_state_dict(cls, state):
+        obj = cls()
+        obj._tail = list(state["tail"])
+        return obj
+
+
+class NotACheckpointClass:
+    """Only state_dict, no restore method: the contract does not apply."""
+
+    def __init__(self):
+        self._anything = 1
+
+    def state_dict(self):
+        return {}

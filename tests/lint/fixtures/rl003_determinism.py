@@ -1,0 +1,37 @@
+"""RL003 fixture — linted under a fake src/repro/core path by the tests."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def bad_global_rng():
+    return random.random()  # line 11: finding
+
+
+def bad_np_global(n):
+    return np.random.rand(n)  # line 15: finding
+
+
+def bad_unseeded_ctor():
+    return np.random.default_rng()  # line 19: finding
+
+
+def bad_wall_clock():
+    return time.time()  # line 23: finding
+
+
+def bad_datetime():
+    return datetime.now()  # line 27: finding
+
+
+def good_seeded(seed):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.normal(), local.random()
+
+
+def good_duration_clock():
+    return time.perf_counter()

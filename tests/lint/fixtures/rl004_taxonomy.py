@@ -1,0 +1,47 @@
+"""RL004 fixture — linted under a fake src/repro path by the tests."""
+
+from repro.errors import ConfigurationError, StorageError
+
+
+def bad_generic_raise(value):
+    if value < 0:
+        raise ValueError(f"bad value {value}")  # line 8: finding
+
+
+def bad_bare_except(call):
+    try:
+        return call()
+    except:  # line 14: finding (bare except)
+        return None
+
+
+def bad_swallowed(call):
+    try:
+        return call()
+    except StorageError:  # line 21: finding (swallowed)
+        pass
+
+
+def good_taxonomy_raise(value):
+    if value < 0:
+        raise ConfigurationError(f"bad value {value}")
+
+
+def good_mapping_semantics(table, key):
+    if key not in table:
+        raise KeyError(key)
+    return table[key]
+
+
+def good_reraise(call):
+    try:
+        return call()
+    except StorageError:
+        raise
+
+
+class GoodGetattrProtocol:
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.__dict__["inner"], name)

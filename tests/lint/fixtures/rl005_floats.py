@@ -1,0 +1,33 @@
+"""RL005 fixture — linted under a fake src/repro/core path by the tests."""
+
+import math
+
+import numpy as np
+
+
+def bad_float_literal(score):
+    return score == 0.5  # line 9: finding
+
+
+def bad_mean_compare(a, b):
+    return np.mean(a) == np.mean(b)  # line 13: finding
+
+
+def bad_float_cast(threshold, configured):
+    return float(threshold) != configured  # line 17: finding
+
+
+def good_intent_bit_identity(a, b):
+    return np.array_equal(a, b)
+
+
+def good_intent_tolerance(a, b):
+    return np.allclose(a, b) and math.isclose(float(a[0]), float(b[0]))
+
+
+def good_integer_compare(count):
+    return count == 0
+
+
+def good_pragma_sentinel(weight):
+    return weight == 0.0  # reprolint: disable=RL005

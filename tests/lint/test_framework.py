@@ -1,0 +1,192 @@
+"""Framework behaviour: pragmas, baseline round-trip, CLI, reports."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import Baseline, Finding
+from repro.lint.__main__ import main
+from repro.lint.pragmas import FilePragmas
+from repro.lint.runner import lint_paths, lint_source
+
+BAD_DETERMINISM = (
+    "import random\n"
+    "\n"
+    "def f():\n"
+    "    return random.random()\n"
+)
+
+FAKE_PATH = "src/repro/core/mod.py"
+
+
+# -- pragmas ---------------------------------------------------------------------
+
+
+def test_same_line_pragma_suppresses() -> None:
+    source = BAD_DETERMINISM.replace(
+        "return random.random()",
+        "return random.random()  # reprolint: disable=RL003",
+    )
+    assert lint_source(FAKE_PATH, source) == []
+
+
+def test_disable_next_pragma_suppresses_following_line() -> None:
+    source = BAD_DETERMINISM.replace(
+        "    return random.random()",
+        "    # reprolint: disable-next=RL003\n    return random.random()",
+    )
+    assert lint_source(FAKE_PATH, source) == []
+
+
+def test_file_pragma_suppresses_everywhere() -> None:
+    source = "# reprolint: disable-file=RL003\n" + BAD_DETERMINISM
+    assert lint_source(FAKE_PATH, source) == []
+
+
+def test_pragma_for_other_code_does_not_suppress() -> None:
+    source = BAD_DETERMINISM.replace(
+        "return random.random()",
+        "return random.random()  # reprolint: disable=RL001",
+    )
+    findings = lint_source(FAKE_PATH, source)
+    assert [f.code for f in findings] == ["RL003"]
+
+
+def test_pragma_all_and_multiple_codes() -> None:
+    assert lint_source(
+        FAKE_PATH,
+        BAD_DETERMINISM.replace(
+            "return random.random()",
+            "return random.random()  # reprolint: disable=all",
+        ),
+    ) == []
+    pragmas = FilePragmas("x = 1  # reprolint: disable=RL001, RL005\n")
+    assert pragmas.by_line[1] == {"RL001", "RL005"}
+
+
+# -- baseline --------------------------------------------------------------------
+
+
+def _finding(line: int = 4, context: str = "f") -> Finding:
+    return Finding(
+        path=FAKE_PATH, line=line, col=12, code="RL003",
+        message="global-state RNG", context=context,
+    )
+
+
+def test_baseline_round_trip(tmp_path: Path) -> None:
+    baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+    target = tmp_path / "baseline.json"
+    baseline.save(target)
+    assert Baseline.load(target) == baseline
+    # Two same-fingerprint entries survive the trip as a multiset.
+    assert len(Baseline.load(target)) == 2
+
+
+def test_baseline_partition_is_a_multiset() -> None:
+    baseline = Baseline.from_findings([_finding()])
+    first, second = _finding(line=4), _finding(line=9)
+    new, old = baseline.partition([first, second])
+    assert old == [first]  # one budget entry consumed in order
+    assert new == [second]  # the second identical fingerprint still fails
+
+
+def test_baselined_run_is_clean_and_ratchets(tmp_path: Path) -> None:
+    bad = tmp_path / "src" / "repro" / "core" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_DETERMINISM, encoding="utf-8")
+
+    report = lint_paths([tmp_path / "src"])
+    assert [f.code for f in report.findings] == ["RL003"]
+
+    baseline = Baseline.from_findings(report.findings)
+    grandfathered = lint_paths([tmp_path / "src"], baseline=baseline)
+    assert grandfathered.ok
+    assert len(grandfathered.baselined) == 1
+
+    # A second violation in the same scope is NEW, not grandfathered.
+    bad.write_text(
+        BAD_DETERMINISM + "\ndef g():\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    ratcheted = lint_paths([tmp_path / "src"], baseline=baseline)
+    assert not ratcheted.ok
+    assert len(ratcheted.findings) == 1
+    assert len(ratcheted.baselined) == 1
+
+
+# -- runner / report -------------------------------------------------------------
+
+
+def test_fixture_directories_are_never_scanned(tmp_path: Path) -> None:
+    nested = tmp_path / "tests" / "lint" / "fixtures"
+    nested.mkdir(parents=True)
+    (nested / "bad.py").write_text(BAD_DETERMINISM, encoding="utf-8")
+    report = lint_paths([tmp_path])
+    assert report.files_checked == 0
+
+
+def test_parse_error_fails_the_run(tmp_path: Path) -> None:
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    report = lint_paths([tmp_path / "src"])
+    assert not report.ok
+    assert report.parse_errors
+
+
+def test_report_counts_cover_every_rule(tmp_path: Path) -> None:
+    report = lint_paths([tmp_path])
+    counts = report.counts()
+    assert set(counts) >= {"RL001", "RL002", "RL003", "RL004", "RL005"}
+    assert all(n == 0 for n in counts.values())
+    assert "RL003 | determinism | 0" in report.render_summary().replace("| R", "R")
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def _write_bad_tree(tmp_path: Path) -> Path:
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text(BAD_DETERMINISM, encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_cli_exit_codes_and_json(tmp_path: Path, capsys) -> None:
+    root = _write_bad_tree(tmp_path)
+    assert main([str(root)]) == 1
+    capsys.readouterr()
+    assert main([str(root), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["counts"]["RL003"] == 1
+    assert data["findings"][0]["code"] == "RL003"
+
+
+def test_cli_select_and_ignore(tmp_path: Path, capsys) -> None:
+    root = _write_bad_tree(tmp_path)
+    assert main([str(root), "--select", "RL001"]) == 0
+    assert main([str(root), "--ignore", "RL003"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_write_then_use_baseline(tmp_path: Path, capsys) -> None:
+    root = _write_bad_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main([str(root), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert baseline.exists()
+    assert main([str(root), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([str(root)]) == 1  # without the baseline it still fails
+    capsys.readouterr()
+
+
+def test_cli_list_rules_and_summary(tmp_path: Path, capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert code in out
+    root = _write_bad_tree(tmp_path)
+    assert main([str(root), "--summary"]) == 1
+    assert "### reprolint" in capsys.readouterr().out

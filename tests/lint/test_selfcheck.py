@@ -1,0 +1,29 @@
+"""Self-check: the engine's own source is clean under the full rule set.
+
+This is the CI gate in test form — no baseline, every rule active.  If a
+future change reintroduces an unguarded model invocation, an incomplete
+``state_dict``, unseeded randomness, a stray builtin raise or a float
+``==``, this test names it before the PR lands.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_are_clean_without_a_baseline() -> None:
+    report = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert report.files_checked > 100  # the walk really saw the repo
+    rendered = report.render_text()
+    assert report.parse_errors == [], rendered
+    assert report.findings == [], rendered
+
+
+def test_every_rule_actually_ran_over_src() -> None:
+    """Guards against a rule silently dropping out of the registry."""
+    report = lint_paths([REPO_ROOT / "src"])
+    assert set(report.counts()) >= {"RL001", "RL002", "RL003", "RL004", "RL005"}
