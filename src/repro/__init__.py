@@ -34,6 +34,7 @@ from repro.core import (
     DynamicQuotaPolicy,
     ExecutionContext,
     ExecutionStats,
+    FleetRun,
     MaxScoring,
     MultiQueryRun,
     MultiQueryScheduler,
@@ -84,6 +85,7 @@ __all__ = [
     "MultiQueryScheduler",
     "MultiQueryRun",
     "QuerySpec",
+    "FleetRun",
     "SVAQ",
     "SVAQD",
     "StreamSession",

@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage execution counters after an online run",
     )
     query.add_argument(
+        "--stats-json", action="store_true",
+        help="print the execution counters as one JSON object (the same "
+             "payload the service health endpoint serves per query)",
+    )
+    query.add_argument(
         "--fault-profile", default="none",
         help="inject simulated detector faults: none, transient, flaky, "
              "chaos (seeded from --seed, so runs are reproducible)",
@@ -83,6 +88,45 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--only", nargs="*", default=None,
         help="restrict to these driver names",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming query service demo: movie streams, live "
+             "registration/cancellation, incremental result push",
+    )
+    serve.add_argument(
+        "--movies", nargs="*", default=["Coffee and Cigarettes", "Iron Man"],
+        help="Table-2 movies to attach as streams",
+    )
+    serve.add_argument("--scale", type=float, default=0.1)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--clip-batch", type=int, default=8,
+        help="clips each stream advances per scheduling step",
+    )
+    serve.add_argument(
+        "--cancel-after", type=int, default=None, metavar="CLIPS",
+        help="cancel the first stream's query once its stream passes "
+             "this many clips (demonstrates mid-stream retirement)",
+    )
+    serve.add_argument(
+        "--snapshot-at", type=int, default=None, metavar="CLIPS",
+        help="snapshot the service once the first stream passes this "
+             "many clips, then resume the bundle in a fresh service "
+             "(demonstrates session migration)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="per-tenant concurrent-query quota",
+    )
+    serve.add_argument(
+        "--unit-budget", type=int, default=None,
+        help="per-tenant model-unit budget (default: unmetered)",
+    )
+    serve.add_argument(
+        "--stats-json", action="store_true",
+        help="print the service health/metrics payload as JSON at exit",
     )
 
     sub.add_parser("list", help="list experiments and datasets")
@@ -156,14 +200,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro import ExecutionContext
 
         engine = OnlineEngine(zoo=zoo, config=online_config)
-        context = ExecutionContext() if args.stats else None
+        want_stats = args.stats or args.stats_json
+        context = ExecutionContext() if want_stats else None
         result = compiled.execute_online(engine, video, context=context)
         print(f"sequences: {result.sequences.as_tuples()}")
         if getattr(result, "degraded_sequences", ()):
             spans = [(iv.start, iv.end) for iv in result.degraded_sequences]
             print(f"degraded : {spans}")
         if context is not None:
-            _print_stats(context.snapshot())
+            if args.stats_json:
+                import json
+
+                print(json.dumps(
+                    context.snapshot().as_dict(), sort_keys=True
+                ))
+            if args.stats:
+                _print_stats(context.snapshot())
         return 0
 
     engine = OfflineEngine(zoo=zoo, config=RankingConfig(online=online_config))
@@ -233,6 +285,132 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Streaming-service demo: attach movie streams, register each
+    movie's canonical query live, push results as sequences close, and
+    optionally cancel mid-stream or migrate the whole service through a
+    snapshot bundle."""
+    import asyncio
+    import json
+
+    from repro import Query
+    from repro.detectors.zoo import default_zoo
+    from repro.service import (
+        AdmissionController,
+        QueryService,
+        ServiceClient,
+        TenantQuota,
+    )
+    from repro.service.service import EVENT_FINAL
+    from repro.video.datasets import build_movie, movie_by_title
+
+    admission = AdmissionController(
+        TenantQuota(
+            max_concurrent=args.max_concurrent,
+            model_unit_budget=args.unit_budget,
+        )
+    )
+    service = QueryService(
+        default_zoo(seed=args.seed),
+        admission=admission,
+        clip_batch=args.clip_batch,
+    )
+    videos = {}
+    registered: list[tuple[str, str]] = []
+    client = ServiceClient(service, tenant="demo")
+    for title in args.movies:
+        spec = movie_by_title(title)
+        video = build_movie(spec, seed=args.seed, scale=args.scale)
+        stream = spec.title.lower().replace(" ", "-")
+        videos[stream] = video
+        service.add_stream(stream, video)
+        name = client.register(
+            stream, Query(objects=list(spec.objects), action=spec.action)
+        )
+        registered.append((stream, name))
+        print(f"attach : {stream} ({video.meta.n_clips} clips) "
+              f"query {name}: {spec.action} [{', '.join(spec.objects)}]")
+
+    async def drain(stream: str, name: str) -> None:
+        queue = client.subscribe(stream, name)
+        while True:
+            event = await queue.get()
+            if event.kind == EVENT_FINAL:
+                spans = event.result.sequences.as_tuples()
+                print(f"final  : {stream}/{name} {spans}")
+                return
+            iv = event.interval
+            print(f"push   : {stream}/{name} clips [{iv.start}, {iv.end}]")
+
+    async def run_service(svc: QueryService) -> None:
+        first_stream, first_name = registered[0]
+        cancelled = False
+        while any(not svc.done(s) for s in svc.streams()):
+            for stream in svc.streams():
+                svc.step(stream)
+                await asyncio.sleep(0)
+            position = svc.position(first_stream)
+            if (
+                args.cancel_after is not None
+                and not cancelled
+                and not svc.done(first_stream)
+                and position >= args.cancel_after
+            ):
+                client.cancel(first_stream, first_name)
+                cancelled = True
+                print(f"cancel : {first_stream}/{first_name} "
+                      f"at clip {position}")
+
+    async def main() -> QueryService:
+        drains = [
+            asyncio.create_task(drain(stream, name))
+            for stream, name in registered
+        ]
+        svc = service
+        if args.snapshot_at is not None:
+            first_stream = registered[0][0]
+            while (
+                svc.position(first_stream) < args.snapshot_at
+                and not svc.done(first_stream)
+            ):
+                for stream in svc.streams():
+                    svc.step(stream)
+                    await asyncio.sleep(0)
+            bundle = svc.snapshot().to_dict()
+            print(f"migrate: captured v{bundle['version']} bundle "
+                  f"({len(bundle['streams'])} streams) — resuming in a "
+                  f"fresh service")
+            svc = QueryService.resume(
+                json.loads(json.dumps(bundle)),
+                videos,
+                default_zoo(seed=args.seed),
+                admission=AdmissionController(
+                    TenantQuota(
+                        max_concurrent=args.max_concurrent,
+                        model_unit_budget=args.unit_budget,
+                    )
+                ),
+                clip_batch=args.clip_batch,
+            )
+            # Re-attach the drains' subscriptions to the new process.
+            for task in drains:
+                task.cancel()
+            client.rebind(svc)
+            drains = [
+                asyncio.create_task(drain(stream, name))
+                for stream, name in registered
+                if name in svc.live(stream)
+            ]
+        await run_service(svc)
+        await asyncio.gather(*drains, return_exceptions=True)
+        return svc
+
+    final_service = asyncio.run(main())
+    if args.stats_json:
+        print(json.dumps(final_service.health(), sort_keys=True))
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.eval import experiments
     from repro.video.datasets import MOVIES, YOUTUBE_QUERY_SETS
@@ -266,6 +444,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "serve": _cmd_serve,
     "list": _cmd_list,
 }
 

@@ -25,9 +25,11 @@ from repro.core.policies import (
 from repro.core.query import CompoundQuery, Query
 from repro.core.rvaq import RVAQ, RankedSequence, TopKResult
 from repro.core.scheduler import (
+    FleetRun,
     MultiQueryRun,
     MultiQueryScheduler,
     QuerySpec,
+    as_specs,
 )
 from repro.core.scoring import MaxScoring, PaperScoring, ScoringScheme
 from repro.core.session import StreamSession, SvaqdSession
@@ -62,4 +64,6 @@ __all__ = [
     "MultiQueryScheduler",
     "MultiQueryRun",
     "QuerySpec",
+    "FleetRun",
+    "as_specs",
 ]

@@ -115,6 +115,35 @@ class ExecutionStats:
             "stage_wall_s": dict(self.stage_wall_s),
         }
 
+    @classmethod
+    def from_dict(cls, payload: StateDict) -> "ExecutionStats":
+        """Rebuild a snapshot from :meth:`as_dict` output.
+
+        Derived ratios (``cache_hit_rate``, ``short_circuit_savings``) are
+        recomputed properties and ignored on input, so the round-trip is
+        exact for every counter.
+        """
+        kwargs = {
+            name: int(payload.get(name, 0))
+            for name in (
+                "clips_processed", "probe_clips",
+                "detector_invocations", "recognizer_invocations",
+                "detector_cache_hits", "recognizer_cache_hits",
+                "predicates_evaluated", "predicates_skipped",
+                "quota_refreshes", "sequences_emitted",
+                "model_retries", "model_timeouts", "model_giveups",
+                "predicates_degraded", "clips_degraded",
+                "sequences_degraded",
+            )
+        }
+        return cls(
+            stage_wall_s={
+                stage: float(seconds)
+                for stage, seconds in payload.get("stage_wall_s", {}).items()
+            },
+            **kwargs,
+        )
+
     def summary(self) -> str:
         """Human-readable multi-line rendering (the ``--stats`` output)."""
         lines = [
@@ -249,6 +278,32 @@ class ExecutionContext:
         )
         for stage, seconds in stage_times.items():
             self.add_stage_time(stage, seconds)
+
+    def load_snapshot(self, stats: ExecutionStats) -> None:
+        """Overwrite every counter from a frozen snapshot.
+
+        The migration path uses this to make a resumed session's context
+        continue *from* the checkpointed totals instead of restarting at
+        zero — the resumed run's final stats then equal the uninterrupted
+        run's (wall times excepted, since those measure real elapsed time).
+        """
+        self.clips_processed = stats.clips_processed
+        self.probe_clips = stats.probe_clips
+        self.detector_invocations = stats.detector_invocations
+        self.recognizer_invocations = stats.recognizer_invocations
+        self.detector_cache_hits = stats.detector_cache_hits
+        self.recognizer_cache_hits = stats.recognizer_cache_hits
+        self.predicates_evaluated = stats.predicates_evaluated
+        self.predicates_skipped = stats.predicates_skipped
+        self.quota_refreshes = stats.quota_refreshes
+        self.sequences_emitted = stats.sequences_emitted
+        self.model_retries = stats.model_retries
+        self.model_timeouts = stats.model_timeouts
+        self.model_giveups = stats.model_giveups
+        self.predicates_degraded = stats.predicates_degraded
+        self.clips_degraded = stats.clips_degraded
+        self.sequences_degraded = stats.sequences_degraded
+        self._stage_wall_s = dict(stats.stage_wall_s)
 
     # -- reading -----------------------------------------------------------------
 

@@ -20,6 +20,7 @@ from repro.core.query import CompoundQuery, Query
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.compound import CompoundResult
+    from repro.core.scheduler import FleetRun
 from repro.core.rvaq import RVAQ, TopKResult
 from repro.core.scheduler import MultiQueryRun, MultiQueryScheduler
 from repro.core.scoring import PaperScoring, ScoringScheme
@@ -145,15 +146,44 @@ class OnlineEngine:
         frame/shot is scored at most once for the whole fleet; results
         are identical to running each query alone.
         """
+        return self._fleet_scheduler(queries, algorithm).run(
+            video, short_circuit=short_circuit, context=context
+        )
+
+    def start_queries(
+        self,
+        queries: Iterable,
+        video: LabeledVideo,
+        algorithm: OnlineAlgorithm = "svaqd",
+        *,
+        start_clip: int = 0,
+    ) -> "FleetRun":
+        """An incremental fleet run over one stream — the service's path.
+
+        Unlike :meth:`run_queries`, the returned
+        :class:`~repro.core.scheduler.FleetRun` is driven by the caller:
+        feed clips through :meth:`~repro.core.scheduler.FleetRun.advance`,
+        register/cancel queries between steps, checkpoint mid-stream with
+        :meth:`~repro.core.scheduler.FleetRun.state_dict`.  ``queries``
+        may be empty — the service registers them live.
+        """
+        from repro.core.scheduler import FleetRun, as_specs
+
+        queries = list(queries)
+        specs = as_specs(queries, algorithm=algorithm) if queries else []
+        return FleetRun(
+            self.zoo, video, self.config, specs, start_clip=start_clip
+        )
+
+    def _fleet_scheduler(
+        self, queries: Iterable, algorithm: OnlineAlgorithm
+    ) -> MultiQueryScheduler:
         from repro.core.scheduler import as_specs
 
-        scheduler = MultiQueryScheduler(
+        return MultiQueryScheduler(
             self.zoo,
             as_specs(queries, algorithm=algorithm),
             self.config,
-        )
-        return scheduler.run(
-            video, short_circuit=short_circuit, context=context
         )
 
     def run_queries_many(
@@ -175,13 +205,7 @@ class OnlineEngine:
         :meth:`run_many` does.  Returns ``{video_id: MultiQueryRun}`` in
         input order.
         """
-        from repro.core.scheduler import as_specs
-
-        scheduler = MultiQueryScheduler(
-            self.zoo,
-            as_specs(queries, algorithm=algorithm),
-            self.config,
-        )
+        scheduler = self._fleet_scheduler(queries, algorithm)
         videos = list(videos)
         if executor == "serial":
             return {

@@ -81,6 +81,11 @@ class QuotaPolicy(ABC):
     #: keep every predicate's estimator fed; static policies never probe.
     dynamic: bool = False
 
+    #: Checkpoint discriminator written into :meth:`state_dict` and checked
+    #: on restore, so a checkpoint taken under one policy flavour cannot be
+    #: silently loaded into another.
+    kind: str = "static"
+
     @abstractmethod
     def quotas(self) -> dict[str, int]:
         """Current ``k_crit`` per predicate label."""
@@ -112,6 +117,7 @@ class StaticQuotaPolicy(QuotaPolicy):
     """Fixed critical values — Algorithm 1's behaviour."""
 
     dynamic = False
+    kind = "static"
 
     def __init__(self, quotas: Mapping[str, int]) -> None:
         if not quotas:
@@ -146,7 +152,7 @@ class StaticQuotaPolicy(QuotaPolicy):
         """Static quotas never move; the update is a no-op by design."""
 
     def state_dict(self) -> StateDict:
-        return {"kind": "static", "quotas": dict(self._quotas)}
+        return {"kind": self.kind, "quotas": dict(self._quotas)}
 
     def load_state_dict(self, state: StateDict) -> None:
         self._quotas = {
@@ -154,10 +160,98 @@ class StaticQuotaPolicy(QuotaPolicy):
         }
 
 
+#: Sentinel quota value for :class:`ConsumableQuotaPolicy` rows that never
+#: exhaust (an unmetered tenant keeps its ledger row for reporting).
+UNLIMITED = -1
+
+
+class ConsumableQuotaPolicy(StaticQuotaPolicy):
+    """Static quotas that *deplete* as units are consumed.
+
+    The online sessions compare counts against a quota per clip and move
+    on; an admission ledger instead spends a quota down — a tenant's
+    concurrent-query slots, a model-unit budget.  This policy keeps the
+    static quota table (one integer per label) and adds a consumed-units
+    column next to it, reusing the same checkpointable machinery the
+    streaming policies already have so service admission state rides in
+    migration bundles exactly like session quota state does.
+
+    A quota of ``UNLIMITED`` (-1) never exhausts — membership in the
+    table still names the ledger row, mirroring how
+    :func:`derive_static_quotas` treats explicit overrides.
+    """
+
+    kind = "consumable"
+
+    def __init__(
+        self,
+        quotas: Mapping[str, int],
+        used: Mapping[str, int] | None = None,
+    ) -> None:
+        super().__init__(quotas)
+        self._used: dict[str, int] = {label: 0 for label in self._quotas}
+        for label, n in (used or {}).items():
+            self._check_label(label)
+            self._used[label] = int(n)
+
+    def _check_label(self, label: str) -> None:
+        if label not in self._quotas:
+            raise ConfigurationError(
+                f"unknown ledger label {label!r}; "
+                f"have {sorted(self._quotas)}"
+            )
+
+    def consume(self, label: str, n: int = 1) -> None:
+        """Spend ``n`` units of ``label``'s quota (may go over — callers
+        check :meth:`exhausted` *before* admitting more work)."""
+        self._check_label(label)
+        if n < 0:
+            raise ConfigurationError(f"consume units must be >= 0; got {n}")
+        self._used[label] += n
+
+    def release(self, label: str, n: int = 1) -> None:
+        """Return ``n`` units (a cancelled query frees its slot)."""
+        self._check_label(label)
+        if n < 0:
+            raise ConfigurationError(f"release units must be >= 0; got {n}")
+        self._used[label] = max(0, self._used[label] - n)
+
+    def used(self, label: str) -> int:
+        self._check_label(label)
+        return self._used[label]
+
+    def remaining(self, label: str) -> int | None:
+        """Units left before exhaustion; ``None`` when unlimited."""
+        self._check_label(label)
+        if self._quotas[label] == UNLIMITED:
+            return None
+        return max(0, self._quotas[label] - self._used[label])
+
+    def exhausted(self, label: str) -> bool:
+        self._check_label(label)
+        quota = self._quotas[label]
+        return quota != UNLIMITED and self._used[label] >= quota
+
+    def state_dict(self) -> StateDict:
+        return {
+            "kind": self.kind,
+            "quotas": dict(self._quotas),
+            "used": dict(self._used),
+        }
+
+    def load_state_dict(self, state: StateDict) -> None:
+        super().load_state_dict(state)
+        self._used = {label: 0 for label in self._quotas}
+        for label, n in state.get("used", {}).items():
+            self._check_label(label)
+            self._used[label] = int(n)
+
+
 class DynamicQuotaPolicy(QuotaPolicy):
     """Kernel-estimated background probabilities — Algorithm 3's behaviour."""
 
     dynamic = True
+    kind = "dynamic"
 
     def __init__(self, manager: QuotaManager) -> None:
         self._manager = manager
@@ -194,7 +288,7 @@ class DynamicQuotaPolicy(QuotaPolicy):
         )
 
     def state_dict(self) -> StateDict:
-        return {"kind": "dynamic", **self._manager.state_dict()}
+        return {"kind": self.kind, **self._manager.state_dict()}
 
     def load_state_dict(self, state: StateDict) -> None:
         self._manager.load_state_dict(state)
@@ -204,7 +298,7 @@ def policy_from_state_dict(state: StateDict, fallback: QuotaPolicy) -> QuotaPoli
     """Validate that a checkpointed policy state matches the session's
     configured policy kind, then restore it in place."""
     kind = state.get("kind", "dynamic")
-    expected = "dynamic" if fallback.dynamic else "static"
+    expected = fallback.kind
     if kind != expected:
         raise ConfigurationError(
             f"checkpoint holds a {kind!r} quota policy but the session was "

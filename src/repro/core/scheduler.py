@@ -6,16 +6,29 @@ serially, each query's session re-invokes the detector and recognizer on
 every clip, so model cost scales with the number of queries even though
 the *stream* is shared.
 
-:class:`MultiQueryScheduler` advances every session clip-by-clip in
-lockstep over one :class:`~repro.video.stream.ClipStream`, with all
-sessions attached to one shared
+The stepping core is :class:`FleetRun`: one fleet of
+:class:`~repro.core.session.StreamSession` objects advancing clip-by-clip
+in lockstep over one video, all attached to one shared
 :class:`~repro.detectors.cache.DetectionScoreCache` — each frame/shot is
-scored at most once per video regardless of how many queries ask about
-it.  The first session to evaluate a ``(kind, label, clip)`` is charged
-fresh model units exactly as the serial path would be; every other
-session's evaluation meters the same units as cache hits.  Results are
-bit-identical to running each session alone (sessions never observe each
-other — only the cache is shared, and counts are deterministic).
+scored at most once per video regardless of how many queries ask about it.
+Fleet membership is **dynamic**: :meth:`FleetRun.register` admits a new
+standing query between steps (it starts observing at the current stream
+position) and :meth:`FleetRun.cancel` retires one mid-stream, returning
+its result over the clips it saw.  The first session to evaluate a
+``(kind, label, clip)`` is charged fresh model units exactly as the serial
+path would be; every other session's evaluation meters the same units as
+cache hits.  Results are bit-identical to running each session alone
+(sessions never observe each other — only the cache is shared, and counts
+are deterministic).
+
+:class:`MultiQueryScheduler` is the batch driver over that core —
+construct with a fixed fleet, :meth:`~MultiQueryScheduler.run` per video —
+and is what :meth:`repro.core.engine.OnlineEngine.run_queries` wraps.  The
+streaming query service (:mod:`repro.service`) drives :class:`FleetRun`
+directly, including its fleet-level checkpoint
+(:meth:`FleetRun.state_dict` / :meth:`FleetRun.load_state_dict`) which
+bundles every live session, its execution counters and the shared cache's
+charge state for mid-stream migration.
 
 Each session charges a private :class:`~repro.core.context.ExecutionContext`
 so its result carries exact per-query stats; the privates are merged into
@@ -26,19 +39,33 @@ of :meth:`repro.core.engine.OnlineEngine.run_many`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.config import OnlineConfig
-from repro.core.context import ExecutionContext
+from repro.core.context import ExecutionContext, ExecutionStats
 from repro.core.query import CompoundQuery, Query
 from repro.core.session import StreamSession
 from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.zoo import ModelZoo
 from repro.errors import ConfigurationError
+from repro.utils.intervals import Interval
+from repro.video.model import ClipView
 from repro.video.stream import ClipStream
 from repro.video.synthesis import LabeledVideo
+from repro._typing import StateDict
 
-__all__ = ["QuerySpec", "MultiQueryRun", "MultiQueryScheduler", "as_specs"]
+__all__ = [
+    "QuerySpec",
+    "MultiQueryRun",
+    "MultiQueryScheduler",
+    "FleetRun",
+    "as_specs",
+    "spec_to_dict",
+    "spec_from_dict",
+]
+
+#: Format tag of :meth:`FleetRun.state_dict` bundles.
+FLEET_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -63,6 +90,8 @@ class QuerySpec:
                 f"unknown online algorithm {self.algorithm!r} "
                 f"for query {self.name!r}"
             )
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(f"invalid query name {self.name!r}")
 
 
 def as_specs(
@@ -93,6 +122,83 @@ def as_specs(
     return specs
 
 
+# -- spec serialisation ------------------------------------------------------------
+#
+# Migration bundles carry the fleet's specs so a fresh process can rebuild
+# every session before loading its state; queries reduce to their label
+# tuples (the models/video are reconstructed by the caller, per the
+# checkpoint contract).
+
+def _query_to_dict(query: Query | CompoundQuery) -> StateDict:
+    if isinstance(query, CompoundQuery):
+        return {
+            "type": "compound",
+            "clauses": [
+                [_query_to_dict(literal) for literal in clause]
+                for clause in query.clauses
+            ],
+        }
+    return {
+        "type": "query",
+        "objects": list(query.objects),
+        "actions": list(query.actions),
+        "relationships": list(query.relationships),
+    }
+
+
+def _query_from_dict(payload: StateDict) -> Query | CompoundQuery:
+    kind = payload.get("type")
+    if kind == "query":
+        return Query(
+            objects=payload.get("objects", ()),
+            actions=payload.get("actions", ()),
+            relationships=payload.get("relationships", ()),
+        )
+    if kind == "compound":
+        clauses = tuple(
+            tuple(_literal_from_dict(lit) for lit in clause)
+            for clause in payload["clauses"]
+        )
+        return CompoundQuery(clauses)
+    raise ConfigurationError(f"unknown query payload type {kind!r}")
+
+
+def _literal_from_dict(payload: StateDict) -> Query:
+    query = _query_from_dict(payload)
+    if not isinstance(query, Query):
+        raise ConfigurationError("compound clauses must hold plain queries")
+    return query
+
+
+def spec_to_dict(spec: QuerySpec) -> StateDict:
+    """JSON-serialisable rendering of a :class:`QuerySpec`."""
+    return {
+        "name": spec.name,
+        "algorithm": spec.algorithm,
+        "k_crit_overrides": (
+            dict(spec.k_crit_overrides)
+            if spec.k_crit_overrides is not None
+            else None
+        ),
+        "query": _query_to_dict(spec.query),
+    }
+
+
+def spec_from_dict(payload: StateDict) -> QuerySpec:
+    """Rebuild a :class:`QuerySpec` from :func:`spec_to_dict` output."""
+    overrides = payload.get("k_crit_overrides")
+    return QuerySpec(
+        name=payload["name"],
+        query=_query_from_dict(payload["query"]),
+        algorithm=payload.get("algorithm", "svaqd"),
+        k_crit_overrides=(
+            {label: int(k) for label, k in overrides.items()}
+            if overrides is not None
+            else None
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class MultiQueryRun:
     """All registered queries' results over one video stream.
@@ -111,14 +217,334 @@ class MultiQueryRun:
         return self.results[name]
 
 
-class MultiQueryScheduler:
-    """Lockstep execution of many online queries over shared streams.
+class FleetRun:
+    """Incremental lockstep execution of a dynamic query fleet over one
+    video stream.
 
-    Construct once per query fleet; :meth:`run` per video.  Each run
-    builds (or accepts) one :class:`DetectionScoreCache` for the video and
-    attaches every session to it; sessions advance clip-by-clip in
-    registration order, so charging order — who pays fresh units, who
-    meters hits — is deterministic.
+    One ``FleetRun`` owns the per-video execution state the batch
+    :meth:`MultiQueryScheduler.run` used to keep in local variables: the
+    live sessions, their private contexts, the shared detection cache and
+    the stream cursor.  Feed clips through :meth:`advance`; between steps,
+    :meth:`register` admits a new standing query (it starts at the current
+    position) and :meth:`cancel` retires one, returning its result over
+    the clips it observed.  Per clip, every session evaluates before the
+    stream moves on, in registration order — charging order (who pays
+    fresh model units, who meters cache hits) is deterministic, and a
+    cancelled session simply stops charging (later sessions then pay fresh
+    where it would have; totals per workload are unchanged).
+
+    Query names are unique for the lifetime of the run, across live *and*
+    retired queries, so results and subscriptions are unambiguous.
+    """
+
+    #: Not checkpointed (RL002).  The zoo/video/config/cache handles are
+    #: reconstructed by the caller exactly as for
+    #: :meth:`StreamSession.load_state_dict` (the cache's mutable charge
+    #: state rides inside each session's checkpoint).  ``_sessions`` and
+    #: ``_contexts`` are rebuilt by re-registering the checkpointed specs.
+    #: ``_results`` holds results already *delivered* to the caller
+    #: (cancelled queries) — deliberately not migrated: a migration bundle
+    #: carries live state, delivered results belong to the client.
+    #: ``_finished`` is process-local (a restored fleet is live by
+    #: definition).
+    _CHECKPOINT_EXCLUDE = frozenset(
+        {"_zoo", "_video", "_config", "_cache", "_sessions", "_contexts",
+         "_results", "_finished"}
+    )
+
+    def __init__(
+        self,
+        zoo: ModelZoo,
+        video: LabeledVideo,
+        config: OnlineConfig | None = None,
+        queries: Iterable[Any] = (),
+        *,
+        cache: DetectionScoreCache | None = None,
+        start_clip: int = 0,
+    ) -> None:
+        self._zoo = zoo
+        self._video = video
+        self._config = config or OnlineConfig()
+        if cache is None and self._config.cache_detections:
+            cache = DetectionScoreCache.for_video(zoo, video, self._config)
+        self._cache = cache
+        self._sessions: dict[str, StreamSession] = {}
+        self._specs: dict[str, QuerySpec] = {}
+        self._contexts: dict[str, ExecutionContext] = {}
+        self._results: dict[str, Any] = {}
+        self._order: list[str] = []
+        self._position = start_clip
+        self._auto_counter = 0
+        self._finished = False
+        for item in queries:
+            self.register(item)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def video_id(self) -> str:
+        return self._video.video_id
+
+    @property
+    def position(self) -> int:
+        """Clip id the next :meth:`advance` step expects."""
+        return self._position
+
+    @property
+    def live(self) -> tuple[str, ...]:
+        """Names of the currently-registered (non-retired) queries."""
+        return tuple(self._sessions)
+
+    @property
+    def specs(self) -> tuple[QuerySpec, ...]:
+        """Specs of the live queries, in registration order."""
+        return tuple(self._specs.values())
+
+    def names(self) -> tuple[str, ...]:
+        """Every query this run ever admitted (live and retired)."""
+        return tuple(self._contexts)
+
+    def next_auto_name(self) -> str:
+        """The name the next bare-query registration would receive."""
+        counter = self._auto_counter
+        while f"q{counter}" in self._contexts:
+            counter += 1
+        return f"q{counter}"
+
+    def spec(self, name: str) -> QuerySpec:
+        """The spec of one live query."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no live query named {name!r}; have {sorted(self._specs)}"
+            ) from None
+
+    def session(self, name: str) -> StreamSession:
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no live query named {name!r}; have {sorted(self._sessions)}"
+            ) from None
+
+    def context(self, name: str) -> ExecutionContext:
+        """The private execution counters of one (live or retired) query."""
+        try:
+            return self._contexts[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown query {name!r}; have {sorted(self._contexts)}"
+            ) from None
+
+    # -- membership --------------------------------------------------------------
+
+    def register(
+        self,
+        item: Any,
+        *,
+        on_sequence: Callable[[Interval], None] | None = None,
+    ) -> str:
+        """Admit one standing query; returns its (unique) name.
+
+        ``item`` is a :class:`QuerySpec`, or a bare :class:`Query` /
+        :class:`CompoundQuery` auto-named ``q<n>`` from a monotone
+        counter.  The new session starts observing at the current stream
+        position — its result covers exactly the clips it saw.  A name
+        already used by a live *or* retired query of this run raises
+        :class:`~repro.errors.ConfigurationError` naming the duplicate.
+        ``on_sequence`` subscribes to the query's result sequences as they
+        close (see :meth:`StreamSession.set_emit_callback`).
+        """
+        if self._finished:
+            raise ConfigurationError(
+                "cannot register queries on a finished fleet run"
+            )
+        if isinstance(item, QuerySpec):
+            spec = item
+        elif isinstance(item, (Query, CompoundQuery)):
+            while f"q{self._auto_counter}" in self._contexts:
+                self._auto_counter += 1
+            spec = QuerySpec(f"q{self._auto_counter}", item)
+            self._auto_counter += 1
+        else:
+            raise ConfigurationError(
+                f"expected Query, CompoundQuery or QuerySpec; got {item!r}"
+            )
+        if spec.name in self._contexts:
+            state = "live" if spec.name in self._sessions else "retired"
+            raise ConfigurationError(
+                f"duplicate query name {spec.name!r} "
+                f"(already {state} on this stream)"
+            )
+        session = self._build_session(spec)
+        if on_sequence is not None:
+            session.set_emit_callback(on_sequence)
+        self._specs[spec.name] = spec
+        self._sessions[spec.name] = session
+        self._contexts[spec.name] = session.context
+        self._order.append(spec.name)
+        return spec.name
+
+    def _build_session(self, spec: QuerySpec) -> StreamSession:
+        dynamic = spec.algorithm == "svaqd"
+        builder = (
+            StreamSession.for_compound
+            if isinstance(spec.query, CompoundQuery)
+            else StreamSession.for_query
+        )
+        return builder(
+            self._zoo, spec.query, self._video, self._config,
+            dynamic=dynamic,
+            k_crit_overrides=spec.k_crit_overrides,
+            context=ExecutionContext(),
+            cache=self._cache,
+        )
+
+    def cancel(self, name: str) -> Any:
+        """Retire one live query and return its result so far.
+
+        The session drains and finishes immediately: an open positive run
+        is closed at the last processed clip, the final quota update runs,
+        and the result covers exactly the clips the query observed.  The
+        name stays reserved for the lifetime of the run.
+        """
+        session = self.session(name)
+        session.drain()
+        result = session.finish()
+        self._results[name] = result
+        del self._sessions[name]
+        del self._specs[name]
+        return result
+
+    # -- stepping ----------------------------------------------------------------
+
+    def advance(
+        self,
+        clips: Sequence[ClipView],
+        *,
+        short_circuit: bool = True,
+    ) -> None:
+        """Advance every live session over a batch of in-order clips.
+
+        Per clip, every session evaluates before the stream moves on — the
+        cache chunk a clip lands in is materialised once and hot for all N
+        sessions.  Clips must continue the run's stream position; feeding
+        a gap or replay is a caller bug and raises.
+        """
+        if self._finished:
+            raise ConfigurationError("fleet run already finished")
+        for clip in clips:
+            if clip.clip_id != self._position:
+                raise ConfigurationError(
+                    f"clips must continue the stream: expected clip "
+                    f"{self._position}, got {clip.clip_id}"
+                )
+            for session in self._sessions.values():
+                session.process(clip, short_circuit=short_circuit)
+            self._position += 1
+
+    def finish(
+        self, *, context: ExecutionContext | None = None
+    ) -> MultiQueryRun:
+        """Close every live session and return all results.
+
+        The returned :class:`MultiQueryRun` covers every query the run
+        ever admitted — cancelled ones with their mid-stream results — in
+        registration order.  ``context`` receives the merged counters of
+        all sessions (cancelled included); per-query stats live on each
+        result.
+        """
+        if not self._finished:
+            for name in list(self._sessions):
+                session = self._sessions.pop(name)
+                session.drain()
+                self._results[name] = session.finish()
+                del self._specs[name]
+            self._finished = True
+        if context is not None:
+            for name in self._order:
+                context.merge(self._contexts[name])
+        return MultiQueryRun(
+            video_id=self._video.video_id,
+            results={name: self._results[name] for name in self._order},
+        )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> StateDict:
+        """Complete live-fleet state, JSON-serialisable.
+
+        Bundles, per live query: its spec, its session checkpoint (which
+        carries the shared cache's charge bookkeeping) and its execution
+        counters — everything a fresh process needs to resume the fleet
+        mid-stream with result- and stats-identical output.  Results
+        already delivered through :meth:`cancel` are the caller's and do
+        not ride along.
+        """
+        if self._finished:
+            raise ConfigurationError("cannot checkpoint a finished fleet run")
+        return {
+            "version": FLEET_STATE_VERSION,
+            "video_id": self._video.video_id,
+            "position": self._position,
+            "auto_counter": self._auto_counter,
+            "retired": sorted(self._results),
+            "specs": [spec_to_dict(self._specs[n]) for n in self._specs],
+            "sessions": {
+                name: session.state_dict()
+                for name, session in self._sessions.items()
+            },
+            "contexts": {
+                name: self._contexts[name].snapshot().as_dict()
+                for name in self._sessions
+            },
+        }
+
+    def load_state_dict(self, state: StateDict) -> "FleetRun":
+        """Restore a fleet checkpoint into this (freshly-built, empty) run.
+
+        Build the run exactly as the checkpointed one was built — same
+        zoo line-up, video, config — with no queries registered, then
+        load.  Sessions are re-registered from the bundled specs and each
+        one resumes its own state; retired names stay reserved so a
+        post-migration registration cannot collide with a delivered
+        result.  Returns ``self``.
+        """
+        if self._sessions or self._results:
+            raise ConfigurationError(
+                "fleet state must be loaded into a fresh, empty run"
+            )
+        if state.get("video_id") != self._video.video_id:
+            raise ConfigurationError(
+                f"fleet checkpoint holds video {state.get('video_id')!r}, "
+                f"not {self._video.video_id!r}"
+            )
+        self._position = int(state["position"])
+        self._auto_counter = int(state.get("auto_counter", 0))
+        self._order = []
+        for payload in state["specs"]:
+            spec = spec_from_dict(payload)
+            name = self.register(spec)
+            self._sessions[name].load_state_dict(state["sessions"][name])
+            self._contexts[name].load_snapshot(
+                ExecutionStats.from_dict(state["contexts"][name])
+            )
+        # Reserve retired names without their (already-delivered) results.
+        for name in state.get("retired", []):
+            self._contexts.setdefault(name, ExecutionContext())
+        return self
+
+
+class MultiQueryScheduler:
+    """Batch driver over :class:`FleetRun` for a fixed query fleet.
+
+    Construct once per fleet; :meth:`run` per video.  Each run starts a
+    fresh :class:`FleetRun` (building or accepting one
+    :class:`DetectionScoreCache` for the video), streams every clip
+    through it and finishes.  :meth:`start` hands out the incremental run
+    itself for callers that interleave stepping with registration —
+    the streaming service's path.
     """
 
     def __init__(
@@ -135,6 +561,19 @@ class MultiQueryScheduler:
     def specs(self) -> tuple[QuerySpec, ...]:
         return tuple(self._specs)
 
+    def start(
+        self,
+        video: LabeledVideo,
+        *,
+        cache: DetectionScoreCache | None = None,
+        start_clip: int = 0,
+    ) -> FleetRun:
+        """An incremental :class:`FleetRun` over this scheduler's fleet."""
+        return FleetRun(
+            self._zoo, video, self._config, self._specs,
+            cache=cache, start_clip=start_clip,
+        )
+
     def sessions(
         self,
         video: LabeledVideo,
@@ -148,31 +587,8 @@ class MultiQueryScheduler:
         falls back to the serial ``score_clip`` reference path.  Every
         session gets a private :class:`ExecutionContext`.
         """
-        if cache is None and self._config.cache_detections:
-            cache = DetectionScoreCache.for_video(
-                self._zoo, video, self._config
-            )
-        sessions: dict[str, StreamSession] = {}
-        for spec in self._specs:
-            dynamic = spec.algorithm == "svaqd"
-            if isinstance(spec.query, CompoundQuery):
-                session = StreamSession.for_compound(
-                    self._zoo, spec.query, video, self._config,
-                    dynamic=dynamic,
-                    k_crit_overrides=spec.k_crit_overrides,
-                    context=ExecutionContext(),
-                    cache=cache,
-                )
-            else:
-                session = StreamSession.for_query(
-                    self._zoo, spec.query, video, self._config,
-                    dynamic=dynamic,
-                    k_crit_overrides=spec.k_crit_overrides,
-                    context=ExecutionContext(),
-                    cache=cache,
-                )
-            sessions[spec.name] = session
-        return sessions
+        run = self.start(video, cache=cache)
+        return {name: run.session(name) for name in run.live}
 
     def run(
         self,
@@ -190,17 +606,8 @@ class MultiQueryScheduler:
         all N sessions.  ``context`` receives the merged counters of all
         sessions; per-query stats live on each result.
         """
-        sessions = self.sessions(video, cache=cache)
-        session_list = list(sessions.values())
         clips = stream if stream is not None else ClipStream(video.meta)
+        run = self.start(video, cache=cache, start_clip=clips.position)
         while not clips.end():
-            clip = clips.next()
-            for session in session_list:
-                session.process(clip, short_circuit=short_circuit)
-        results = {
-            name: session.finish() for name, session in sessions.items()
-        }
-        if context is not None:
-            for session in sessions.values():
-                context.merge(session.context)
-        return MultiQueryRun(video_id=video.video_id, results=results)
+            run.advance([clips.next()], short_circuit=short_circuit)
+        return run.finish(context=context)

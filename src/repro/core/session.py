@@ -42,7 +42,7 @@ conjunctive configuration.
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.config import OnlineConfig
 from repro.core.context import (
@@ -69,6 +69,7 @@ from repro.core.sequences import SequenceAssembler
 from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.zoo import ModelZoo
 from repro.errors import ConfigurationError
+from repro.utils.intervals import Interval
 from repro.video.model import ClipView
 from repro.video.synthesis import LabeledVideo
 from repro._typing import StateDict
@@ -78,6 +79,17 @@ from repro._typing import StateDict
 #: fault-tolerance state (degraded clips + hold-last-estimate memory).
 #: v1–v3 checkpoints (missing entries) still load.
 CHECKPOINT_VERSION = 4
+
+#: Session lifecycle states.  A session is born RUNNING; the service layer
+#: marks it DRAINING when no further clips will arrive (cancel requested or
+#: stream exhausted, finish pending), SNAPSHOTTED when its state was
+#: captured into a migration bundle (the local instance is then frozen —
+#: the resumed copy elsewhere is the live one), and CLOSED once
+#: :meth:`StreamSession.finish` has built the result.
+SESSION_RUNNING = "running"
+SESSION_DRAINING = "draining"
+SESSION_SNAPSHOTTED = "snapshotted"
+SESSION_CLOSED = "closed"
 
 
 class StreamSession:
@@ -93,7 +105,11 @@ class StreamSession:
     #: evaluations (contract pinned by ``test_session.py``), while
     #: sequences/stats do round-trip.  ``_record_trace`` is a constructor
     #: flag and ``_final_stats`` only exists after finish (finished
-    #: sessions refuse to checkpoint).
+    #: sessions refuse to checkpoint).  ``_lifecycle`` is process-local: a
+    #: restored session is by definition RUNNING (DRAINING/SNAPSHOTTED/
+    #: CLOSED are terminal states of *this* instance, not of the logical
+    #: query), and ``_on_emit`` is transient subscription wiring the
+    #: service re-attaches after a resume.
     _CHECKPOINT_EXCLUDE = frozenset(
         {
             "_video",
@@ -106,6 +122,8 @@ class StreamSession:
             "_evaluations",
             "_record_trace",
             "_final_stats",
+            "_lifecycle",
+            "_on_emit",
         }
     )
 
@@ -146,6 +164,8 @@ class StreamSession:
         self._chunk_buffer: list[tuple[Any, tuple]] = []
         self._buffer_pos = 0
         self._buffer_short_circuit: bool | None = None
+        self._lifecycle = SESSION_RUNNING
+        self._on_emit: Callable[[Interval], None] | None = None
         self._assembler = SequenceAssembler()
         self._evaluations: list[Any] = []
         self._pending: Any | None = None
@@ -270,6 +290,51 @@ class StreamSession:
         """The session's detection score cache (None = serial path)."""
         return self._predicate.cache
 
+    @property
+    def lifecycle(self) -> str:
+        """Current lifecycle state: RUNNING/DRAINING/SNAPSHOTTED/CLOSED."""
+        return self._lifecycle
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Announce that no further clips will arrive.
+
+        DRAINING sits between the last :meth:`process` and :meth:`finish`
+        — a cancelled or exhausted query that still owes its final result.
+        Idempotent from RUNNING/DRAINING; a frozen or closed session
+        cannot re-enter the pipeline.
+        """
+        if self._lifecycle in (SESSION_SNAPSHOTTED, SESSION_CLOSED):
+            raise ConfigurationError(
+                f"cannot drain a {self._lifecycle} session"
+            )
+        self._lifecycle = SESSION_DRAINING
+
+    def mark_snapshotted(self) -> None:
+        """Freeze this instance after its state was captured for migration.
+
+        The snapshot is the live copy from here on: a frozen session
+        refuses :meth:`process` and :meth:`finish`, so two instances can
+        never both advance the same logical query.
+        """
+        if self._lifecycle == SESSION_CLOSED:
+            raise ConfigurationError("cannot snapshot a finished session")
+        self._lifecycle = SESSION_SNAPSHOTTED
+
+    def set_emit_callback(
+        self, on_emit: Callable[[Interval], None] | None
+    ) -> None:
+        """Subscribe to result sequences the moment they close.
+
+        The callback fires for sequences closed by :meth:`process` and for
+        the final open run closed by :meth:`finish`; sequences restored
+        from a checkpoint are not re-emitted.  The service layer uses this
+        to push results incrementally instead of waiting for end-of-stream.
+        """
+        self._on_emit = on_emit
+        self._assembler.on_emit = on_emit
+
     def quotas(self) -> dict[str, int]:
         """Current per-predicate critical values."""
         return self._policy.quotas()
@@ -329,6 +394,10 @@ class StreamSession:
         """
         if self._finished:
             raise ConfigurationError("session already finished")
+        if self._lifecycle != SESSION_RUNNING:
+            raise ConfigurationError(
+                f"cannot process clips in a {self._lifecycle} session"
+            )
         context = self._context
         if self._chunkable:
             # Static quotas, no probing, user evaluation order: the whole
@@ -453,6 +522,11 @@ class StreamSession:
 
     def finish(self) -> Any:
         """Close the stream and return the run's result."""
+        if self._lifecycle == SESSION_SNAPSHOTTED:
+            raise ConfigurationError(
+                "a snapshotted session is frozen; resume the captured "
+                "state in a new instance instead"
+            )
         if not self._finished:
             start = time.perf_counter()
             if self._pending is not None:
@@ -485,6 +559,7 @@ class StreamSession:
                     )
                 )
             self._finished = True
+            self._lifecycle = SESSION_CLOSED
             self._final_stats = self._context.snapshot()
         return self._predicate.build_result(
             video_id=self._video.video_id,
@@ -562,6 +637,8 @@ class StreamSession:
         self._chunk_buffer = []
         self._buffer_pos = 0
         self._buffer_short_circuit = None
+        self._lifecycle = SESSION_RUNNING
+        self._finished = False
         if "policy" in state:
             policy_state = state["policy"]
         else:
@@ -574,7 +651,9 @@ class StreamSession:
         cache = self._predicate.cache
         if cache_state is not None and cache is not None:
             cache.load_state_dict(cache_state)
-        self._assembler = SequenceAssembler.from_state_dict(state["assembler"])
+        self._assembler = SequenceAssembler.from_state_dict(
+            state["assembler"], on_emit=self._on_emit
+        )
         self._degraded_clips = [
             int(c) for c in state.get("degraded_clips", [])
         ]

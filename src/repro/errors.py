@@ -73,6 +73,15 @@ class QueryError(ReproError, ValueError):
     outside the deployed models' vocabularies)."""
 
 
+class AdmissionError(ReproError, RuntimeError):
+    """The streaming query service refused a registration.
+
+    Raised by per-tenant admission control when a tenant is at its
+    concurrent-query quota or has exhausted its model-unit budget.  The
+    message names the tenant and the limit that was hit; already-running
+    queries are never affected by an admission rejection."""
+
+
 class ScanStatisticsError(ReproError, ValueError):
     """Scan-statistics routines received out-of-domain parameters
     (probabilities outside (0, 1), non-positive window sizes, ...)."""

@@ -11,13 +11,14 @@ times may differ.
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
 
 from repro.core.config import OnlineConfig
 from repro.core.query import CompoundQuery, Query
-from repro.core.scheduler import MultiQueryScheduler
+from repro.core.scheduler import FleetRun, MultiQueryScheduler, QuerySpec
 from repro.core.session import StreamSession
 from repro.detectors.zoo import default_zoo
 from repro.video.model import VideoGeometry
@@ -195,3 +196,127 @@ class TestSharedCacheEquivalence:
                 shared_zoo.cost_meter.units(model)
                 + shared_zoo.cost_meter.cached_units(model)
             )
+
+
+@pytest.mark.parametrize("seed", [13, 29, 43])
+class TestFleetMigrationEquivalence:
+    """A fleet interrupted mid-stream and resumed in a fresh scheduler —
+    new process, new zoo objects — finishes with sequences, per-query
+    stats and model-unit accounting identical to the uninterrupted run.
+
+    One deliberate nuance: svaq sessions evaluate (and the cache charges)
+    whole chunks at a time, so a checkpoint taken *inside* a chunk has
+    already paid fresh units for the chunk's tail.  The resumed process
+    re-evaluates that tail through the restored charge state and meters
+    it as cache hits — the same no-double-charging contract as
+    ``test_restored_cache_does_not_recharge_fresh_units``.  At a chunk
+    boundary nothing is prepaid and *everything* matches bit-for-bit;
+    mid-chunk, only the fresh↔cached attribution may shift while logical
+    counters and total fresh units stay exact.
+    """
+
+    CHUNK = 4
+
+    def _specs(self, query):
+        return [
+            QuerySpec(
+                "static",
+                Query(objects=query.objects[:1], action="acting"),
+                algorithm="svaq",
+            ),
+            QuerySpec("dynamic", query, algorithm="svaqd"),
+        ]
+
+    def _run_split(self, video, specs, config, interrupt_at):
+        """Advance to ``interrupt_at``, checkpoint through JSON, resume in
+        a fresh empty fleet on a fresh zoo; returns (run, zoo_a, zoo_b)."""
+        zoo_a = default_zoo(seed=3)
+        fleet = MultiQueryScheduler(zoo_a, specs, config).start(video)
+        clips = ClipStream(video.meta)
+        for _ in range(interrupt_at):
+            fleet.advance([clips.next()])
+        state = json.loads(json.dumps(fleet.state_dict()))
+
+        zoo_b = default_zoo(seed=3)
+        resumed = FleetRun(zoo_b, video, config)
+        resumed.load_state_dict(state)
+        assert resumed.position == interrupt_at
+        assert resumed.live == ("static", "dynamic")
+        for clip in ClipStream(video.meta, start_clip=interrupt_at):
+            resumed.advance([clip])
+        return resumed.finish(), zoo_a, zoo_b
+
+    def test_boundary_snapshot_is_bit_identical(self, seed):
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        if video.meta.n_clips <= self.CHUNK:
+            pytest.skip("video too short for a chunk-boundary interrupt")
+        specs = self._specs(query)
+        config = OnlineConfig(cache_chunk_clips=self.CHUNK)
+        interrupt_at = max(
+            self.CHUNK, video.meta.n_clips // 2 // self.CHUNK * self.CHUNK
+        )
+
+        reference_zoo = default_zoo(seed=3)
+        reference = MultiQueryScheduler(
+            reference_zoo, specs, config
+        ).run(video)
+        run, zoo_a, zoo_b = self._run_split(
+            video, specs, config, interrupt_at
+        )
+
+        for name in ("static", "dynamic"):
+            assert run[name].sequences == reference[name].sequences
+            resumed_stats = run[name].stats.as_dict()
+            reference_stats = reference[name].stats.as_dict()
+            resumed_stats.pop("stage_wall_s")
+            reference_stats.pop("stage_wall_s")
+            assert resumed_stats == reference_stats
+        for model in (
+            reference_zoo.detector.name,
+            reference_zoo.recognizer.name,
+        ):
+            assert (
+                zoo_a.cost_meter.units(model) + zoo_b.cost_meter.units(model)
+            ) == reference_zoo.cost_meter.units(model)
+            assert (
+                zoo_a.cost_meter.cached_units(model)
+                + zoo_b.cost_meter.cached_units(model)
+            ) == reference_zoo.cost_meter.cached_units(model)
+
+    def test_mid_chunk_snapshot_conserves_fresh_units(self, seed):
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        specs = self._specs(query)
+        config = OnlineConfig(cache_chunk_clips=self.CHUNK)
+        interrupt_at = max(1, video.meta.n_clips // 2)
+        if interrupt_at % self.CHUNK == 0:
+            interrupt_at -= 1  # force a mid-chunk cut
+
+        reference_zoo = default_zoo(seed=3)
+        reference = MultiQueryScheduler(
+            reference_zoo, specs, config
+        ).run(video)
+        run, zoo_a, zoo_b = self._run_split(
+            video, specs, config, interrupt_at
+        )
+
+        for name in ("static", "dynamic"):
+            assert run[name].sequences == reference[name].sequences
+            resumed_stats = run[name].stats.as_dict()
+            reference_stats = reference[name].stats.as_dict()
+            # Fresh↔cached attribution may shift for the prepaid chunk
+            # tail; every logical counter must still match.
+            for field in (
+                "stage_wall_s", "detector_cache_hits",
+                "recognizer_cache_hits", "cache_hit_rate",
+            ):
+                resumed_stats.pop(field)
+                reference_stats.pop(field)
+            assert resumed_stats == reference_stats
+        # No clip's model work is ever charged fresh twice.
+        for model in (
+            reference_zoo.detector.name,
+            reference_zoo.recognizer.name,
+        ):
+            assert (
+                zoo_a.cost_meter.units(model) + zoo_b.cost_meter.units(model)
+            ) == reference_zoo.cost_meter.units(model)

@@ -9,12 +9,17 @@ from repro.core.context import ExecutionContext
 from repro.core.engine import OnlineEngine
 from repro.core.query import CompoundQuery, Query
 from repro.core.scheduler import (
+    FleetRun,
     MultiQueryScheduler,
     QuerySpec,
     as_specs,
+    spec_from_dict,
+    spec_to_dict,
 )
+from repro.core.session import StreamSession
 from repro.detectors.zoo import default_zoo
 from repro.errors import ConfigurationError
+from repro.video.stream import ClipStream
 from tests.conftest import make_kitchen_video
 
 VIDEO = make_kitchen_video(seed=41, duration_s=240.0, video_id="schedvid")
@@ -148,6 +153,150 @@ class TestSchedulerEquivalence:
         assert context.clips_processed == 3 * VIDEO.meta.n_clips
 
 
+class TestFleetMembership:
+    """Dynamic register/cancel between steps — the service's contract."""
+
+    def _suffix_reference(self, query, start_clip):
+        """The query run alone over the stream's suffix (what a query
+        registered at ``start_clip`` must observe)."""
+        session = StreamSession.for_query(
+            default_zoo(seed=3), query, VIDEO, OnlineConfig(), dynamic=True
+        )
+        for clip in ClipStream(VIDEO.meta, start_clip=start_clip):
+            session.process(clip)
+        return session.finish()
+
+    def test_register_mid_stream_observes_only_the_suffix(self):
+        fleet = FleetRun(default_zoo(seed=3), VIDEO, queries=[QUERIES[0]])
+        clips = ClipStream(VIDEO.meta)
+        join_at = VIDEO.meta.n_clips // 2
+        for _ in range(join_at):
+            fleet.advance([clips.next()])
+        late = fleet.register(QUERIES[1])
+        assert late == "q1"
+        assert fleet.live == ("q0", "q1")
+        while not clips.end():
+            fleet.advance([clips.next()])
+        run = fleet.finish()
+        reference = self._suffix_reference(QUERIES[1], join_at)
+        assert run[late].sequences == reference.sequences
+        assert run[late].evaluations == reference.evaluations
+
+    def test_cancel_mid_stream_returns_the_prefix(self):
+        fleet = FleetRun(
+            default_zoo(seed=3), VIDEO, queries=QUERIES[:2]
+        )
+        clips = ClipStream(VIDEO.meta)
+        cancel_at = VIDEO.meta.n_clips // 2
+        for _ in range(cancel_at):
+            fleet.advance([clips.next()])
+        cancelled = fleet.cancel("q0")
+        assert fleet.live == ("q1",)
+        while not clips.end():
+            fleet.advance([clips.next()])
+        run = fleet.finish()
+        # The cancelled result covers exactly the clips it saw...
+        prefix = StreamSession.for_query(
+            default_zoo(seed=3), QUERIES[0], VIDEO, OnlineConfig(),
+            dynamic=True,
+        )
+        for clip in ClipStream(VIDEO.meta, stop_clip=cancel_at):
+            prefix.process(clip)
+        reference = prefix.finish()
+        assert cancelled.sequences == reference.sequences
+        # ...and still appears in the final run, while the survivor's
+        # full-stream result is unaffected by the retirement.
+        assert run["q0"].sequences == cancelled.sequences
+        full = OnlineEngine(zoo=default_zoo(seed=3)).run(
+            QUERIES[1], VIDEO, "svaqd"
+        )
+        assert run["q1"].sequences == full.sequences
+
+    def test_names_stay_reserved_after_cancel(self):
+        fleet = FleetRun(default_zoo(seed=3), VIDEO, queries=QUERIES[:2])
+        fleet.advance([ClipStream(VIDEO.meta).next()])
+        fleet.cancel("q0")
+        with pytest.raises(ConfigurationError, match="retired"):
+            fleet.register(QuerySpec("q0", QUERIES[0]))
+        with pytest.raises(ConfigurationError, match="live"):
+            fleet.register(QuerySpec("q1", QUERIES[0]))
+        # Auto-naming skips both live and retired names.
+        assert fleet.register(QUERIES[2]) == "q2"
+
+    def test_advance_rejects_gaps_and_replays(self):
+        fleet = FleetRun(default_zoo(seed=3), VIDEO, queries=[QUERIES[0]])
+        stream = ClipStream(VIDEO.meta)
+        first = stream.next()
+        second = stream.next()
+        fleet.advance([first])
+        with pytest.raises(ConfigurationError, match="continue the stream"):
+            fleet.advance([first])  # replay
+        fleet.advance([second])
+        third = stream.next()
+        stream.next()
+        with pytest.raises(ConfigurationError, match="continue the stream"):
+            fleet.advance([ClipStream(VIDEO.meta, start_clip=4).next()])
+        fleet.advance([third])
+
+    def test_finished_fleet_rejects_everything(self):
+        fleet = FleetRun(default_zoo(seed=3), VIDEO, queries=[QUERIES[0]])
+        fleet.advance([ClipStream(VIDEO.meta).next()])
+        fleet.finish()
+        with pytest.raises(ConfigurationError, match="finished"):
+            fleet.register(QUERIES[1])
+        with pytest.raises(ConfigurationError, match="finished"):
+            fleet.advance([ClipStream(VIDEO.meta, start_clip=1).next()])
+        with pytest.raises(ConfigurationError, match="finished"):
+            fleet.state_dict()
+
+    def test_load_requires_a_fresh_run(self):
+        fleet = FleetRun(default_zoo(seed=3), VIDEO, queries=[QUERIES[0]])
+        state = fleet.state_dict()
+        occupied = FleetRun(default_zoo(seed=3), VIDEO, queries=[QUERIES[1]])
+        with pytest.raises(ConfigurationError, match="fresh"):
+            occupied.load_state_dict(state)
+        other_video = make_kitchen_video(
+            seed=42, duration_s=120.0, video_id="other"
+        )
+        mismatched = FleetRun(default_zoo(seed=3), other_video)
+        with pytest.raises(ConfigurationError, match="holds video"):
+            mismatched.load_state_dict(state)
+
+    def test_scheduler_run_with_bounded_stream_still_works(self):
+        scheduler = MultiQueryScheduler(default_zoo(seed=3), QUERIES[:1])
+        stream = ClipStream(VIDEO.meta, start_clip=3, stop_clip=20)
+        run = scheduler.run(VIDEO, stream=stream)
+        reference = self._suffix_reference_bounded(QUERIES[0], 3, 20)
+        assert run["q0"].sequences == reference.sequences
+
+    def _suffix_reference_bounded(self, query, start, stop):
+        session = StreamSession.for_query(
+            default_zoo(seed=3), query, VIDEO, OnlineConfig(), dynamic=True
+        )
+        for clip in ClipStream(VIDEO.meta, start_clip=start, stop_clip=stop):
+            session.process(clip)
+        return session.finish()
+
+
+class TestSpecSerialisation:
+    def test_plain_and_compound_specs_round_trip(self):
+        compound = CompoundQuery.disjunction(QUERIES[:2])
+        specs = [
+            QuerySpec("a", QUERIES[0], algorithm="svaq",
+                      k_crit_overrides={"faucet": 2}),
+            QuerySpec("b", compound, algorithm="svaqd"),
+        ]
+        for spec in specs:
+            restored = spec_from_dict(spec_to_dict(spec))
+            assert restored == spec
+
+    def test_unknown_payload_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown query"):
+            spec_from_dict(
+                {"name": "x", "query": {"type": "mystery"}}
+            )
+
+
 class TestEngineFacade:
     def test_run_queries(self):
         engine = OnlineEngine(zoo=default_zoo(seed=3))
@@ -178,6 +327,19 @@ class TestEngineFacade:
         assert context.clips_processed == sum(
             3 * v.meta.n_clips for v in videos
         )
+
+    def test_start_queries_returns_a_steppable_fleet(self):
+        engine = OnlineEngine(zoo=default_zoo(seed=3))
+        fleet = engine.start_queries([], VIDEO)
+        assert fleet.live == ()
+        fleet.register(QUERIES[0])
+        for clip in ClipStream(VIDEO.meta):
+            fleet.advance([clip])
+        run = fleet.finish()
+        reference = OnlineEngine(zoo=default_zoo(seed=3)).run_queries(
+            QUERIES[:1], VIDEO
+        )
+        assert run["q0"].sequences == reference["q0"].sequences
 
     def test_run_queries_many_rejects_unknown_executor(self):
         engine = OnlineEngine(zoo=default_zoo(seed=3))

@@ -9,7 +9,14 @@ import pytest
 from repro.core.compound import CompoundOnline
 from repro.core.config import OnlineConfig
 from repro.core.query import CompoundQuery, Query
-from repro.core.session import StreamSession, SvaqdSession
+from repro.core.session import (
+    SESSION_CLOSED,
+    SESSION_DRAINING,
+    SESSION_RUNNING,
+    SESSION_SNAPSHOTTED,
+    StreamSession,
+    SvaqdSession,
+)
 from repro.core.svaq import SVAQ
 from repro.core.svaqd import SVAQD
 from repro.errors import ConfigurationError
@@ -207,6 +214,88 @@ class TestSessionLifecycle:
         session = SvaqdSession(zoo, QUERY, VIDEO, OnlineConfig())
         quotas = session.quotas()
         assert set(quotas) == {"faucet", "washing dishes"}
+
+
+class TestLifecycleStates:
+    """RUNNING → DRAINING → CLOSED, with SNAPSHOTTED as the frozen exit."""
+
+    def _running(self, zoo, clips=5):
+        stream = ClipStream(VIDEO.meta)
+        session = StreamSession.for_query(
+            zoo, QUERY, VIDEO, OnlineConfig(), dynamic=True
+        )
+        for _ in range(clips):
+            session.process(stream.next())
+        return session, stream
+
+    def test_happy_path_transitions(self, zoo):
+        session, _ = self._running(zoo)
+        assert session.lifecycle == SESSION_RUNNING
+        session.drain()
+        assert session.lifecycle == SESSION_DRAINING
+        session.drain()  # idempotent
+        session.finish()
+        assert session.lifecycle == SESSION_CLOSED
+
+    def test_draining_session_rejects_clips_but_finishes(self, zoo):
+        session, stream = self._running(zoo)
+        session.drain()
+        with pytest.raises(ConfigurationError, match="draining"):
+            session.process(stream.next())
+        assert session.finish().sequences is not None
+
+    def test_snapshotted_session_is_frozen(self, zoo):
+        session, stream = self._running(zoo)
+        session.state_dict()
+        session.mark_snapshotted()
+        assert session.lifecycle == SESSION_SNAPSHOTTED
+        with pytest.raises(ConfigurationError, match="snapshotted"):
+            session.process(stream.next())
+        with pytest.raises(ConfigurationError, match="frozen"):
+            session.finish()
+        with pytest.raises(ConfigurationError, match="cannot drain"):
+            session.drain()
+
+    def test_cannot_snapshot_a_closed_session(self, zoo):
+        session, _ = self._running(zoo)
+        session.finish()
+        with pytest.raises(ConfigurationError, match="finished"):
+            session.mark_snapshotted()
+
+    def test_emit_callback_fires_per_closed_sequence(self, zoo):
+        emitted = []
+        stream = ClipStream(VIDEO.meta)
+        session = StreamSession.for_query(
+            zoo, QUERY, VIDEO, OnlineConfig(), dynamic=True
+        )
+        session.set_emit_callback(emitted.append)
+        while not stream.end():
+            session.process(stream.next())
+        result = session.finish()
+        assert [
+            (iv.start, iv.end) for iv in emitted
+        ] == result.sequences.as_tuples()
+
+    def test_restored_sequences_are_not_re_emitted(self, zoo):
+        session, stream = self._running(zoo, clips=15)
+        state = json.loads(json.dumps(session.state_dict()))
+
+        from repro.detectors.zoo import default_zoo
+
+        resumed = StreamSession.for_query(
+            default_zoo(seed=3), QUERY, VIDEO, OnlineConfig(), dynamic=True
+        )
+        resumed.load_state_dict(state)
+        emitted = []
+        resumed.set_emit_callback(emitted.append)
+        while not stream.end():
+            resumed.process(stream.next())
+        result = resumed.finish()
+        total = result.sequences.as_tuples()
+        # The callback saw only the post-restore suffix, yet the final
+        # result still carries every sequence of the run.
+        suffix = [(iv.start, iv.end) for iv in emitted]
+        assert suffix == total[len(total) - len(suffix):]
 
 
 class TestSvaqdDelegation:

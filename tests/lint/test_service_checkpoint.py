@@ -1,0 +1,71 @@
+"""RL002 guards the service layer's checkpoint surface.
+
+The migration bundle is only as complete as each component's
+``state_dict`` — a field added to a service class but forgotten in its
+checkpoint silently breaks resume.  These tests pin the contract from
+both sides: the shipped service/scheduler modules pass RL002 as written,
+and the rule demonstrably *fires* when a stateful service-shaped class
+grows an attribute its checkpoint does not cover.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.runner import all_rules, lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RL002 = {"RL002": all_rules()["RL002"]}
+
+
+class TestShippedModulesClean:
+    def test_service_layer_passes_checkpoint_completeness(self):
+        report = lint_paths(
+            [
+                REPO_ROOT / "src" / "repro" / "service",
+                REPO_ROOT / "src" / "repro" / "core" / "scheduler.py",
+            ],
+            select=["RL002"],
+        )
+        assert report.parse_errors == []
+        assert [str(f) for f in report.findings] == []
+
+
+class TestRuleFiresOnServiceShapedClasses:
+    def test_uncovered_attribute_is_flagged(self):
+        source = (
+            "class BrokenRegistry:\n"
+            "    def __init__(self):\n"
+            "        self._entries = {}\n"
+            "        self._watchers = []\n"
+            "\n"
+            "    def state_dict(self):\n"
+            "        return {'entries': dict(self._entries)}\n"
+            "\n"
+            "    def load_state_dict(self, state):\n"
+            "        self._entries = dict(state['entries'])\n"
+        )
+        findings = lint_source(
+            "src/repro/service/broken_registry.py", source, rules=RL002
+        )
+        assert [f.code for f in findings] == ["RL002"]
+        assert "_watchers" in findings[0].message
+
+    def test_exclude_list_documents_the_gap(self):
+        source = (
+            "class CoveredRegistry:\n"
+            "    _CHECKPOINT_EXCLUDE = frozenset({'_watchers'})\n"
+            "\n"
+            "    def __init__(self):\n"
+            "        self._entries = {}\n"
+            "        self._watchers = []\n"
+            "\n"
+            "    def state_dict(self):\n"
+            "        return {'entries': dict(self._entries)}\n"
+            "\n"
+            "    def load_state_dict(self, state):\n"
+            "        self._entries = dict(state['entries'])\n"
+        )
+        assert lint_source(
+            "src/repro/service/covered.py", source, rules=RL002
+        ) == []
