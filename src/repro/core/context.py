@@ -27,6 +27,12 @@ from typing import Iterator, Mapping
 STAGE_EVALUATE = "evaluate"
 STAGE_QUOTAS = "quotas"
 STAGE_ASSEMBLE = "assemble"
+#: Sub-stages of the dynamic-quota path (SVAQD / compound): the
+#: exponential-kernel estimator fold and the ``k_crit`` table refresh.
+#: Both are contained within ``STAGE_QUOTAS``' wall time — they break the
+#: quota stage down, they do not add to the pipeline total.
+STAGE_ESTIMATOR = "estimator"
+STAGE_REFRESH = "refresh"
 
 
 @dataclass(frozen=True)
@@ -52,6 +58,10 @@ class ExecutionStats:
     predicates_evaluated: int = 0
     predicates_skipped: int = 0
     quota_refreshes: int = 0
+    #: Per-label ``k_crit`` recomputations avoided because the rate
+    #: estimate stayed inside its last quantised bucket (the incremental
+    #: refresh fast path) — the dynamic-path analogue of a cache hit.
+    refresh_skipped: int = 0
     sequences_emitted: int = 0
     #: Fault-tolerance accounting: failed attempts that were retried, of
     #: which how many were deadline timeouts, and invocations whose retry
@@ -105,6 +115,7 @@ class ExecutionStats:
             "predicates_skipped": self.predicates_skipped,
             "short_circuit_savings": self.short_circuit_savings,
             "quota_refreshes": self.quota_refreshes,
+            "refresh_skipped": self.refresh_skipped,
             "sequences_emitted": self.sequences_emitted,
             "model_retries": self.model_retries,
             "model_timeouts": self.model_timeouts,
@@ -130,7 +141,7 @@ class ExecutionStats:
                 "detector_invocations", "recognizer_invocations",
                 "detector_cache_hits", "recognizer_cache_hits",
                 "predicates_evaluated", "predicates_skipped",
-                "quota_refreshes", "sequences_emitted",
+                "quota_refreshes", "refresh_skipped", "sequences_emitted",
                 "model_retries", "model_timeouts", "model_giveups",
                 "predicates_degraded", "clips_degraded",
                 "sequences_degraded",
@@ -162,7 +173,8 @@ class ExecutionStats:
             f"  predicates evaluated : {self.predicates_evaluated}",
             f"  predicates skipped   : {self.predicates_skipped}"
             f" (short-circuit savings {self.short_circuit_savings:.1%})",
-            f"  quota refreshes      : {self.quota_refreshes}",
+            f"  quota refreshes      : {self.quota_refreshes}"
+            f" ({self.refresh_skipped} label lookups skipped)",
             f"  sequences emitted    : {self.sequences_emitted}",
         ]
         if (
@@ -196,6 +208,7 @@ class ExecutionContext:
     predicates_evaluated: int = 0
     predicates_skipped: int = 0
     quota_refreshes: int = 0
+    refresh_skipped: int = 0
     sequences_emitted: int = 0
     model_retries: int = 0
     model_timeouts: int = 0
@@ -264,6 +277,7 @@ class ExecutionContext:
         self.predicates_evaluated += other.predicates_evaluated
         self.predicates_skipped += other.predicates_skipped
         self.quota_refreshes += other.quota_refreshes
+        self.refresh_skipped += other.refresh_skipped
         self.sequences_emitted += other.sequences_emitted
         self.model_retries += other.model_retries
         self.model_timeouts += other.model_timeouts
@@ -296,6 +310,7 @@ class ExecutionContext:
         self.predicates_evaluated = stats.predicates_evaluated
         self.predicates_skipped = stats.predicates_skipped
         self.quota_refreshes = stats.quota_refreshes
+        self.refresh_skipped = stats.refresh_skipped
         self.sequences_emitted = stats.sequences_emitted
         self.model_retries = stats.model_retries
         self.model_timeouts = stats.model_timeouts
@@ -323,6 +338,7 @@ class ExecutionContext:
             predicates_evaluated=self.predicates_evaluated,
             predicates_skipped=self.predicates_skipped,
             quota_refreshes=self.quota_refreshes,
+            refresh_skipped=self.refresh_skipped,
             sequences_emitted=self.sequences_emitted,
             model_retries=self.model_retries,
             model_timeouts=self.model_timeouts,

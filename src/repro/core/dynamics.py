@@ -7,22 +7,68 @@ estimator (§3.3) plus the critical-value tables for the detection quota
 ``alpha_background``).  The update policy — which clips count as null data
 — is documented on :meth:`QuotaManager.update`; SVAQD (Algorithm 3) and
 :class:`repro.core.compound.CompoundOnline` drive it identically.
+
+The estimators live in a :class:`repro.scanstats.kernel.KernelRateBank`
+(columnar NumPy state, one vectorised Eq. 6 pass per chunk) with
+:class:`~repro.scanstats.kernel.BankedRateEstimator` views in each
+tracker, and quota refresh is *incremental*: every tracker remembers the
+open probability interval of its last quantised bucket and skips the
+``log10``/table pass entirely while its rate stays strictly inside —
+``refresh_all`` is O(labels-that-moved) per clip instead of O(labels).
+Both changes are bit-identical to the scalar reference path (the
+equivalence suites pin this).
+
+A manager normally owns a private bank; a
+:class:`repro.core.ratebook.SharedRateBook` can instead allocate its rows
+inside one fleet-wide bank and register itself as the manager's *sink*, in
+which case :meth:`update` enqueues the composed per-clip arrays for the
+book's single end-of-clip flush rather than applying them immediately.
 """
 
 from __future__ import annotations
 
 import importlib
+import math
+import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, cast
 
 import numpy as np
 
 from repro.core.config import OnlineConfig
+from repro.core.context import STAGE_ESTIMATOR, STAGE_REFRESH
 from repro.core.indicators import PredicateOutcome
+from repro.errors import ConfigurationError
 from repro.scanstats.critical import CriticalValueTable
-from repro.scanstats.kernel import KernelRateEstimator
+from repro.scanstats.kernel import (
+    BankedRateEstimator,
+    KernelRateBank,
+    KernelRateEstimator,
+)
 from repro.video.model import VideoGeometry
 from repro._typing import StateDict
+
+if TYPE_CHECKING:
+    from repro.core.context import ExecutionContext
+
+
+class RateUpdateSink(Protocol):
+    """Receiver for deferred per-clip estimator updates.
+
+    A fleet-level rate book implements this to collect every member
+    manager's composed update arrays and fold them into the shared bank in
+    one vectorised pass per clip (after all sessions have read the
+    pre-update quotas — the same read-then-update cadence a serial session
+    has).
+    """
+
+    def enqueue(
+        self,
+        manager: "QuotaManager",
+        counts: np.ndarray,
+        units: np.ndarray,
+        fold: np.ndarray,
+    ) -> None: ...
 
 
 @dataclass
@@ -34,7 +80,7 @@ class PredicateTracker:
     trusted as null data for the estimator.
     """
 
-    estimator: KernelRateEstimator
+    estimator: KernelRateEstimator | BankedRateEstimator
     table: CriticalValueTable
     bg_table: CriticalValueTable
     k_crit: int = 0
@@ -51,10 +97,26 @@ class QuotaManager:
 
     #: Not checkpointed (RL002): rebuilt from constructor arguments — the
     #: caller reconstructs the manager with the same labels/geometry/config
-    #: before ``load_state_dict``, and the tracker list / bucket-uniformity
-    #: flag are derived from that construction, not from online state.
+    #: before ``load_state_dict``, and the tracker list, bank wiring,
+    #: bucket-skip memo and accounting hooks are all derived state.  The
+    #: estimator payload itself rides in ``state_dict()["estimators"]``
+    #: whether the rows live in a bank or in scalar estimators.
     _CHECKPOINT_EXCLUDE = frozenset(
-        {"_config", "_tracker_list", "_uniform_buckets"}
+        {
+            "_config",
+            "_tracker_list",
+            "_uniform_buckets",
+            "_bank",
+            "_row0",
+            "_banked",
+            "_private_bank",
+            "_label_index",
+            "_sink",
+            "_context",
+            "_rate_lo",
+            "_rate_hi",
+            "refresh_skipped",
+        }
     )
 
     def __init__(
@@ -63,6 +125,8 @@ class QuotaManager:
         action_labels: Iterable[str],
         geometry: VideoGeometry,
         config: OnlineConfig,
+        *,
+        bank: KernelRateBank | None = None,
     ) -> None:
         self._config = config
         frames_per_clip = geometry.frames_per_clip
@@ -89,6 +153,9 @@ class QuotaManager:
                 n=shot_horizon,
             )
         self._tracker_list = list(self._trackers.values())
+        self._label_index = {
+            label: i for i, label in enumerate(self._trackers)
+        }
         # The vectorised refresh quantises every rate in one pass, which is
         # only valid when all tables share one bucketing (they do, unless a
         # caller swaps in tables with custom resolution/p_floor).
@@ -98,12 +165,41 @@ class QuotaManager:
             for t in (tracker.table, tracker.bg_table)
         }
         self._uniform_buckets = len(quantisations) <= 1
+        # Move the estimators into a bank: a private one by default, or the
+        # caller's shared bank (fleet rate sharing).  Trackers keep live
+        # row views, so `tracker.estimator` stays a full estimator API.
+        self._private_bank = bank is None
+        self._bank = bank if bank is not None else KernelRateBank()
+        rows = self._bank.extend(
+            cast(
+                "list[KernelRateEstimator]",
+                [t.estimator for t in self._tracker_list],
+            )
+        )
+        self._row0 = rows.start
+        for offset, tracker in enumerate(self._tracker_list):
+            tracker.estimator = BankedRateEstimator(
+                self._bank, self._row0 + offset
+            )
+        self._banked = True
+        self._sink: RateUpdateSink | None = None
+        self._context: "ExecutionContext | None" = None
+        #: Open interval of each tracker's last quantised bucket; a rate
+        #: strictly inside skips the ``log10``/table pass on refresh.
+        #: Plain lists — per-manager tracker counts are small, and scalar
+        #: reads beat NumPy indexing at this size.
+        self._rate_lo: list[float] = [math.inf] * len(self._tracker_list)
+        self._rate_hi: list[float] = [-math.inf] * len(self._tracker_list)
+        #: Label lookups skipped by the bucket-skip fast path (observable
+        #: per manager; also mirrored into the attached context).
+        self.refresh_skipped = 0
+        self.refresh_all()
 
     def _make_tracker(
         self, bandwidth: float, initial_p: float, w: int, n: int
     ) -> PredicateTracker:
         burstiness = self._config.markov_burstiness
-        tracker = PredicateTracker(
+        return PredicateTracker(
             estimator=KernelRateEstimator(bandwidth=bandwidth, initial_p=initial_p),
             table=CriticalValueTable(
                 w=w, n=n, alpha=self._config.alpha, burstiness=burstiness
@@ -113,8 +209,36 @@ class QuotaManager:
                 burstiness=burstiness,
             ),
         )
-        tracker.refresh()
-        return tracker
+
+    # -- wiring ------------------------------------------------------------------
+
+    @property
+    def bank(self) -> KernelRateBank:
+        """The bank holding this manager's estimator rows."""
+        return self._bank
+
+    @property
+    def bank_rows(self) -> range:
+        """This manager's row span inside :attr:`bank`."""
+        return range(self._row0, self._row0 + len(self._tracker_list))
+
+    def set_sink(self, sink: RateUpdateSink | None) -> None:
+        """Defer updates to ``sink`` (``None`` = apply immediately).
+
+        Switching modes invalidates the bucket-skip memo: while deferred,
+        quota refresh belongs to the sink, so the local memo may be stale.
+        """
+        self._sink = sink
+        self._invalidate_skip()
+
+    def set_context(self, context: "ExecutionContext | None") -> None:
+        """Attach the execution context charged for estimator/refresh time."""
+        self._context = context
+
+    def _invalidate_skip(self) -> None:
+        n = len(self._tracker_list)
+        self._rate_lo = [math.inf] * n
+        self._rate_hi = [-math.inf] * n
 
     # -- queries -----------------------------------------------------------------
 
@@ -132,25 +256,39 @@ class QuotaManager:
     def refresh_all(self) -> None:
         """Refresh every tracker's quotas from its current rate estimate.
 
-        When every table shares one quantisation, all rates are bucketed in
-        a single :meth:`CriticalValueTable.buckets_of` pass and each bucket
-        resolves through the per-table memo — the same values
-        ``tracker.refresh()`` would produce one by one, and ``table`` /
-        ``bg_table`` reuse the shared bucket.
+        The fast path is incremental: a tracker whose rate is still
+        strictly inside its last bucket's safe interval
+        (:meth:`~repro.scanstats.critical.CriticalValueTable.bucket_bounds`)
+        keeps its quotas without touching ``log10`` or the table memo —
+        the same values ``tracker.refresh()`` would produce, because
+        within a bucket the table is constant by construction.  Managers
+        with non-uniform table quantisation (or demoted to scalar
+        estimators by a custom-class checkpoint) take the per-tracker
+        reference path on live tracker state.
         """
         trackers = self._tracker_list
-        if not self._uniform_buckets or len(trackers) < 2:
+        if not self._banked or not self._uniform_buckets:
             for tracker in trackers:
                 tracker.refresh()
+            # Quotas may have come from swapped-in tables; the skip memo
+            # no longer describes them.
+            self._invalidate_skip()
             return
-        rates = np.array(
-            [tracker.estimator.rate for tracker in trackers], dtype=float
-        )
-        buckets = trackers[0].table.buckets_of(rates)
-        for tracker, bucket in zip(trackers, buckets):
-            b = int(bucket)
-            tracker.k_crit = tracker.table.lookup_bucket(b)
-            tracker.k_bg = tracker.bg_table.lookup_bucket(b)
+        rate_lo = self._rate_lo
+        rate_hi = self._rate_hi
+        skipped = 0
+        for i, tracker in enumerate(trackers):
+            rate = tracker.estimator.rate
+            if rate_lo[i] < rate < rate_hi[i]:
+                skipped += 1
+                continue
+            bucket = tracker.table.bucket_of(rate)
+            tracker.k_crit = tracker.table.lookup_bucket(bucket)
+            tracker.k_bg = tracker.bg_table.lookup_bucket(bucket)
+            rate_lo[i], rate_hi[i] = tracker.table.bucket_bounds(bucket)
+        self.refresh_skipped += skipped
+        if self._context is not None:
+            self._context.refresh_skipped += skipped
 
     def labels(self) -> tuple[str, ...]:
         """Tracked predicate labels, in registration order."""
@@ -164,34 +302,71 @@ class QuotaManager:
         Each entry records the estimator *class* alongside its state so
         that restore rebuilds whatever estimator type was deployed — not a
         hardcoded default — and a checkpoint written with a custom
-        estimator round-trips faithfully.
+        estimator round-trips faithfully.  Bank rows serialise through
+        their views in the scalar interchange format, so banked and
+        scalar checkpoints are byte-compatible.
         """
         return {
             "estimators": {
                 label: {
-                    "class": _class_path(type(tracker.estimator)),
+                    "class": _class_path(self._estimator_class(tracker)),
                     "state": tracker.estimator.state_dict(),
                 }
                 for label, tracker in self._trackers.items()
             }
         }
 
+    @staticmethod
+    def _estimator_class(tracker: PredicateTracker) -> type:
+        cls = type(tracker.estimator)
+        # A bank-row view is an implementation detail of *this* process;
+        # checkpoints name the interchange class it restores as.
+        return KernelRateEstimator if cls is BankedRateEstimator else cls
+
     def load_state_dict(self, state: StateDict) -> None:
         """Restore estimator states from :meth:`state_dict` output.
 
         Entries without a ``class`` tag (checkpoints from before the tag
-        existed) restore as :class:`~repro.scanstats.kernel.KernelRateEstimator`.
+        existed) restore as :class:`~repro.scanstats.kernel.KernelRateEstimator`
+        and land back in the bank rows.  A checkpoint carrying a *custom*
+        estimator class demotes the whole manager to the scalar reference
+        path (the bank cannot hold foreign estimator types) — which is
+        fine for a private manager but refused when the rows live in a
+        shared fleet bank, since other queries read them.
         """
+        resolved: dict[str, tuple[type, StateDict]] = {}
         for label, entry in state["estimators"].items():
-            tracker = self._trackers[label]
             if "class" in entry:
-                estimator_cls = _resolve_class(entry["class"])
-                estimator_state = entry["state"]
+                resolved[label] = (_resolve_class(entry["class"]), entry["state"])
             else:
-                estimator_cls = KernelRateEstimator
-                estimator_state = entry
-            tracker.estimator = estimator_cls.from_state_dict(estimator_state)
-            tracker.refresh()
+                resolved[label] = (KernelRateEstimator, entry)
+        custom = {
+            label
+            for label, (cls, _) in resolved.items()
+            if cls is not KernelRateEstimator
+        }
+        if custom and not self._private_bank:
+            raise ConfigurationError(
+                f"checkpoint restores custom estimator classes for "
+                f"{sorted(custom)} but this manager shares a fleet rate "
+                f"bank; disable rate sharing to restore it"
+            )
+        if custom:
+            # Demote: every tracker gets a standalone estimator and the
+            # (now stale) private bank rows are abandoned.
+            self._banked = False
+            for label, (cls, est_state) in resolved.items():
+                tracker = self._trackers[label]
+                tracker.estimator = cls.from_state_dict(est_state)
+                tracker.refresh()
+            return
+        for label, (_, est_state) in resolved.items():
+            tracker = self._trackers[label]
+            self._bank.load_row(
+                self._row0 + self._label_index[label], est_state
+            )
+        self._invalidate_skip()
+        self.refresh_all()
 
     # -- updates -----------------------------------------------------------------
 
@@ -211,16 +386,99 @@ class QuotaManager:
         adjacent to a detection (``in_guard_band``).  Everything else —
         including short-circuit-skipped predicates — advances the
         estimator clock with rate-preserving imputation.
+
+        With a sink attached the composed update is enqueued for the
+        sink's end-of-clip flush instead of applied here.
         """
+        if not self._banked:
+            self._update_reference(
+                outcomes, positive=positive, in_guard_band=in_guard_band
+            )
+            return
+        counts, units, fold = self._compose_update(
+            outcomes, positive=positive, in_guard_band=in_guard_band
+        )
+        if self._sink is not None:
+            self._sink.enqueue(self, counts, units, fold)
+            return
+        self._apply_and_refresh(counts, units, fold)
+
+    def _compose_update(
+        self,
+        outcomes: Mapping[str, PredicateOutcome],
+        *,
+        positive: bool,
+        in_guard_band: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One clip's outcomes as per-tracker (counts, units, fold) arrays."""
         policy = self._config.update_on
-        for label, tracker in self._trackers.items():
+        n = len(self._tracker_list)
+        counts = np.zeros(n, dtype=np.int64)
+        units = np.zeros(n, dtype=np.int64)
+        fold_arr = np.zeros(n, dtype=bool)
+        for i, (label, tracker) in enumerate(self._trackers.items()):
             outcome = outcomes.get(label)
             if outcome is not None and outcome.evaluated:
+                units[i] = outcome.units
                 if outcome.degraded:
                     # hold_last_estimate: replayed counts are not fresh
                     # evidence — a flapping detector must not poison the
                     # background estimate (Eq. 6), so the clock advances
                     # with rate-preserving imputation instead.
+                    continue
+                if policy == "all":
+                    fold = True
+                elif policy == "positive":
+                    fold = positive
+                else:
+                    fold = not in_guard_band and not positive
+                if fold:
+                    fold_arr[i] = True
+                    counts[i] = outcome.count
+            else:
+                units[i] = tracker.table.w
+        return counts, units, fold_arr
+
+    def _apply_and_refresh(
+        self, counts: np.ndarray, units: np.ndarray, fold: np.ndarray
+    ) -> None:
+        """Apply one composed update to this manager's rows and refresh."""
+        start = time.perf_counter()
+        if self._private_bank:
+            self._bank.apply(counts, units, fold)
+        else:
+            # Immediate mode on a shared bank (post-seal / detached
+            # stragglers): touch only this manager's row span.
+            row0 = self._row0
+            for i in range(len(self._tracker_list)):
+                total = int(units[i])
+                if total == 0:
+                    continue
+                if fold[i]:
+                    self._bank.observe_batch_row(row0 + i, int(counts[i]), total)
+                else:
+                    self._bank.advance_row(row0 + i, total)
+        mid = time.perf_counter()
+        self.refresh_all()
+        if self._context is not None:
+            self._context.add_stage_time(STAGE_ESTIMATOR, mid - start)
+            self._context.add_stage_time(
+                STAGE_REFRESH, time.perf_counter() - mid
+            )
+
+    def _update_reference(
+        self,
+        outcomes: Mapping[str, PredicateOutcome],
+        *,
+        positive: bool,
+        in_guard_band: bool,
+    ) -> None:
+        """The scalar reference update (managers demoted off the bank)."""
+        policy = self._config.update_on
+        for label, tracker in self._trackers.items():
+            outcome = outcomes.get(label)
+            if outcome is not None and outcome.evaluated:
+                if outcome.degraded:
                     tracker.estimator.advance(outcome.units)
                     continue
                 if policy == "all":

@@ -18,7 +18,7 @@ SVAQD alone.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.config import OnlineConfig
 from repro.core.dynamics import QuotaManager
@@ -27,6 +27,9 @@ from repro.errors import ConfigurationError
 from repro.scanstats.critical import critical_value
 from repro.video.model import VideoGeometry
 from repro._typing import StateDict
+
+if TYPE_CHECKING:
+    from repro.core.context import ExecutionContext
 
 
 def derive_static_quotas(
@@ -103,6 +106,14 @@ class QuotaPolicy(ABC):
     def rates(self) -> Mapping[str, float]:
         """Current background-probability estimates ({} when static)."""
         return {}
+
+    def attach_context(self, context: "ExecutionContext") -> None:
+        """Wire the session's execution context into the policy.
+
+        Dynamic policies charge estimator/refresh wall time and
+        bucket-skip counters to it; static policies have nothing to
+        report, so the default is a no-op.
+        """
 
     @abstractmethod
     def state_dict(self) -> StateDict:
@@ -269,6 +280,9 @@ class DynamicQuotaPolicy(QuotaPolicy):
     @property
     def manager(self) -> QuotaManager:
         return self._manager
+
+    def attach_context(self, context: "ExecutionContext") -> None:
+        self._manager.set_context(context)
 
     def quotas(self) -> dict[str, int]:
         return self._manager.quotas()

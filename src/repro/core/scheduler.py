@@ -38,12 +38,19 @@ of :meth:`repro.core.engine.OnlineEngine.run_many`.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.config import OnlineConfig
-from repro.core.context import ExecutionContext, ExecutionStats
+from repro.core.context import (
+    STAGE_ESTIMATOR,
+    STAGE_REFRESH,
+    ExecutionContext,
+    ExecutionStats,
+)
 from repro.core.query import CompoundQuery, Query
+from repro.core.ratebook import SharedRateBook
 from repro.core.session import StreamSession
 from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.zoo import ModelZoo
@@ -64,8 +71,11 @@ __all__ = [
     "spec_from_dict",
 ]
 
-#: Format tag of :meth:`FleetRun.state_dict` bundles.
-FLEET_STATE_VERSION = 1
+#: Format tag of :meth:`FleetRun.state_dict` bundles.  Version 2 adds the
+#: shared rate book's grouping table; version-1 bundles still load, with
+#: rate sharing disabled for the restored fleet (a perf-only downgrade —
+#: results are identical either way).
+FLEET_STATE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -246,10 +256,12 @@ class FleetRun:
     #: (cancelled queries) — deliberately not migrated: a migration bundle
     #: carries live state, delivered results belong to the client.
     #: ``_finished`` is process-local (a restored fleet is live by
-    #: definition).
+    #: definition).  ``_rate_book`` checkpoints only its grouping table
+    #: (under the ``rate_book`` key) — the shared estimator payloads ride
+    #: inside each member session's own checkpoint.
     _CHECKPOINT_EXCLUDE = frozenset(
         {"_zoo", "_video", "_config", "_cache", "_sessions", "_contexts",
-         "_results", "_finished"}
+         "_results", "_finished", "_rate_book"}
     )
 
     def __init__(
@@ -268,6 +280,17 @@ class FleetRun:
         if cache is None and self._config.cache_detections:
             cache = DetectionScoreCache.for_video(zoo, video, self._config)
         self._cache = cache
+        # The estimator-side analogue of the detection cache: SVAQD
+        # sessions with identical query shape registered at the same
+        # stream position share one rate series and quota refresh.
+        # Fault tolerance can degrade clips per session, breaking the
+        # identical-outcomes premise, so sharing disarms with it.
+        self._rate_book = (
+            SharedRateBook()
+            if self._config.share_rate_estimates
+            and not self._config.fault_tolerant
+            else None
+        )
         self._sessions: dict[str, StreamSession] = {}
         self._specs: dict[str, QuerySpec] = {}
         self._contexts: dict[str, ExecutionContext] = {}
@@ -294,6 +317,13 @@ class FleetRun:
     def live(self) -> tuple[str, ...]:
         """Names of the currently-registered (non-retired) queries."""
         return tuple(self._sessions)
+
+    def rate_book_stats(self) -> dict[str, float] | None:
+        """Sharing counters of the fleet's rate book (``None`` when
+        sharing is off — disabled by config or armed fault tolerance)."""
+        if self._rate_book is None:
+            return None
+        return self._rate_book.stats()
 
     @property
     def specs(self) -> tuple[QuerySpec, ...]:
@@ -393,13 +423,34 @@ class FleetRun:
             if isinstance(spec.query, CompoundQuery)
             else StreamSession.for_query
         )
+        rate_book = self._rate_book if dynamic else None
+        share_key = (
+            (spec.name, self._share_group_key(spec))
+            if rate_book is not None
+            else None
+        )
         return builder(
             self._zoo, spec.query, self._video, self._config,
             dynamic=dynamic,
             k_crit_overrides=spec.k_crit_overrides,
             context=ExecutionContext(),
             cache=self._cache,
+            rate_book=rate_book,
+            share_key=share_key,
         )
+
+    def _share_group_key(self, spec: QuerySpec) -> str:
+        """Rate-sharing equivalence class of one spec.
+
+        The canonical spec payload *minus the name* (identical queries
+        share regardless of what they're called), plus the registration
+        position: a query admitted mid-stream has a younger estimator
+        clock than one admitted at clip 0, so they must not share even
+        when their shapes match.
+        """
+        payload = spec_to_dict(spec)
+        del payload["name"]
+        return f"{json.dumps(payload, sort_keys=True)}@{self._position}"
 
     def cancel(self, name: str) -> Any:
         """Retire one live query and return its result so far.
@@ -410,6 +461,13 @@ class FleetRun:
         name stays reserved for the lifetime of the run.
         """
         session = self.session(name)
+        if self._rate_book is not None:
+            # Pending shared updates are empty between steps (every
+            # advance ends with a flush); this is cheap insurance.  The
+            # release detaches the query onto a private rate series so its
+            # finish sequence below cannot touch surviving members.
+            self._rate_book.flush()
+            self._rate_book.release(name)
         session.drain()
         result = session.finish()
         self._results[name] = result
@@ -442,6 +500,11 @@ class FleetRun:
                 )
             for session in self._sessions.values():
                 session.process(clip, short_circuit=short_circuit)
+            if self._rate_book is not None:
+                # After every member read this clip's quotas: fold all
+                # shared estimator updates in one vectorised pass — the
+                # serial read-then-update cadence, paid once per group.
+                self._rate_book.flush()
             self._position += 1
 
     def finish(
@@ -456,6 +519,20 @@ class FleetRun:
         result.
         """
         if not self._finished:
+            if self._rate_book is not None:
+                # Owners finish first (they registered first), so sealing
+                # to immediate mode lets each group's final quota update
+                # land on the shared rows before later members read their
+                # final rates — exactly the serial finish sequence.
+                self._rate_book.seal()
+                # The book's fold/refresh wall time belongs to no single
+                # query context, so itemise it on the fleet's shared cost
+                # meter next to the inference charges.
+                meter = self._zoo.cost_meter
+                meter.record_stage(
+                    STAGE_ESTIMATOR, self._rate_book.estimator_s
+                )
+                meter.record_stage(STAGE_REFRESH, self._rate_book.refresh_s)
             for name in list(self._sessions):
                 session = self._sessions.pop(name)
                 session.drain()
@@ -490,6 +567,11 @@ class FleetRun:
             "position": self._position,
             "auto_counter": self._auto_counter,
             "retired": sorted(self._results),
+            "rate_book": (
+                self._rate_book.state_dict()
+                if self._rate_book is not None
+                else None
+            ),
             "specs": [spec_to_dict(self._specs[n]) for n in self._specs],
             "sessions": {
                 name: session.state_dict()
@@ -522,6 +604,16 @@ class FleetRun:
             )
         self._position = int(state["position"])
         self._auto_counter = int(state.get("auto_counter", 0))
+        book_state = state.get("rate_book")
+        if book_state is None:
+            # Version-1 bundle, or the source fleet ran unshared: restore
+            # every session on a private rate series.  Perf-only downgrade.
+            self._rate_book = None
+        elif self._rate_book is not None:
+            # Prime the grouping before re-registration so members rejoin
+            # their checkpointed groups (live group keys embed the current
+            # position, which differs from the original registration one).
+            self._rate_book.load_state_dict(book_state)
         self._order = []
         for payload in state["specs"]:
             spec = spec_from_dict(payload)

@@ -42,7 +42,7 @@ conjunctive configuration.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from repro.core.config import OnlineConfig
 from repro.core.context import (
@@ -73,6 +73,9 @@ from repro.utils.intervals import Interval
 from repro.video.model import ClipView
 from repro.video.synthesis import LabeledVideo
 from repro._typing import StateDict
+
+if TYPE_CHECKING:
+    from repro.core.ratebook import SharedRateBook
 
 #: Format tag written into checkpoints; bump on incompatible changes.
 #: v3 adds the detection-score-cache charge state; v4 adds the
@@ -143,6 +146,7 @@ class StreamSession:
         self._config = config or OnlineConfig()
         self._context = context if context is not None else ExecutionContext()
         predicate.attach_context(self._context)
+        policy.attach_context(self._context)
         # Static quotas never move, so the per-clip dict build is hoisted
         # out of the hot loop (dynamic policies still read per clip).
         self._static_quotas = None if policy.dynamic else policy.quotas()
@@ -197,6 +201,8 @@ class StreamSession:
         record_trace: bool = False,
         context: ExecutionContext | None = None,
         cache: DetectionScoreCache | None = None,
+        rate_book: "SharedRateBook | None" = None,
+        share_key: tuple[str, object] | None = None,
     ) -> "StreamSession":
         """A session over a canonical conjunctive query.
 
@@ -205,7 +211,10 @@ class StreamSession:
         or pinned per label via ``k_crit_overrides``.  ``cache`` attaches a
         shared :class:`~repro.detectors.cache.DetectionScoreCache` so many
         sessions over one stream score each clip at most once (the
-        multi-query scheduler passes one per video).
+        multi-query scheduler passes one per video).  ``rate_book`` plus a
+        ``share_key`` of ``(member name, group key)`` analogously attaches
+        the fleet's shared rate estimators: dynamic sessions admitted under
+        the same group key share one rate series and quota refresh.
         """
         config = config or OnlineConfig()
         predicate = ConjunctivePredicate(zoo, query, video, config, cache=cache)
@@ -216,6 +225,8 @@ class StreamSession:
             config,
             dynamic=dynamic,
             k_crit_overrides=k_crit_overrides,
+            rate_book=rate_book,
+            share_key=share_key,
         )
         return cls(
             video, predicate, policy, config,
@@ -235,6 +246,8 @@ class StreamSession:
         record_trace: bool = False,
         context: ExecutionContext | None = None,
         cache: DetectionScoreCache | None = None,
+        rate_book: "SharedRateBook | None" = None,
+        share_key: tuple[str, object] | None = None,
     ) -> "StreamSession":
         """A session over a CNF compound query (footnotes 3–4)."""
         config = config or OnlineConfig()
@@ -243,6 +256,7 @@ class StreamSession:
         policy = cls._build_policy(
             frame_labels, action_labels, video, config,
             dynamic=dynamic, k_crit_overrides=k_crit_overrides,
+            rate_book=rate_book, share_key=share_key,
         )
         return cls(
             video, predicate, policy, config,
@@ -258,9 +272,17 @@ class StreamSession:
         *,
         dynamic: bool,
         k_crit_overrides: Mapping[str, int] | None,
+        rate_book: "SharedRateBook | None" = None,
+        share_key: tuple[str, object] | None = None,
     ) -> QuotaPolicy:
         geometry = video.meta.geometry
         if dynamic:
+            if rate_book is not None and share_key is not None:
+                name, group_key = share_key
+                return rate_book.admit(
+                    group_key, name, frame_labels, action_labels,
+                    geometry, config,
+                )
             return DynamicQuotaPolicy.from_config(
                 frame_labels, action_labels, geometry, config
             )

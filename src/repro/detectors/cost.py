@@ -43,6 +43,13 @@ class CostMeter:
     _giveups: dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: Algorithm wall seconds per named stage (``estimator``, ``refresh``)
+    #: that no per-query :class:`~repro.core.context.ExecutionContext`
+    #: owns — the fleet-shared rate book charges its fold/refresh time
+    #: here so the dynamic-path cost stays observable next to inference.
+    _stage_s: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -71,6 +78,25 @@ class CostMeter:
         """Record ``n`` invocations of ``model`` whose retries ran out."""
         with self._lock:
             self._giveups[model] += n
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Charge ``seconds`` of algorithm wall time to a named stage."""
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be >= 0; got {seconds}")
+        with self._lock:
+            self._stage_s[stage] += seconds
+
+    def stage_s(self, stage: str | None = None) -> float:
+        """Accumulated stage seconds for one stage (or all stages)."""
+        with self._lock:
+            if stage is not None:
+                return self._stage_s.get(stage, 0.0)
+            return sum(self._stage_s.values())
+
+    def stage_breakdown(self) -> dict[str, float]:
+        """Seconds per stage, for reporting."""
+        with self._lock:
+            return dict(self._stage_s)
 
     def retries(self, model: str | None = None) -> int:
         """Accumulated retried attempts."""
@@ -119,6 +145,7 @@ class CostMeter:
             self._cached_units.clear()
             self._retries.clear()
             self._giveups.clear()
+            self._stage_s.clear()
 
     def merge(self, other: "CostMeter") -> None:
         """Fold another meter's charges into this one.
@@ -134,6 +161,7 @@ class CostMeter:
             cached = dict(other._cached_units)
             retries = dict(other._retries)
             giveups = dict(other._giveups)
+            stage_s = dict(other._stage_s)
         with self._lock:
             for model, value in ms.items():
                 self._ms[model] += value
@@ -145,6 +173,8 @@ class CostMeter:
                 self._retries[model] += value
             for model, value in giveups.items():
                 self._giveups[model] += value
+            for stage, value in stage_s.items():
+                self._stage_s[stage] += value
 
     # The lock is an implementation detail — drop it when pickling (for
     # process-pool workers) and rebuild it on restore.  ``copy.deepcopy``
@@ -158,6 +188,7 @@ class CostMeter:
                 "_cached_units": dict(self._cached_units),
                 "_retries": dict(self._retries),
                 "_giveups": dict(self._giveups),
+                "_stage_s": dict(self._stage_s),
             }
 
     def __setstate__(self, state: StateDict) -> None:
@@ -166,4 +197,5 @@ class CostMeter:
         self._cached_units = defaultdict(int, state.get("_cached_units", {}))
         self._retries = defaultdict(int, state.get("_retries", {}))
         self._giveups = defaultdict(int, state.get("_giveups", {}))
+        self._stage_s = defaultdict(float, state.get("_stage_s", {}))
         self._lock = threading.Lock()

@@ -124,6 +124,26 @@ class CriticalValueTable:
         clipped = np.clip(np.asarray(ps, dtype=float), self.p_floor, 1.0)
         return np.rint(np.log10(clipped) / self.resolution).astype(np.int64)
 
+    def bucket_bounds(self, bucket: int) -> tuple[float, float]:
+        """Open probability interval guaranteed to quantise to ``bucket``.
+
+        Returns ``(lo, hi)`` such that every ``p`` with ``lo < p < hi``
+        satisfies ``bucket_of(p) == bucket``: the incremental refresh
+        skips the ``log10``/rounding pass entirely while an estimate stays
+        strictly inside its last bucket.  The bounds shave a ``1e-12``
+        relative margin off the exact half-bucket edges — orders of
+        magnitude wider than ``log10``'s rounding error, so the guarantee
+        is airtight, while the margin itself is far below the quantisation
+        the table already applies.  Buckets whose edges touch the clamp
+        region (``p_floor`` / ``1.0``) return the empty interval
+        ``(inf, -inf)`` so callers always recompute there.
+        """
+        lo = 10.0 ** ((bucket - 0.5) * self.resolution) * (1.0 + 1e-12)
+        hi = 10.0 ** ((bucket + 0.5) * self.resolution) * (1.0 - 1e-12)
+        if lo <= self.p_floor or hi >= 1.0 or not lo < hi:
+            return (math.inf, -math.inf)
+        return (lo, hi)
+
     def lookup_bucket(self, bucket: int) -> int:
         """Critical value for one quantised bucket (memoised)."""
         hit = self._memo.get(bucket)

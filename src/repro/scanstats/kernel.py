@@ -31,6 +31,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.errors import ScanStatisticsError
 from repro.utils.validation import require_positive
@@ -63,8 +66,10 @@ class KernelRateEstimator:
     #: ``(initial_p·mass + raw·T_eff) / (mass + T_eff)`` where ``T_eff`` is
     #: the kernel's effective sample size; this keeps the first clips from
     #: whipsawing the critical values while fading the prior quickly once
-    #: real evidence accumulates.  ``None`` defaults to ``bandwidth / 10``.
-    prior_mass: float | None = None
+    #: real evidence accumulates.  ``0.0`` (the default) resolves to
+    #: ``bandwidth / 10`` in ``__post_init__``, so after construction this
+    #: is always a plain positive float.
+    prior_mass: float = 0.0
 
     _weighted_events: float = field(default=0.0, init=False, repr=False)
     _time: int = field(default=0, init=False, repr=False)
@@ -78,10 +83,10 @@ class KernelRateEstimator:
             )
         if not 0.0 < self.p_floor <= self.p_ceil < 1.0:
             raise ScanStatisticsError("need 0 < p_floor <= p_ceil < 1")
-        if self.prior_mass is None:
-            self.prior_mass = self.bandwidth / 10.0
-        if self.prior_mass <= 0:
+        if self.prior_mass < 0.0:
             raise ScanStatisticsError("prior_mass must be positive")
+        if not self.prior_mass:  # 0.0 = unset; resolve the default
+            self.prior_mass = self.bandwidth / 10.0
         self._decay = math.exp(-1.0 / self.bandwidth)
 
     # -- stream interface ------------------------------------------------------
@@ -230,12 +235,13 @@ class KernelRateEstimator:
     @classmethod
     def from_state_dict(cls, state: StateDict) -> "KernelRateEstimator":
         """Rebuild an estimator from :meth:`state_dict` output."""
+        mass = state["prior_mass"]
         estimator = cls(
             bandwidth=state["bandwidth"],
             initial_p=state["initial_p"],
             p_floor=state["p_floor"],
             p_ceil=state["p_ceil"],
-            prior_mass=state["prior_mass"],
+            prior_mass=float(mass) if mass is not None else 0.0,
         )
         estimator._weighted_events = float(state["weighted_events"])
         estimator._time = int(state["time"])
@@ -255,3 +261,437 @@ class KernelRateEstimator:
         self._weighted_events = 0.0
         self._time = 0
         self._event_count = 0
+
+
+#: Below this row count the batched :meth:`KernelRateBank.apply` walks rows
+#: with the scalar per-row ops instead of NumPy array arithmetic: at 2–4
+#: rows the per-ufunc dispatch overhead exceeds the whole scalar update, so
+#: a single-query manager stays as fast as the pre-bank loop while a
+#: fleet-wide bank (10+ rows) takes the vectorised pass.  Both paths are
+#: bit-identical by construction.
+_VECTOR_MIN_ROWS = 8
+
+
+class KernelRateBank:
+    """Columnar bank of :class:`KernelRateEstimator` rows.
+
+    Holds ``weighted_events`` / ``time`` / ``event_count`` (and the fixed
+    per-row parameters) as NumPy columns for all tracked labels and applies
+    Eq. 6 decay, batch-fold and ``advance()`` imputation in one pass per
+    chunk via :meth:`apply`, with :meth:`rates` producing every row's
+    clamped posterior-mean estimate at once.
+
+    **Bit-identity contract.**  Every number this bank produces is
+    bit-identical to driving one scalar :class:`KernelRateEstimator` per
+    row (the reference implementation and the checkpoint interchange
+    format — see :meth:`state_dict_row` / :meth:`load_row`):
+
+    * all exponentials go through :func:`math.exp` (memoised per distinct
+      ``(units, bandwidth)`` / ``(time, bandwidth)`` pair) — NumPy's
+      ``np.exp`` is SIMD-vectorised and not guaranteed to round identically
+      to libm's scalar ``exp``;
+    * the remaining arithmetic uses only single correctly-rounded IEEE-754
+      operations (``+ - * /``, ``min``/``max``) in exactly the scalar
+      code's association order, which NumPy evaluates identically on
+      float64 lanes.
+
+    The property suite in ``tests/scanstats/test_kernel_bank.py`` pins the
+    equivalence across observe/observe_batch/advance interleavings.
+    """
+
+    def __init__(self) -> None:
+        self._bandwidth = np.empty(0, dtype=np.float64)
+        self._initial_p = np.empty(0, dtype=np.float64)
+        self._p_floor = np.empty(0, dtype=np.float64)
+        self._p_ceil = np.empty(0, dtype=np.float64)
+        self._prior_mass = np.empty(0, dtype=np.float64)
+        self._decay = np.empty(0, dtype=np.float64)
+        self._weighted_events = np.empty(0, dtype=np.float64)
+        self._time = np.empty(0, dtype=np.int64)
+        self._event_count = np.empty(0, dtype=np.int64)
+        #: math.exp(-units / bandwidth) memo for :meth:`apply`.  Bounded in
+        #: practice (units is the per-row window size, a constant), but
+        #: capped defensively for adversarial unit streams.
+        self._exp_memo: dict[tuple[float, float], float] = {}
+
+    def __len__(self) -> int:
+        return int(self._bandwidth.shape[0])
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_estimators(
+        cls, estimators: Sequence[KernelRateEstimator]
+    ) -> "KernelRateBank":
+        bank = cls()
+        bank.extend(estimators)
+        return bank
+
+    def extend(self, estimators: Sequence[KernelRateEstimator]) -> range:
+        """Absorb scalar estimators (state included) as new rows.
+
+        Returns the ``range`` of row indices the estimators landed in.
+        Per-row ``decay`` is recomputed with :func:`math.exp` exactly as
+        the scalar ``__post_init__`` does.
+        """
+        start = len(self)
+        if not estimators:
+            return range(start, start)
+
+        def _grow(
+            column: np.ndarray, values: "list[Any]", dtype: "type[Any]"
+        ) -> np.ndarray:
+            return np.concatenate([column, np.asarray(values, dtype=dtype)])
+
+        self._bandwidth = _grow(
+            self._bandwidth, [e.bandwidth for e in estimators], np.float64
+        )
+        self._initial_p = _grow(
+            self._initial_p, [e.initial_p for e in estimators], np.float64
+        )
+        self._p_floor = _grow(
+            self._p_floor, [e.p_floor for e in estimators], np.float64
+        )
+        self._p_ceil = _grow(
+            self._p_ceil, [e.p_ceil for e in estimators], np.float64
+        )
+        self._prior_mass = _grow(
+            self._prior_mass, [e.prior_mass for e in estimators], np.float64
+        )
+        self._decay = _grow(
+            self._decay,
+            [math.exp(-1.0 / e.bandwidth) for e in estimators],
+            np.float64,
+        )
+        self._weighted_events = _grow(
+            self._weighted_events,
+            [e._weighted_events for e in estimators],
+            np.float64,
+        )
+        self._time = _grow(self._time, [e.time for e in estimators], np.int64)
+        self._event_count = _grow(
+            self._event_count, [e.event_count for e in estimators], np.int64
+        )
+        return range(start, len(self))
+
+    # -- scalar per-row ops (reference-identical) ---------------------------------
+
+    def observe_row(self, row: int, event: bool | int) -> float:
+        """Row-wise :meth:`KernelRateEstimator.observe`."""
+        self._weighted_events[row] = self._weighted_events[row] * self._decay[
+            row
+        ] + (1.0 if event else 0.0)
+        self._time[row] += 1
+        if event:
+            self._event_count[row] += 1
+        return self.rate_row(row)
+
+    def observe_batch_row(self, row: int, events: int, total: int) -> float:
+        """Row-wise :meth:`KernelRateEstimator.observe_batch`."""
+        if total < 0 or events < 0 or events > total:
+            raise ScanStatisticsError(
+                f"invalid batch: {events} events in {total} units"
+            )
+        if total == 0:
+            return self.rate_row(row)
+        bandwidth = float(self._bandwidth[row])
+        decay_total = self._exp(total, bandwidth)
+        if events:
+            mean_weight = (1.0 - decay_total) / (
+                total * (1.0 - float(self._decay[row]))
+            )
+            spread = events * mean_weight
+        else:
+            spread = 0.0
+        self._weighted_events[row] = (
+            float(self._weighted_events[row]) * decay_total + spread
+        )
+        self._time[row] += total
+        self._event_count[row] += events
+        return self.rate_row(row)
+
+    def advance_row(self, row: int, total: int) -> float:
+        """Row-wise :meth:`KernelRateEstimator.advance`."""
+        if total < 0:
+            raise ScanStatisticsError(f"cannot advance by {total} units")
+        if total == 0 or self._time[row] == 0:
+            return self.rate_row(row)
+        rate = self.raw_rate_row(row)
+        bandwidth = float(self._bandwidth[row])
+        decay_total = self._exp(total, bandwidth)
+        self._weighted_events[row] = float(
+            self._weighted_events[row]
+        ) * decay_total + rate * (1.0 - decay_total) / (
+            1.0 - float(self._decay[row])
+        )
+        self._time[row] += total
+        return self.rate_row(row)
+
+    def raw_rate_row(self, row: int) -> float:
+        """Row-wise :meth:`KernelRateEstimator.raw_rate`."""
+        time = int(self._time[row])
+        if time == 0:
+            return float(self._initial_p[row])
+        bandwidth = float(self._bandwidth[row])
+        denom = 1.0 - math.exp(-time / bandwidth)
+        if denom <= 0.0:
+            return float(self._initial_p[row])
+        return float(
+            (1.0 - float(self._decay[row]))
+            * float(self._weighted_events[row])
+            / denom
+        )
+
+    def rate_row(self, row: int) -> float:
+        """Row-wise :meth:`KernelRateEstimator.rate`."""
+        p_floor = float(self._p_floor[row])
+        p_ceil = float(self._p_ceil[row])
+        initial_p = float(self._initial_p[row])
+        time = int(self._time[row])
+        if time == 0:
+            return min(p_ceil, max(p_floor, initial_p))
+        bandwidth = float(self._bandwidth[row])
+        t_eff = bandwidth * (1.0 - math.exp(-time / bandwidth))
+        prior_mass = float(self._prior_mass[row])
+        blended = (
+            initial_p * prior_mass + self.raw_rate_row(row) * t_eff
+        ) / (prior_mass + t_eff)
+        return min(p_ceil, max(p_floor, blended))
+
+    def _exp(self, units: int | float, bandwidth: float) -> float:
+        """Memoised ``math.exp(-units / bandwidth)``."""
+        key = (float(units), bandwidth)
+        hit = self._exp_memo.get(key)
+        if hit is None:
+            if len(self._exp_memo) > 4096:
+                self._exp_memo.clear()
+            hit = math.exp(-units / bandwidth)
+            self._exp_memo[key] = hit
+        return hit
+
+    # -- vectorised passes --------------------------------------------------------
+
+    def _denoms(self) -> np.ndarray:
+        """Per-row ``1 - exp(-time/u)`` (0.0 placeholder where time == 0)."""
+        n = len(self)
+        denom = np.zeros(n, dtype=np.float64)
+        times = self._time.tolist()
+        bandwidths = self._bandwidth.tolist()
+        memo = self._exp_memo
+        for i in range(n):
+            t = times[i]
+            if t:
+                key = (float(t), bandwidths[i])
+                hit = memo.get(key)
+                if hit is None:
+                    hit = math.exp(-t / bandwidths[i])
+                denom[i] = 1.0 - hit
+        return denom
+
+    def _raw_rates(self, denom: np.ndarray) -> np.ndarray:
+        """Vectorised :attr:`KernelRateEstimator.raw_rate` per row."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = (1.0 - self._decay) * self._weighted_events / denom
+        return np.where(
+            (self._time > 0) & (denom > 0.0), raw, self._initial_p
+        )
+
+    def rates(self) -> np.ndarray:
+        """Every row's clamped posterior-mean estimate, one pass.
+
+        Bit-identical to ``[KernelRateEstimator.rate for each row]``: the
+        ``time == 0`` rows take the scalar short-circuit (plain clamped
+        prior, never the degenerate ``t_eff = 0`` blend), and the blend
+        itself replicates the scalar association order exactly.
+        """
+        denom = self._denoms()
+        raw = self._raw_rates(denom)
+        t_eff = self._bandwidth * denom
+        with np.errstate(divide="ignore", invalid="ignore"):
+            blended = (self._initial_p * self._prior_mass + raw * t_eff) / (
+                self._prior_mass + t_eff
+            )
+        value = np.where(self._time == 0, self._initial_p, blended)
+        return np.minimum(self._p_ceil, np.maximum(self._p_floor, value))
+
+    def apply(
+        self,
+        counts: np.ndarray,
+        units: np.ndarray,
+        fold: np.ndarray,
+    ) -> None:
+        """Fold one chunk into every row in a single vectorised pass.
+
+        Per row: ``units == 0`` leaves the row untouched; ``fold`` rows
+        take the :meth:`KernelRateEstimator.observe_batch` update with
+        ``counts`` events; the rest take the rate-preserving
+        :meth:`KernelRateEstimator.advance` imputation (a no-op while the
+        row's clock is still at zero, exactly like the scalar method).
+        """
+        n = len(self)
+        bad = np.flatnonzero(
+            (units < 0) | (fold & ((counts < 0) | (counts > units)))
+        )
+        if bad.size:
+            row = int(bad[0])
+            if fold[row]:
+                raise ScanStatisticsError(
+                    f"invalid batch: {int(counts[row])} events "
+                    f"in {int(units[row])} units"
+                )
+            raise ScanStatisticsError(
+                f"cannot advance by {int(units[row])} units"
+            )
+        if n < _VECTOR_MIN_ROWS:
+            for i in range(n):
+                total = int(units[i])
+                if total == 0:
+                    continue
+                if fold[i]:
+                    self.observe_batch_row(i, int(counts[i]), total)
+                else:
+                    self.advance_row(i, total)
+            return
+        units_list = units.tolist()
+        bandwidths = self._bandwidth.tolist()
+        decay_total = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            decay_total[i] = self._exp(units_list[i], bandwidths[i])
+        active = (units > 0) & (fold | (self._time > 0))
+        units_f = units.astype(np.float64)
+        counts_f = counts.astype(np.float64)
+        one_minus_dt = 1.0 - decay_total
+        one_minus_decay = 1.0 - self._decay
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # observe_batch: spread = events * (1-dt) / (total * (1-decay))
+            spread = counts_f * (one_minus_dt / (units_f * one_minus_decay))
+            # advance: imputation = raw_rate * (1-dt) / (1-decay)
+            raw = self._raw_rates(self._denoms())
+            imputed = raw * one_minus_dt / one_minus_decay
+            contribution = np.where(fold, spread, imputed)
+            new_weights = self._weighted_events * decay_total + contribution
+        self._weighted_events = np.where(
+            active, new_weights, self._weighted_events
+        )
+        self._time = np.where(active, self._time + units, self._time)
+        self._event_count = np.where(
+            active & fold, self._event_count + counts, self._event_count
+        )
+
+    # -- interchange --------------------------------------------------------------
+    #
+    # The scalar estimator's state dict is the interchange format: banks
+    # checkpoint as per-row scalar dicts, so bank-written checkpoints load
+    # into scalar estimators and vice versa, byte-for-byte.
+
+    def state_dict_row(self, row: int) -> StateDict:
+        """Scalar-format :meth:`KernelRateEstimator.state_dict` for one row."""
+        return {
+            "bandwidth": float(self._bandwidth[row]),
+            "initial_p": float(self._initial_p[row]),
+            "p_floor": float(self._p_floor[row]),
+            "p_ceil": float(self._p_ceil[row]),
+            "prior_mass": float(self._prior_mass[row]),
+            "weighted_events": float(self._weighted_events[row]),
+            "time": int(self._time[row]),
+            "event_count": int(self._event_count[row]),
+        }
+
+    def load_row(self, row: int, state: StateDict) -> None:
+        """Overwrite one row from scalar :meth:`state_dict` output.
+
+        Routed through :meth:`KernelRateEstimator.from_state_dict` so the
+        scalar validation (and ``decay`` derivation) applies unchanged.
+        """
+        estimator = KernelRateEstimator.from_state_dict(state)
+        self._bandwidth[row] = estimator.bandwidth
+        self._initial_p[row] = estimator.initial_p
+        self._p_floor[row] = estimator.p_floor
+        self._p_ceil[row] = estimator.p_ceil
+        self._prior_mass[row] = estimator.prior_mass
+        self._decay[row] = math.exp(-1.0 / estimator.bandwidth)
+        self._weighted_events[row] = estimator._weighted_events
+        self._time[row] = estimator.time
+        self._event_count[row] = estimator.event_count
+
+    def as_estimator(self, row: int) -> KernelRateEstimator:
+        """Materialise one row as a standalone scalar estimator."""
+        return KernelRateEstimator.from_state_dict(self.state_dict_row(row))
+
+
+class BankedRateEstimator:
+    """Live scalar view of one :class:`KernelRateBank` row.
+
+    Duck-compatible with :class:`KernelRateEstimator` (same attributes,
+    stream methods and estimates — all reading and writing the bank's
+    columns), so a :class:`~repro.core.dynamics.PredicateTracker` can hold
+    either interchangeably.  Checkpoints written through this view use the
+    scalar interchange format and restore as plain estimators.
+    """
+
+    __slots__ = ("_bank", "_row")
+
+    def __init__(self, bank: KernelRateBank, row: int) -> None:
+        self._bank = bank
+        self._row = row
+
+    @property
+    def bank(self) -> KernelRateBank:
+        return self._bank
+
+    @property
+    def row(self) -> int:
+        return self._row
+
+    @property
+    def bandwidth(self) -> float:
+        return float(self._bank._bandwidth[self._row])
+
+    @property
+    def initial_p(self) -> float:
+        return float(self._bank._initial_p[self._row])
+
+    @property
+    def p_floor(self) -> float:
+        return float(self._bank._p_floor[self._row])
+
+    @property
+    def p_ceil(self) -> float:
+        return float(self._bank._p_ceil[self._row])
+
+    @property
+    def prior_mass(self) -> float:
+        return float(self._bank._prior_mass[self._row])
+
+    @property
+    def time(self) -> int:
+        return int(self._bank._time[self._row])
+
+    @property
+    def event_count(self) -> int:
+        return int(self._bank._event_count[self._row])
+
+    @property
+    def raw_rate(self) -> float:
+        return self._bank.raw_rate_row(self._row)
+
+    @property
+    def effective_time(self) -> float:
+        bandwidth = float(self._bank._bandwidth[self._row])
+        return bandwidth * (1.0 - math.exp(-self.time / bandwidth))
+
+    @property
+    def rate(self) -> float:
+        return self._bank.rate_row(self._row)
+
+    def observe(self, event: bool | int) -> float:
+        return self._bank.observe_row(self._row, event)
+
+    def observe_batch(self, events: int, total: int) -> float:
+        return self._bank.observe_batch_row(self._row, events, total)
+
+    def advance(self, total: int) -> float:
+        return self._bank.advance_row(self._row, total)
+
+    def state_dict(self) -> StateDict:
+        return self._bank.state_dict_row(self._row)

@@ -199,6 +199,185 @@ class TestSharedCacheEquivalence:
 
 
 @pytest.mark.parametrize("seed", [13, 29, 43])
+class TestSharedRateEquivalence:
+    """SVAQD fleets with duplicate queries share one rate series per
+    (query shape, registration position) group; everything observable must
+    still match both the sharing-off fleet and solo serial runs exactly —
+    the bucket-skip counter is the only stat the topology may move (it
+    lives on the rate book under sharing)."""
+
+    def _fleet_queries(self, query):
+        dup = Query(objects=query.objects[:1], action="acting")
+        return [dup, query, dup, Query(objects=query.objects, action="acting"), dup]
+
+    def _run_fleet(self, queries, video, *, share: bool, vector: bool = False):
+        config = OnlineConfig(share_rate_estimates=share)
+        zoo = default_zoo(seed=3)
+        if vector:
+            import repro.core.ratebook as ratebook_mod
+
+            original = ratebook_mod._VECTOR_FLUSH_MIN_ROWS
+            ratebook_mod._VECTOR_FLUSH_MIN_ROWS = 0
+            try:
+                run = MultiQueryScheduler(zoo, queries, config).run(video)
+            finally:
+                ratebook_mod._VECTOR_FLUSH_MIN_ROWS = original
+        else:
+            run = MultiQueryScheduler(zoo, queries, config).run(video)
+        return run, zoo
+
+    def _assert_runs_identical(
+        self, shared_run, unshared_run, n, *, evaluations: bool = True
+    ):
+        # Resumed fleets do not replay pre-checkpoint per-clip
+        # evaluations (those were delivered before the interrupt), so
+        # checkpoint tests compare sequences/rates/stats only.
+        for i in range(n):
+            result, reference = shared_run[f"q{i}"], unshared_run[f"q{i}"]
+            assert result.sequences == reference.sequences
+            if evaluations:
+                assert result.evaluations == reference.evaluations
+            assert dict(result.final_rates) == dict(reference.final_rates)
+            result_stats = result.stats.as_dict()
+            reference_stats = reference.stats.as_dict()
+            for stats in (result_stats, reference_stats):
+                stats.pop("stage_wall_s")
+                stats.pop("refresh_skipped")
+            assert result_stats == reference_stats
+
+    @pytest.mark.parametrize("vector", [False, True])
+    def test_sharing_fleet_matches_unshared_fleet(self, seed, vector):
+        """Both the scalar and (forced) vectorised flush paths."""
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        queries = self._fleet_queries(query)
+        shared_run, shared_zoo = self._run_fleet(
+            queries, video, share=True, vector=vector
+        )
+        unshared_run, unshared_zoo = self._run_fleet(
+            queries, video, share=False
+        )
+        self._assert_runs_identical(shared_run, unshared_run, len(queries))
+        for model in (shared_zoo.detector.name, shared_zoo.recognizer.name):
+            assert shared_zoo.cost_meter.units(model) == (
+                unshared_zoo.cost_meter.units(model)
+            )
+
+    def test_sharing_fleet_matches_solo_serial_runs(self, seed):
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        queries = self._fleet_queries(query)
+        run, _ = self._run_fleet(queries, video, share=True)
+        serial_config = OnlineConfig(cache_detections=False)
+        for i, q in enumerate(queries):
+            session = StreamSession.for_query(
+                default_zoo(seed=3), q, video, serial_config, dynamic=True
+            )
+            for clip in ClipStream(video.meta):
+                session.process(clip)
+            reference = session.finish()
+            result = run[f"q{i}"]
+            assert result.sequences == reference.sequences
+            assert result.evaluations == reference.evaluations
+            assert dict(result.final_rates) == dict(reference.final_rates)
+
+    def test_owner_cancel_promotes_without_divergence(self, seed):
+        """Cancelling the group owner detaches it onto a private series
+        (its final update must not leak) and promotes the next member;
+        every result still matches its solo reference exactly."""
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        dup = Query(objects=query.objects[:1], action="acting")
+        specs = [QuerySpec(n, dup, algorithm="svaqd") for n in ("a", "b", "c")]
+        half = max(1, video.meta.n_clips // 2)
+
+        fleet = MultiQueryScheduler(default_zoo(seed=3), specs).start(video)
+        clips = ClipStream(video.meta)
+        for _ in range(half):
+            fleet.advance([clips.next()])
+        cancelled = fleet.cancel("a")
+        while not clips.end():
+            fleet.advance([clips.next()])
+        run = fleet.finish()
+
+        serial_config = OnlineConfig(cache_detections=False)
+
+        def solo(n_clips):
+            session = StreamSession.for_query(
+                default_zoo(seed=3), dup, video, serial_config, dynamic=True
+            )
+            stream = ClipStream(video.meta)
+            for _ in range(n_clips):
+                session.process(stream.next())
+            return session.finish()
+
+        partial = solo(half)
+        assert cancelled.sequences == partial.sequences
+        assert dict(cancelled.final_rates) == dict(partial.final_rates)
+        full = solo(video.meta.n_clips)
+        for name in ("b", "c"):
+            assert run[name].sequences == full.sequences
+            assert run[name].evaluations == full.evaluations
+            assert dict(run[name].final_rates) == dict(full.final_rates)
+
+    def test_checkpoint_restores_rate_groups(self, seed):
+        """A v2 fleet checkpoint records who shared with whom; the resumed
+        fleet regroups identically and finishes bit-identical to the
+        uninterrupted sharing run."""
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        queries = self._fleet_queries(query)
+        reference_run, _ = self._run_fleet(queries, video, share=True)
+
+        fleet = MultiQueryScheduler(default_zoo(seed=3), queries).start(video)
+        clips = ClipStream(video.meta)
+        half = max(1, video.meta.n_clips // 2)
+        for _ in range(half):
+            fleet.advance([clips.next()])
+        state = json.loads(json.dumps(fleet.state_dict()))
+        assert state["version"] == 2
+        # Grouping must partition members exactly by query shape (all five
+        # register at position 0, so shape alone decides who shares; for
+        # single-object seeds every query collapses into one group).
+        expected: dict[tuple, list[str]] = {}
+        for index, fleet_query in enumerate(queries):
+            shape = (tuple(fleet_query.objects), fleet_query.action)
+            expected.setdefault(shape, []).append(f"q{index}")
+        assert sorted(state["rate_book"]["groups"]) == sorted(expected.values())
+
+        resumed = FleetRun(default_zoo(seed=3), video)
+        resumed.load_state_dict(state)
+        for clip in ClipStream(video.meta, start_clip=half):
+            resumed.advance([clip])
+        self._assert_runs_identical(
+            resumed.finish(), reference_run, len(queries),
+            evaluations=False,
+        )
+
+    def test_v1_checkpoint_loads_with_sharing_disabled(self, seed):
+        """Pre-rate-book bundles restore every session on a private series
+        — a perf-only downgrade with identical results."""
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        queries = self._fleet_queries(query)
+        reference_run, _ = self._run_fleet(queries, video, share=True)
+
+        fleet = MultiQueryScheduler(default_zoo(seed=3), queries).start(video)
+        clips = ClipStream(video.meta)
+        half = max(1, video.meta.n_clips // 2)
+        for _ in range(half):
+            fleet.advance([clips.next()])
+        state = json.loads(json.dumps(fleet.state_dict()))
+        state["version"] = 1
+        del state["rate_book"]
+
+        resumed = FleetRun(default_zoo(seed=3), video)
+        resumed.load_state_dict(state)
+        assert resumed.rate_book_stats() is None
+        for clip in ClipStream(video.meta, start_clip=half):
+            resumed.advance([clip])
+        self._assert_runs_identical(
+            resumed.finish(), reference_run, len(queries),
+            evaluations=False,
+        )
+
+
+@pytest.mark.parametrize("seed", [13, 29, 43])
 class TestFleetMigrationEquivalence:
     """A fleet interrupted mid-stream and resumed in a fresh scheduler —
     new process, new zoo objects — finishes with sequences, per-query

@@ -92,6 +92,9 @@ class TestSchedulerEquivalence:
                 stats.pop("detector_cache_hits")
                 stats.pop("recognizer_cache_hits")
                 stats.pop("cache_hit_rate")
+                # Bucket-skip accounting moves to the fleet's rate book
+                # under sharing (see FleetRun.rate_book_stats()).
+                stats.pop("refresh_skipped")
             assert shared == solo
 
     def test_shared_cache_meters_fresh_plus_cached(self):
@@ -113,6 +116,15 @@ class TestSchedulerEquivalence:
         # Three overlapping queries must actually share work.
         assert shared_zoo.cost_meter.cached_units() > 0
         assert shared_zoo.cost_meter.units() < serial_zoo.cost_meter.units()
+
+    def test_shared_fleet_charges_stage_seconds_to_meter(self):
+        """The rate book's fold/refresh wall time lands on the fleet's
+        shared cost meter at finish — no per-query context owns it."""
+        zoo = default_zoo(seed=3)
+        MultiQueryScheduler(zoo, QUERIES).run(VIDEO)
+        breakdown = zoo.cost_meter.stage_breakdown()
+        assert breakdown.get("estimator", 0.0) > 0.0
+        assert "refresh" in breakdown
 
     def test_later_sessions_record_cache_hits(self):
         run = MultiQueryScheduler(default_zoo(seed=3), QUERIES).run(VIDEO)

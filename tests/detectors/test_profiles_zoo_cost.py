@@ -129,6 +129,28 @@ class TestCostMeter:
         restored = pickle.loads(pickle.dumps(a))
         assert restored.cached_units("m") == 5
 
+    def test_stage_seconds_tracked_and_merged(self):
+        import pickle
+
+        meter = CostMeter()
+        meter.record_stage("estimator", 0.25)
+        meter.record_stage("estimator", 0.25)
+        meter.record_stage("refresh", 0.125)
+        assert meter.stage_s("estimator") == 0.5
+        assert meter.stage_s() == 0.625
+        assert meter.stage_breakdown() == {"estimator": 0.5, "refresh": 0.125}
+        with pytest.raises(ValueError):
+            meter.record_stage("estimator", -0.1)
+        other = CostMeter()
+        other.record_stage("refresh", 0.125)
+        meter.merge(other)
+        assert meter.stage_s("refresh") == 0.25
+        restored = pickle.loads(pickle.dumps(meter))
+        assert restored.stage_breakdown() == meter.stage_breakdown()
+        meter.reset()
+        assert meter.stage_s() == 0.0
+        assert meter.stage_s("ghost") == 0.0
+
     def test_pre_cache_pickles_still_load(self):
         meter = CostMeter()
         meter.record("m", 1, 1.0)

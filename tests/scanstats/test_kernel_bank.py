@@ -1,0 +1,235 @@
+"""KernelRateBank ≡ scalar KernelRateEstimator, bit for bit.
+
+The bank is the vectorised hot path behind SVAQD's dynamic quotas; the
+scalar estimator stays the reference implementation and the checkpoint
+interchange format.  These properties pin the two together exactly —
+``==`` on every state field and estimate, not tolerances — across random
+observe / observe_batch / advance interleavings, through both the
+scalar-fallback and vectorised ``apply`` paths, and through checkpoint
+round-trips in both directions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScanStatisticsError
+from repro.scanstats.kernel import (
+    BankedRateEstimator,
+    KernelRateBank,
+    KernelRateEstimator,
+)
+
+# Mixed parameters so rows exercise different decay constants, priors and
+# clamps in the same bank pass.
+ROW_PARAMS = [
+    dict(bandwidth=250.0, initial_p=1e-4),
+    dict(bandwidth=12.0, initial_p=0.01, p_floor=1e-5, p_ceil=0.9),
+    dict(bandwidth=2500.0, initial_p=1e-4, prior_mass=50.0),
+    dict(bandwidth=3.0, initial_p=0.3, p_floor=1e-3, p_ceil=0.5),
+    dict(bandwidth=97.0, initial_p=5e-3),
+    dict(bandwidth=640.0, initial_p=2e-4, prior_mass=1.0),
+    dict(bandwidth=31.0, initial_p=0.05),
+    dict(bandwidth=1500.0, initial_p=1e-3),
+    dict(bandwidth=7.5, initial_p=0.1, p_ceil=0.99),
+    dict(bandwidth=420.0, initial_p=3e-4),
+    dict(bandwidth=55.0, initial_p=0.02, prior_mass=8.0),
+    dict(bandwidth=1000.0, initial_p=1e-4),
+]
+
+
+def make_rows(n: int) -> list[KernelRateEstimator]:
+    return [KernelRateEstimator(**ROW_PARAMS[i % len(ROW_PARAMS)]) for i in range(n)]
+
+
+def assert_rows_identical(
+    bank: KernelRateBank, scalars: list[KernelRateEstimator]
+) -> None:
+    assert len(bank) == len(scalars)
+    rates = bank.rates()
+    for i, est in enumerate(scalars):
+        assert bank.state_dict_row(i) == est.state_dict()
+        assert bank.raw_rate_row(i) == est.raw_rate
+        assert bank.rate_row(i) == est.rate
+        assert float(rates[i]) == est.rate
+
+
+# A step either drives every row through bank.apply (counts/units/fold
+# arrays mirrored by a scalar loop) or pokes one row through the
+# BankedRateEstimator view (observe / observe_batch / advance).
+row_step = st.tuples(
+    st.integers(min_value=0, max_value=40),  # units
+    st.integers(min_value=0, max_value=40),  # raw counts (clamped to units)
+    st.booleans(),  # fold?
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.sampled_from([2, 4, 8, 12]),
+    steps=st.lists(st.lists(row_step, min_size=1, max_size=12), max_size=8),
+)
+def test_apply_bit_identical_to_scalar_loop(n, steps):
+    """bank.apply == scalar observe_batch/advance per row, both code paths.
+
+    n < 8 takes the scalar-fallback loop inside apply, n >= 8 the
+    vectorised pass; the property holds identically for both.
+    """
+    scalars = make_rows(n)
+    bank = KernelRateBank.from_estimators(make_rows(n))
+    for step in steps:
+        units = np.zeros(n, dtype=np.int64)
+        counts = np.zeros(n, dtype=np.int64)
+        fold = np.zeros(n, dtype=bool)
+        for i in range(n):
+            u, c, f = step[i % len(step)]
+            units[i] = u
+            counts[i] = min(c, u)
+            fold[i] = f
+        bank.apply(counts, units, fold)
+        for i, est in enumerate(scalars):
+            if units[i] == 0:
+                continue
+            if fold[i]:
+                est.observe_batch(int(counts[i]), int(units[i]))
+            else:
+                est.advance(int(units[i]))
+        assert_rows_identical(bank, scalars)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),  # row (mod n)
+            st.sampled_from(["observe", "observe_batch", "advance"]),
+            st.integers(min_value=0, max_value=30),  # units
+            st.integers(min_value=0, max_value=30),  # counts (clamped)
+        ),
+        max_size=60,
+    )
+)
+def test_row_view_bit_identical_interleavings(ops):
+    """BankedRateEstimator mirrors the scalar API call for call."""
+    n = 6
+    scalars = make_rows(n)
+    bank = KernelRateBank.from_estimators(make_rows(n))
+    views = [BankedRateEstimator(bank, i) for i in range(n)]
+    for row, op, units, counts in ops:
+        est, view = scalars[row % n], views[row % n]
+        if op == "observe":
+            assert view.observe(counts % 2 == 1) == est.observe(counts % 2 == 1)
+        elif op == "observe_batch":
+            events = min(counts, units)
+            assert view.observe_batch(events, units) == est.observe_batch(
+                events, units
+            )
+        else:
+            assert view.advance(units) == est.advance(units)
+    assert_rows_identical(bank, scalars)
+    for est, view in zip(scalars, views):
+        assert view.rate == est.rate
+        assert view.raw_rate == est.raw_rate
+        assert view.effective_time == est.effective_time
+        assert view.time == est.time
+        assert view.event_count == est.event_count
+        assert view.bandwidth == est.bandwidth
+        assert view.prior_mass == est.prior_mass
+
+
+def test_extend_absorbs_live_state():
+    est = KernelRateEstimator(bandwidth=100.0, initial_p=1e-3)
+    est.observe_batch(3, 50)
+    est.advance(20)
+    bank = KernelRateBank()
+    rows = bank.extend([est])
+    assert rows == range(0, 1)
+    assert bank.state_dict_row(0) == est.state_dict()
+    assert bank.rate_row(0) == est.rate
+    more = bank.extend(make_rows(3))
+    assert more == range(1, 4)
+    assert len(bank) == 4
+    # Growth leaves existing rows untouched.
+    assert bank.state_dict_row(0) == est.state_dict()
+
+
+def test_checkpoint_round_trip_bank_scalar_bank():
+    """bank → scalar state dicts → bank reproduces identical rows."""
+    bank = KernelRateBank.from_estimators(make_rows(10))
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        units = rng.integers(0, 30, size=10).astype(np.int64)
+        counts = np.minimum(rng.integers(0, 30, size=10), units).astype(np.int64)
+        fold = rng.random(10) < 0.6
+        bank.apply(counts, units, fold)
+    states = [bank.state_dict_row(i) for i in range(10)]
+    # Scalar estimators restore from bank-written state dicts...
+    scalars = [KernelRateEstimator.from_state_dict(s) for s in states]
+    assert_rows_identical(bank, scalars)
+    # ...and feed back into a fresh bank, matching the original exactly.
+    rebuilt = KernelRateBank.from_estimators(scalars)
+    for i in range(10):
+        assert rebuilt.state_dict_row(i) == bank.state_dict_row(i)
+        assert rebuilt.rate_row(i) == bank.rate_row(i)
+    # load_row overwrites in place through the scalar validator.
+    target = KernelRateBank.from_estimators(make_rows(10))
+    for i in range(10):
+        target.load_row(i, states[i])
+    for i in range(10):
+        assert target.state_dict_row(i) == bank.state_dict_row(i)
+    # as_estimator materialises an equivalent standalone scalar.
+    assert bank.as_estimator(3).state_dict() == states[3]
+
+
+def test_view_state_dict_restores_as_scalar():
+    bank = KernelRateBank.from_estimators(make_rows(2))
+    view = BankedRateEstimator(bank, 1)
+    view.observe_batch(2, 9)
+    restored = KernelRateEstimator.from_state_dict(view.state_dict())
+    assert restored.rate == view.rate
+    assert restored.state_dict() == view.state_dict()
+
+
+@pytest.mark.parametrize("n", [4, 12])
+def test_apply_validation_matches_scalar_messages(n):
+    bank = KernelRateBank.from_estimators(make_rows(n))
+    units = np.ones(n, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    fold = np.zeros(n, dtype=bool)
+    units[2] = -3
+    with pytest.raises(ScanStatisticsError, match="cannot advance by -3 units"):
+        bank.apply(counts, units, fold)
+    fold[2] = True
+    with pytest.raises(
+        ScanStatisticsError, match="invalid batch: 0 events in -3 units"
+    ):
+        bank.apply(counts, units, fold)
+    units[2] = 2
+    counts[2] = 5
+    with pytest.raises(
+        ScanStatisticsError, match="invalid batch: 5 events in 2 units"
+    ):
+        bank.apply(counts, units, fold)
+    # Validation happens before any state mutation: state is unchanged.
+    assert bank.state_dict_row(0) == make_rows(n)[0].state_dict()
+
+
+def test_prior_mass_default_resolves_to_plain_float():
+    est = KernelRateEstimator(bandwidth=250.0)
+    assert isinstance(est.prior_mass, float)
+    assert est.prior_mass == pytest.approx(25.0)
+    explicit = KernelRateEstimator(bandwidth=250.0, prior_mass=4.0)
+    assert explicit.prior_mass == pytest.approx(4.0)
+    with pytest.raises(ScanStatisticsError, match="prior_mass"):
+        KernelRateEstimator(bandwidth=250.0, prior_mass=-1.0)
+    # Legacy checkpoints may carry prior_mass: None — resolves to default.
+    state = est.state_dict() | {"prior_mass": None}
+    assert KernelRateEstimator.from_state_dict(state).prior_mass == pytest.approx(
+        25.0
+    )
+    assert dataclasses.replace(est).prior_mass == pytest.approx(25.0)

@@ -210,6 +210,15 @@ class TestHealth:
             assert counter in payload["totals"]
         assert payload["admission"]["acme"]["live_queries"] == 1
         assert payload["admission"]["acme"]["units_used"] > 0
+        # Fleet-level rate-sharing counters ride per stream (None when
+        # sharing is disabled, e.g. under a fault-tolerant config).
+        sharing = stream["rate_sharing"]
+        assert sharing is not None
+        for counter in (
+            "groups", "members", "refresh_skipped",
+            "estimator_s", "refresh_s",
+        ):
+            assert counter in sharing
 
     def test_bad_clip_batch_rejected(self):
         with pytest.raises(ConfigurationError, match="clip_batch"):
