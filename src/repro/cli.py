@@ -12,6 +12,13 @@ Commands
 ``experiment <name> [--scale S] [--seed N]``
     Run one table/figure driver from :mod:`repro.eval.experiments` and
     print the rendered rows.
+``repo shard <src> <out> --shards N`` / ``repo info <dir> [--json]``
+    Split a saved repository into N format-3 shard directories, or
+    describe a saved (single or sharded) repository from its manifests.
+``topk <dir> --action A [--objects O ...] [--k K] [--shards N]``
+    Answer a top-K query over a saved repository; sharded stores (or
+    ``--shards N``) run the scatter-gather distributed engine with
+    ``--executor serial|thread|process`` and merged ``--stats``.
 ``list``
     List available experiments and datasets.
 """
@@ -127,6 +134,55 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--stats-json", action="store_true",
         help="print the service health/metrics payload as JSON at exit",
+    )
+
+    repo = sub.add_parser(
+        "repo", help="inspect or re-partition saved repositories"
+    )
+    repo_sub = repo.add_subparsers(dest="repo_command", required=True)
+    shard = repo_sub.add_parser(
+        "shard",
+        help="split a saved repository into N format-3 shard directories",
+    )
+    shard.add_argument("src", help="saved repository directory")
+    shard.add_argument("out", help="target directory for the shard tree")
+    shard.add_argument(
+        "--shards", type=int, required=True, help="number of shards"
+    )
+    info = repo_sub.add_parser(
+        "info", help="describe a saved repository from its manifests"
+    )
+    info.add_argument("dir", help="saved repository or shard-tree directory")
+    info.add_argument(
+        "--json", action="store_true", help="print the description as JSON"
+    )
+
+    topk = sub.add_parser(
+        "topk", help="answer a top-K query over a saved repository"
+    )
+    topk.add_argument("dir", help="saved repository or shard-tree directory")
+    topk.add_argument("--action", required=True, help="the action predicate")
+    topk.add_argument(
+        "--objects", nargs="*", default=[], help="object predicates"
+    )
+    topk.add_argument("--k", type=int, default=5)
+    topk.add_argument(
+        "--shards", type=int, default=None,
+        help="re-partition the store into this many shards before "
+             "querying (a saved shard tree is used as-is by default)",
+    )
+    topk.add_argument(
+        "--executor", default="serial",
+        choices=["serial", "thread", "process"],
+        help="scatter-gather worker executor for sharded stores",
+    )
+    topk.add_argument(
+        "--stats", action="store_true",
+        help="print merged access counts and per-shard accounting",
+    )
+    topk.add_argument(
+        "--json", action="store_true",
+        help="print rows (and stats) as one JSON object",
     )
 
     sub.add_parser("list", help="list experiments and datasets")
@@ -411,6 +467,134 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_repo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.storage.repository import VideoRepository
+    from repro.storage.sharded import ShardedRepository, describe, is_sharded
+
+    if args.repo_command == "shard":
+        if is_sharded(args.src):
+            source = ShardedRepository.load(args.src).merged()
+        else:
+            source = VideoRepository.load(args.src)
+        sharded = ShardedRepository.split(source, args.shards)
+        sharded.save(args.out)
+        print(
+            f"sharded {source.n_videos} videos / {source.total_clips} clips "
+            f"into {args.shards} shards at {args.out}"
+        )
+        for line in json.dumps(describe(args.out), indent=2).splitlines():
+            print(line)
+        return 0
+    if args.repo_command == "info":
+        info = describe(args.dir)
+        if args.json:
+            print(json.dumps(info, sort_keys=True))
+        else:
+            for key, value in info.items():
+                print(f"{key}: {value}")
+        return 0
+    raise AssertionError(f"unknown repo command {args.repo_command!r}")
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.distributed import sharded_top_k
+    from repro.core.query import Query
+    from repro.core.rvaq import RVAQ
+    from repro.storage.repository import VideoRepository
+    from repro.storage.sharded import ShardedRepository, is_sharded
+
+    query = Query(objects=list(args.objects), action=args.action)
+    sharded = None
+    if is_sharded(args.dir):
+        sharded = ShardedRepository.load(args.dir)
+        if args.shards is not None and args.shards != sharded.n_shards:
+            sharded = ShardedRepository.split(sharded.merged(), args.shards)
+    elif args.shards is not None:
+        sharded = ShardedRepository.split(
+            VideoRepository.load(args.dir), args.shards
+        )
+
+    if sharded is not None:
+        result = sharded_top_k(
+            sharded, query, args.k, executor=args.executor
+        )
+        rows = list(result.rows)
+        per_shard = [
+            {
+                "shard": report.shard,
+                "candidates": len(report.candidates),
+                "iterations": report.iterations,
+                "rounds": report.rounds,
+                "sorted_accesses": report.stats.sorted_accesses,
+                "reverse_accesses": report.stats.reverse_accesses,
+                "random_accesses": report.stats.random_accesses,
+                "wall_s": round(report.wall_s, 6),
+            }
+            for report in result.per_shard
+        ]
+        stats = result.stats
+        extra = {
+            "n_shards": sharded.n_shards,
+            "executor": args.executor,
+            "rounds": result.rounds,
+            "per_shard": per_shard,
+        }
+    else:
+        from repro.core.config import RankingConfig
+
+        repo = VideoRepository.load(args.dir)
+        # Exact scores, matching the sharded path's gather contract — the
+        # printed score is the sequence's true score either way, so the
+        # same corpus reports the same rows sharded or not.
+        exact = RankingConfig(require_exact_scores=True)
+        single = RVAQ(repo, config=exact).top_k(query, args.k)
+        rows = []
+        for ranked in single.ranked:
+            video_id, start = repo.to_local(ranked.interval.start)
+            _, end = repo.to_local(ranked.interval.end)
+            rows.append((video_id, start, end, ranked.score))
+        stats = single.stats
+        extra = {"n_shards": None, "executor": "serial", "per_shard": []}
+
+    stats_payload = {
+        "sorted_accesses": stats.sorted_accesses,
+        "reverse_accesses": stats.reverse_accesses,
+        "random_accesses": stats.random_accesses,
+        **extra,
+    }
+    if args.json:
+        payload = {
+            "query": {"objects": list(args.objects), "action": args.action},
+            "k": args.k,
+            "rows": [list(row) for row in rows],
+        }
+        if args.stats:
+            payload["stats"] = stats_payload
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    for video_id, start, end, score in rows:
+        print(f"{video_id}: clips [{start}, {end}]  score={score:.3f}")
+    if args.stats:
+        print(
+            f"cost: {stats.random_accesses} random + "
+            f"{stats.sorted_accesses + stats.reverse_accesses} sequential "
+            f"accesses"
+        )
+        for entry in stats_payload["per_shard"]:
+            print(
+                f"  shard {entry['shard']:3d}: "
+                f"{entry['iterations']:6d} pairs / {entry['rounds']:3d} "
+                f"rounds, {entry['sorted_accesses'] + entry['reverse_accesses']:7d} "
+                f"sequential + {entry['random_accesses']:6d} random, "
+                f"{entry['wall_s'] * 1e3:.1f} ms"
+            )
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.eval import experiments
     from repro.video.datasets import MOVIES, YOUTUBE_QUERY_SETS
@@ -443,6 +627,8 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "query": _cmd_query,
     "experiment": _cmd_experiment,
+    "repo": _cmd_repo,
+    "topk": _cmd_topk,
     "report": _cmd_report,
     "serve": _cmd_serve,
     "list": _cmd_list,

@@ -16,6 +16,12 @@ Public surface:
 from repro.core.compound import CompoundOnline, CompoundResult
 from repro.core.config import OnlineConfig, RankingConfig
 from repro.core.context import ExecutionContext, ExecutionStats
+from repro.core.distributed import (
+    DistributedTopKResult,
+    GlobalFrontier,
+    ShardSearch,
+    sharded_top_k,
+)
 from repro.core.engine import OfflineEngine, OnlineEngine
 from repro.core.policies import (
     DynamicQuotaPolicy,
@@ -56,6 +62,10 @@ __all__ = [
     "RVAQ",
     "RankedSequence",
     "TopKResult",
+    "DistributedTopKResult",
+    "GlobalFrontier",
+    "ShardSearch",
+    "sharded_top_k",
     "ScoringScheme",
     "PaperScoring",
     "MaxScoring",

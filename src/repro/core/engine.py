@@ -21,6 +21,12 @@ from repro.core.query import CompoundQuery, Query
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.compound import CompoundResult
     from repro.core.scheduler import FleetRun
+from repro.core.distributed import (
+    DEFAULT_ROUND_BUDGET,
+    DistributedExecutor,
+    DistributedTopKResult,
+    sharded_top_k,
+)
 from repro.core.rvaq import RVAQ, TopKResult
 from repro.core.scheduler import MultiQueryRun, MultiQueryScheduler
 from repro.core.scoring import PaperScoring, ScoringScheme
@@ -36,6 +42,7 @@ from repro.storage.ingest import (
     ingest_video,
 )
 from repro.storage.repository import VideoRepository
+from repro.storage.sharded import ShardedRepository
 from repro.video.synthesis import LabeledVideo
 
 OnlineAlgorithm = Literal["svaq", "svaqd"]
@@ -258,12 +265,22 @@ class OnlineEngine:
 
 @dataclass
 class OfflineEngine:
-    """Repository ownership + top-K query execution (§4)."""
+    """Repository ownership + top-K query execution (§4).
+
+    ``repository`` may be a single :class:`VideoRepository` or a
+    :class:`~repro.storage.sharded.ShardedRepository`; ingestion routes
+    through either transparently, and :meth:`top_k` over a sharded
+    repository runs the scatter-gather distributed RVAQ
+    (:func:`repro.core.distributed.sharded_top_k`) with results identical
+    to the single-repository engine.
+    """
 
     zoo: ModelZoo = field(default_factory=default_zoo)
     scoring: ScoringScheme = field(default_factory=PaperScoring)
     config: RankingConfig = field(default_factory=RankingConfig)
-    repository: VideoRepository = field(default_factory=VideoRepository)
+    repository: VideoRepository | ShardedRepository = field(
+        default_factory=VideoRepository
+    )
     _videos: dict[str, LabeledVideo] = field(default_factory=dict, repr=False)
 
     def ingest(
@@ -347,9 +364,36 @@ class OfflineEngine:
         query: Query,
         k: int | None = None,
         algorithm: OfflineAlgorithm = "rvaq",
-    ) -> TopKResult:
-        """Answer a top-K query with RVAQ or one of the §5.1 baselines."""
+        *,
+        executor: DistributedExecutor = "serial",
+        round_budget: int = DEFAULT_ROUND_BUDGET,
+        max_workers: int | None = None,
+    ) -> TopKResult | DistributedTopKResult:
+        """Answer a top-K query with RVAQ or one of the §5.1 baselines.
+
+        Over a :class:`~repro.storage.sharded.ShardedRepository` the RVAQ
+        algorithm runs scatter-gather across the shards (``executor``
+        picks serial/thread/process workers); the baselines are
+        single-repository algorithms and refuse a sharded store.
+        """
         k = k or self.config.default_k
+        if isinstance(self.repository, ShardedRepository):
+            if algorithm != "rvaq":
+                raise ConfigurationError(
+                    f"algorithm {algorithm!r} does not run sharded; use "
+                    "'rvaq', or merge the shards with "
+                    "ShardedRepository.merged() first"
+                )
+            return sharded_top_k(
+                self.repository,
+                query,
+                k,
+                self.scoring,
+                self.config,
+                executor=executor,
+                round_budget=round_budget,
+                max_workers=max_workers,
+            )
         if algorithm == "rvaq":
             return RVAQ(self.repository, self.scoring, self.config).top_k(query, k)
         if algorithm == "rvaq-noskip":
@@ -360,9 +404,18 @@ class OfflineEngine:
             return pq_traverse(self.repository, query, k, self.scoring)
         raise ConfigurationError(f"unknown offline algorithm {algorithm!r}")
 
-    def localized(self, result: TopKResult) -> list[tuple[str, int, int, float]]:
+    def localized(
+        self, result: TopKResult | DistributedTopKResult
+    ) -> list[tuple[str, int, int, float]]:
         """Render a result as ``(video_id, start_clip, end_clip, score)``
         rows in rank order — the human-facing answer format."""
+        if isinstance(result, DistributedTopKResult):
+            return list(result.rows)  # the gather step localised already
+        if isinstance(self.repository, ShardedRepository):
+            raise ConfigurationError(
+                "single-repository results cannot be localised against a "
+                "sharded repository"
+            )
         rows = []
         for ranked in result.ranked:
             video_id, start = self.repository.to_local(ranked.interval.start)

@@ -333,7 +333,11 @@ class RVAQ:
     # -- decision frontier ---------------------------------------------------------------
 
     def _apply_decisions(
-        self, cols: _BoundColumns, skip: "IntervalSkipSet | set[int]", k: int
+        self,
+        cols: _BoundColumns,
+        skip: "IntervalSkipSet | set[int]",
+        k: int,
+        floor: float = float("-inf"),
     ) -> bool:
         """Maintain ``PQ_lo^K`` / ``PQ_up^¬K``, grow ``C_skip`` and test the
         stopping condition (Eq. 15).
@@ -343,6 +347,13 @@ class RVAQ:
         set; ``PQ_up^¬K`` as the masked maximum ``b_up^¬K`` over the rest.
         Ties on ``b_lo^K`` resolve to the lowest slot indices — exactly the
         stable descending sort of the scalar implementation.
+
+        ``floor`` is an *external* proven lower bound on the global K-th
+        answer score — the scatter-gather coordinator's composed bound
+        (:mod:`repro.core.distributed`).  Sequences whose upper bound falls
+        strictly below ``max(b_lo^K, floor)`` are decided out; with the
+        default ``-inf`` the behaviour (and the single-repository results)
+        are untouched.
         """
         lower, upper = cols.lower, cols.upper
         n = len(cols)
@@ -361,7 +372,7 @@ class RVAQ:
 
         if self._enable_skip:
             live = cols.live
-            out_new = live & (upper < b_lo_k)
+            out_new = live & (upper < max(b_lo_k, floor))
             if (
                 n > k
                 and not self._config.require_exact_scores

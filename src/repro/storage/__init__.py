@@ -4,9 +4,15 @@
 disk accesses* to the clip score tables; here the tables are in memory but
 every access is metered through :class:`repro.storage.access.AccessStats`,
 so the Table 6–8 comparisons count identically.
+
+Repositories persist in three on-disk formats (all loadable): legacy
+format 1, the npz-per-video format 2, and the format-3 memory-mapped
+column arena (:mod:`repro.storage.columns`) that opens in O(1) and backs
+the sharded store (:mod:`repro.storage.sharded`).
 """
 
 from repro.storage.access import AccessStats
+from repro.storage.columns import ColumnArena, ColumnArenaWriter, ColumnSpec
 from repro.storage.ingest import (
     IngestOutcome,
     VideoIngest,
@@ -15,15 +21,33 @@ from repro.storage.ingest import (
     retry_failed,
 )
 from repro.storage.repository import VideoRepository
+from repro.storage.sharded import (
+    ShardedRepository,
+    ShardManifest,
+    describe,
+    is_sharded,
+    shard_of,
+)
+from repro.storage.synth import synthetic_ingest, synthetic_repository
 from repro.storage.table import ClipScoreTable
 
 __all__ = [
     "AccessStats",
     "ClipScoreTable",
+    "ColumnArena",
+    "ColumnArenaWriter",
+    "ColumnSpec",
     "VideoIngest",
     "IngestOutcome",
     "ingest_video",
     "ingest_many",
     "retry_failed",
     "VideoRepository",
+    "ShardedRepository",
+    "ShardManifest",
+    "shard_of",
+    "is_sharded",
+    "describe",
+    "synthetic_ingest",
+    "synthetic_repository",
 ]

@@ -1,0 +1,165 @@
+"""Format-3 memory-mapped column arena.
+
+Format 2 stores each video's score columns inside a compressed ``.npz``,
+which :meth:`~repro.storage.repository.VideoRepository.load` must inflate
+eagerly — open time and resident memory grow linearly with the clip count.
+Format 3 instead lays every table column of a repository (or shard) back
+to back in one flat binary file, ``columns.bin``, and records each
+column's ``(dtype, offset, length)`` in the per-video metadata.  Opening
+the repository memory-maps the arena **once** and hands each table
+zero-copy views into it:
+
+* open time is O(#videos + #labels), independent of the clip count — no
+  page of column data is read until a query touches that label;
+* many worker processes mapping the same shard share the file's pages
+  through the OS page cache instead of each materialising a private copy,
+  which is what makes the scatter-gather process executor cheap.
+
+All four internal :class:`~repro.storage.table.ClipScoreTable` columns
+(score order *and* the by-cid permutation) are persisted, so adoption at
+load time performs no sort.  Offsets are 64-byte aligned so the views
+satisfy any dtype's alignment requirement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.errors import StorageError
+
+#: Alignment (bytes) of every column inside the arena.
+_ALIGN = 64
+
+#: dtypes a column spec may name — a tiny allow-list so a corrupted
+#: manifest cannot make us build views with arbitrary dtype strings.
+_DTYPES = {"int64": np.int64, "float64": np.float64}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Location of one column inside the arena: ``arena[offset:...]``."""
+
+    dtype: str
+    offset: int
+    length: int
+
+    def as_dict(self) -> dict[str, int | str]:
+        return {"dtype": self.dtype, "offset": self.offset, "length": self.length}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int | str]) -> "ColumnSpec":
+        try:
+            return cls(
+                dtype=str(data["dtype"]),
+                offset=int(data["offset"]),
+                length=int(data["length"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed column spec {data!r}: {exc}") from exc
+
+
+class ColumnArenaWriter:
+    """Streams aligned columns into an arena file, returning their specs."""
+
+    def __init__(self, handle: BinaryIO) -> None:
+        self._handle = handle
+        self._offset = 0
+
+    def append(self, column: np.ndarray) -> ColumnSpec:
+        """Write one column (little-endian, C order) and return its spec."""
+        name = column.dtype.name
+        if name not in _DTYPES:
+            raise StorageError(f"unsupported column dtype {name!r}")
+        pad = (-self._offset) % _ALIGN
+        if pad:
+            self._handle.write(b"\0" * pad)
+            self._offset += pad
+        spec = ColumnSpec(dtype=name, offset=self._offset, length=len(column))
+        data = np.ascontiguousarray(column).tobytes()
+        self._handle.write(data)
+        self._offset += len(data)
+        return spec
+
+    @property
+    def size(self) -> int:
+        """Bytes written so far — recorded in the manifest and verified at
+        open time, so a truncated arena is refused in O(1)."""
+        return self._offset
+
+
+class ColumnArena:
+    """A read-only memory map over ``columns.bin`` serving column views.
+
+    One file descriptor per repository regardless of how many tables it
+    holds: every column is a zero-copy slice-view of the single map, so
+    opening thousands of tables costs no page reads and no extra fds.
+    """
+
+    def __init__(self, path: Path, expected_size: int) -> None:
+        try:
+            actual = path.stat().st_size
+        except OSError as exc:
+            raise StorageError(
+                f"column arena {path} is missing — torn or partial save: {exc}"
+            ) from exc
+        if actual != expected_size:
+            raise StorageError(
+                f"column arena {path} is {actual} bytes but the manifest "
+                f"recorded {expected_size} — torn or truncated save"
+            )
+        self._path = path
+        if expected_size == 0:
+            self._raw = np.zeros(0, dtype=np.uint8)
+        else:
+            self._raw = np.memmap(path, dtype=np.uint8, mode="r")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def column(self, spec: ColumnSpec) -> np.ndarray:
+        """The column a spec describes, as a zero-copy read-only view."""
+        dtype = _DTYPES.get(spec.dtype)
+        if dtype is None:
+            raise StorageError(f"unknown column dtype {spec.dtype!r}")
+        itemsize = np.dtype(dtype).itemsize
+        stop = spec.offset + spec.length * itemsize
+        if spec.offset < 0 or stop > len(self._raw):
+            raise StorageError(
+                f"column spec [{spec.offset}, {stop}) outside arena "
+                f"{self._path} of {len(self._raw)} bytes — corrupted manifest"
+            )
+        return self._raw[spec.offset : stop].view(dtype)
+
+
+def dump_specs(specs: dict[str, ColumnSpec]) -> dict[str, dict[str, int | str]]:
+    """Serialise a named-column spec map for a JSON metadata file."""
+    return {name: spec.as_dict() for name, spec in specs.items()}
+
+
+def load_specs(data: object) -> dict[str, ColumnSpec]:
+    """Parse a named-column spec map, refusing malformed metadata."""
+    if not isinstance(data, dict):
+        raise StorageError(f"column specs must be a mapping; got {type(data).__name__}")
+    return {str(name): ColumnSpec.from_dict(entry) for name, entry in data.items()}
+
+
+def read_json(path: Path, describe: str) -> dict[str, object]:
+    """Read a JSON object file, mapping every failure mode to a torn-state
+    :class:`~repro.errors.StorageError`."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise StorageError(f"{describe} {path} is missing — torn save: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise StorageError(
+            f"{describe} {path} is not valid JSON — torn or interrupted save: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise StorageError(f"{describe} {path} must hold a JSON object")
+    return payload

@@ -241,6 +241,44 @@ def _ingest_task(
     return ingest, None, zoo.cost_meter
 
 
+#: Per-worker zoo installed by :func:`_pool_zoo_init` — one pickled fork
+#: per pool *process*, not one per submitted video.
+_WORKER_ZOO: ModelZoo | None = None
+
+
+def _pool_zoo_init(zoo: ModelZoo) -> None:
+    """Process-pool initializer: install this worker's private zoo fork.
+
+    Shipping the zoo once per worker (via ``initargs``) instead of once
+    per submitted task keeps per-video payloads down to the video plus
+    the label lists — the zoo (model profiles, caches, meter machinery)
+    is by far the largest constant in the old per-task pickle.
+    """
+    global _WORKER_ZOO
+    _WORKER_ZOO = zoo
+
+
+def _ingest_task_pooled(
+    video: LabeledVideo,
+    object_labels: Sequence[str],
+    action_labels: Sequence[str],
+    scoring: ScoringScheme | None,
+    config: OnlineConfig | None,
+) -> "tuple[VideoIngest | None, Exception | None, CostMeter]":
+    """Per-task entry point over the worker's installed zoo.
+
+    Each task still runs on a *fresh* fork of the worker zoo (reset
+    meter), so the per-task meters shipped back — and therefore the
+    merged totals and per-video ``ingest_cost_ms`` — are identical to
+    the old ship-a-zoo-per-task path.
+    """
+    if _WORKER_ZOO is None:
+        raise IngestError("ingest worker pool was not initialised with a zoo")
+    return _ingest_task(
+        video, _WORKER_ZOO.fork(), object_labels, action_labels, scoring, config
+    )
+
+
 def _settle(
     outcomes: list[IngestOutcome], on_error: IngestErrorPolicy
 ) -> list[VideoIngest] | list[IngestOutcome]:
@@ -286,9 +324,11 @@ def ingest_many(
       over per-worker zoo forks (overlaps the NumPy portions, which
       release the GIL);
     * ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`,
-      sidestepping the GIL for the pure-Python SVAQD sweeps; videos, the
-      forked zoos and the resulting ingests cross the process boundary by
-      pickling.
+      sidestepping the GIL for the pure-Python SVAQD sweeps; one zoo fork
+      ships to each worker via the pool initializer, so per-video task
+      payloads carry only the video and label lists (each task then runs
+      on a fresh fork of the worker zoo, keeping cost accounting
+      identical to the serial path).
 
     Every executor yields identical :class:`VideoIngest` results in the
     input order (the models are deterministic), and the parallel ones fold
@@ -352,12 +392,15 @@ def ingest_many(
     if executor == "process":
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_pool_zoo_init,
+            initargs=(zoo.fork(),),
+        ) as pool:
             futures = [
                 pool.submit(
-                    _ingest_task,
+                    _ingest_task_pooled,
                     video,
-                    zoo.fork(),
                     object_labels,
                     action_labels,
                     scoring,

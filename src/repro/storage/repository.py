@@ -25,11 +25,18 @@ import os
 import shutil
 from bisect import bisect_right
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
 from repro.errors import StorageError
+from repro.storage.columns import (
+    ColumnArena,
+    ColumnArenaWriter,
+    dump_specs,
+    load_specs,
+    read_json,
+)
 from repro.storage.ingest import VideoIngest
 from repro.storage.table import ClipScoreTable
 from repro.utils.intervals import Interval, IntervalSet
@@ -200,22 +207,38 @@ class VideoRepository:
 
     # -- persistence ---------------------------------------------------------------------
 
-    def save(self, directory: str | Path) -> None:
+    def save(self, directory: str | Path, *, format: int = 2) -> None:
         """Write the ingested metadata to ``directory``, atomically.
 
-        Format 2: each table's score-sorted ``(cids, scores)`` columns are
-        exported directly (:meth:`ClipScoreTable.as_columns`) instead of
-        re-assembling Nx2 row tuples through per-clip random accesses, and
-        clip ids keep their integer dtype.  :meth:`load` accepts both this
-        and the format-1 layout.
+        Format 2 (the default): each table's score-sorted ``(cids,
+        scores)`` columns are exported directly
+        (:meth:`ClipScoreTable.as_columns`) instead of re-assembling Nx2
+        row tuples through per-clip random accesses, and clip ids keep
+        their integer dtype.  :meth:`load` accepts this, the format-1
+        layout, and format 3.
 
-        Crash safety: everything is staged in a sibling temporary
-        directory — the manifest last, carrying a sha256 per data file —
-        and only a fully written stage is promoted over ``directory``.  A
-        crash at any point during staging leaves a previously saved
-        repository untouched; :meth:`load` verifies the checksums, so a
+        Format 3 (``format=3``): all four internal columns of every table
+        are laid into one flat ``columns.bin`` arena
+        (:mod:`repro.storage.columns`) with per-column offsets in the
+        video metadata.  :meth:`load` then opens the repository by
+        memory-mapping the arena once — O(1) in the clip count, no eager
+        column materialisation, and worker processes mapping the same
+        directory share pages through the OS cache.  The trade: format 3
+        verifies the manifest, metadata checksums and the arena's recorded
+        *size* at open time, but does not stream the column data through
+        sha256 (that would defeat the O(1) open; the arena's digest is
+        still recorded in the manifest for offline auditing).
+
+        Crash safety (both formats): everything is staged in a sibling
+        temporary directory — the manifest last, carrying a sha256 per
+        data file — and only a fully written stage is promoted over
+        ``directory``.  A crash at any point during staging leaves a
+        previously saved repository untouched; :meth:`load` verifies
+        checksums (format ≤ 2) or manifest-recorded sizes (format 3), so a
         torn copy of the directory is detected rather than half-loaded.
         """
+        if format not in (2, 3):
+            raise StorageError(f"unknown repository save format {format!r}")
         root = Path(directory).resolve()
         root.parent.mkdir(parents=True, exist_ok=True)
         staging = root.parent / f"{root.name}.saving-{os.getpid()}"
@@ -223,52 +246,92 @@ class VideoRepository:
             shutil.rmtree(staging)
         staging.mkdir()
         try:
-            manifest = {"format": 2, "videos": []}
-            names = _unique_safe_names(self._ingests.keys())
+            if format == 3:
+                self._stage_format3(staging)
+            else:
+                self._stage_format2(staging)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        _promote(staging, root)
+
+    def _stage_format2(self, staging: Path) -> None:
+        """Write the compressed-``npz`` format-2 layout into ``staging``."""
+        manifest: dict[str, Any] = {"format": 2, "videos": []}
+        names = _unique_safe_names(self._ingests.keys())
+        for video_id, ingest in self._ingests.items():
+            safe = names[video_id]
+            arrays: dict[str, np.ndarray] = {}
+            meta = _video_meta(ingest)
+            for kind, tables in (
+                ("obj", ingest.object_tables),
+                ("act", ingest.action_tables),
+            ):
+                for i, table in enumerate(tables.values()):
+                    cids, scores = table.as_columns()
+                    arrays[f"{kind}_{i}_cids"] = cids
+                    arrays[f"{kind}_{i}_scores"] = scores
+            np.savez_compressed(staging / f"{safe}.npz", **arrays)
+            (staging / f"{safe}.json").write_text(json.dumps(meta))
+            manifest["videos"].append(
+                {
+                    "video_id": video_id,
+                    "file": f"{safe}.npz",
+                    "meta": f"{safe}.json",
+                    "sha256": {
+                        f"{safe}.npz": _sha256(staging / f"{safe}.npz"),
+                        f"{safe}.json": _sha256(staging / f"{safe}.json"),
+                    },
+                }
+            )
+        (staging / "manifest.json").write_text(json.dumps(manifest))
+
+    def _stage_format3(self, staging: Path) -> None:
+        """Write the memory-mapped column-arena format-3 layout.
+
+        One ``columns.bin`` arena holds every table column of every video
+        (score order *and* the by-cid permutation, so loads never sort);
+        each video's JSON metadata records its columns' arena offsets; the
+        manifest, written last, records the arena's exact size (verified
+        in O(1) at open) plus per-metadata-file checksums.
+        """
+        manifest: dict[str, Any] = {"format": 3, "columns": "columns.bin", "videos": []}
+        names = _unique_safe_names(self._ingests.keys())
+        arena_path = staging / "columns.bin"
+        with open(arena_path, "wb") as handle:
+            writer = ColumnArenaWriter(handle)
             for video_id, ingest in self._ingests.items():
                 safe = names[video_id]
-                arrays: dict[str, np.ndarray] = {}
-                meta = {
-                    "video_id": video_id,
-                    "n_clips": ingest.n_clips,
-                    "object_labels": list(ingest.object_tables.keys()),
-                    "action_labels": list(ingest.action_tables.keys()),
-                    "object_sequences": {
-                        k: v.as_tuples()
-                        for k, v in ingest.object_sequences.items()
-                    },
-                    "action_sequences": {
-                        k: v.as_tuples()
-                        for k, v in ingest.action_sequences.items()
-                    },
-                    "ingest_cost_ms": ingest.ingest_cost_ms,
+                meta = _video_meta(ingest)
+                tables_meta: dict[str, dict[str, dict[str, dict[str, int | str]]]] = {
+                    "obj": {},
+                    "act": {},
                 }
                 for kind, tables in (
                     ("obj", ingest.object_tables),
                     ("act", ingest.action_tables),
                 ):
-                    for i, table in enumerate(tables.values()):
-                        cids, scores = table.as_columns()
-                        arrays[f"{kind}_{i}_cids"] = cids
-                        arrays[f"{kind}_{i}_scores"] = scores
-                np.savez_compressed(staging / f"{safe}.npz", **arrays)
+                    for label, table in tables.items():
+                        cols = table.export_columns()
+                        specs = {
+                            name: writer.append(np.asarray(col))
+                            for name, col in zip(_FORMAT3_COLUMNS, cols)
+                        }
+                        tables_meta[kind][label] = dump_specs(specs)
+                meta["tables"] = tables_meta
                 (staging / f"{safe}.json").write_text(json.dumps(meta))
                 manifest["videos"].append(
                     {
                         "video_id": video_id,
-                        "file": f"{safe}.npz",
                         "meta": f"{safe}.json",
                         "sha256": {
-                            f"{safe}.npz": _sha256(staging / f"{safe}.npz"),
-                            f"{safe}.json": _sha256(staging / f"{safe}.json"),
+                            f"{safe}.json": _sha256(staging / f"{safe}.json")
                         },
                     }
                 )
-            (staging / "manifest.json").write_text(json.dumps(manifest))
-        except BaseException:
-            shutil.rmtree(staging, ignore_errors=True)
-            raise
-        _promote(staging, root)
+            manifest["columns_size"] = writer.size
+        manifest["columns_sha256"] = _sha256(arena_path)
+        (staging / "manifest.json").write_text(json.dumps(manifest))
 
     @classmethod
     def load(cls, directory: str | Path) -> "VideoRepository":
@@ -291,6 +354,8 @@ class VideoRepository:
                 f"repository manifest under {root} is not valid JSON — "
                 f"torn or interrupted save: {exc}"
             ) from exc
+        if isinstance(manifest, dict) and manifest.get("format") == 3:
+            return cls._load_format3(root, manifest)
         repo = cls()
         for entry in manifest["videos"]:
             npz_name = entry.get("file") or f"{_safe_name(entry['video_id'])}.npz"
@@ -335,6 +400,126 @@ class VideoRepository:
                 )
             )
         return repo
+
+    @classmethod
+    def _load_format3(
+        cls, root: Path, manifest: dict[str, Any]
+    ) -> "VideoRepository":
+        """Open a format-3 directory by memory-mapping its column arena.
+
+        O(1) in the clip count: the manifest, per-video metadata and the
+        arena's recorded size are verified, but no column data is read —
+        tables adopt zero-copy views into the single map and fault pages
+        in only when a query touches their label.
+        """
+        try:
+            columns_name = str(manifest.get("columns", "columns.bin"))
+            columns_size = int(manifest["columns_size"])
+            entries = list(manifest["videos"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(
+                f"format-3 manifest under {root} is malformed — torn or "
+                f"corrupted save: {exc}"
+            ) from exc
+        arena = ColumnArena(root / columns_name, columns_size)
+        repo = cls()
+        for entry in entries:
+            try:
+                meta_name = str(entry["meta"])
+                checksums = dict(entry.get("sha256", {}))
+            except (KeyError, TypeError) as exc:
+                raise StorageError(
+                    f"format-3 manifest under {root} has a malformed video "
+                    f"entry {entry!r}: {exc}"
+                ) from exc
+            meta_path = root / meta_name
+            if not meta_path.exists():
+                raise StorageError(
+                    f"repository under {root} references {meta_name} but "
+                    f"the file is missing — torn or partial save"
+                )
+            expected = checksums.get(meta_name)
+            if expected is not None and _sha256(meta_path) != expected:
+                raise StorageError(
+                    f"checksum mismatch for {meta_name} under {root} — "
+                    f"torn or corrupted save"
+                )
+            meta = read_json(meta_path, "video metadata")
+            tables_meta = meta.get("tables")
+            if not isinstance(tables_meta, dict):
+                raise StorageError(
+                    f"format-3 metadata {meta_path} lacks a tables section"
+                )
+            repo.add(
+                VideoIngest(
+                    video_id=str(meta["video_id"]),
+                    n_clips=int(meta["n_clips"]),  # type: ignore[arg-type]
+                    object_tables=_adopt_tables(arena, tables_meta, "obj"),
+                    action_tables=_adopt_tables(arena, tables_meta, "act"),
+                    object_sequences=_parse_sequences(meta, "object_sequences"),
+                    action_sequences=_parse_sequences(meta, "action_sequences"),
+                    ingest_cost_ms=float(meta.get("ingest_cost_ms", 0.0)),  # type: ignore[arg-type]
+                )
+            )
+        return repo
+
+
+#: Column names of one table inside a format-3 arena, in export order.
+_FORMAT3_COLUMNS = ("cids", "scores", "cids_by_cid", "scores_by_cid")
+
+
+def _video_meta(ingest: VideoIngest) -> dict[str, Any]:
+    """The JSON metadata shared by every persistence format."""
+    return {
+        "video_id": ingest.video_id,
+        "n_clips": ingest.n_clips,
+        "object_labels": list(ingest.object_tables.keys()),
+        "action_labels": list(ingest.action_tables.keys()),
+        "object_sequences": {
+            k: v.as_tuples() for k, v in ingest.object_sequences.items()
+        },
+        "action_sequences": {
+            k: v.as_tuples() for k, v in ingest.action_sequences.items()
+        },
+        "ingest_cost_ms": ingest.ingest_cost_ms,
+    }
+
+
+def _parse_sequences(
+    meta: dict[str, Any], key: str
+) -> dict[str, IntervalSet]:
+    spans = meta.get(key)
+    if not isinstance(spans, dict):
+        raise StorageError(f"video metadata lacks the {key} section")
+    return {
+        str(label): IntervalSet(
+            (int(start), int(end)) for start, end in entries
+        )
+        for label, entries in spans.items()
+    }
+
+
+def _adopt_tables(
+    arena: ColumnArena, tables_meta: dict[str, Any], kind: str
+) -> dict[str, ClipScoreTable]:
+    """Adopt every table of one kind as zero-copy views into the arena."""
+    section = tables_meta.get(kind)
+    if not isinstance(section, dict):
+        raise StorageError(f"format-3 tables section lacks the {kind!r} kind")
+    tables: dict[str, ClipScoreTable] = {}
+    for label, raw_specs in section.items():
+        specs = load_specs(raw_specs)
+        missing = [name for name in _FORMAT3_COLUMNS if name not in specs]
+        if missing:
+            raise StorageError(
+                f"table {label!r} is missing columns {missing} — corrupted "
+                f"format-3 metadata"
+            )
+        tables[str(label)] = ClipScoreTable._adopt_columns(
+            str(label),
+            *(arena.column(specs[name]) for name in _FORMAT3_COLUMNS),
+        )
+    return tables
 
 
 def _load_table(

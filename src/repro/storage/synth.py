@@ -1,0 +1,73 @@
+"""Synthetic repository construction shared by benchmarks and tests.
+
+Hand-rolled :class:`~repro.storage.ingest.VideoIngest` objects with seeded
+rng — no model zoo, no simulated inference — so the offline ranking and
+storage paths can be exercised at repository scale in milliseconds.  The
+generator is the one ``benchmarks/bench_offline_topk.py`` has always used
+(dense overlapping runs, candidate-sequence count scaling with
+``n_videos * n_clips``), factored here so the sharded equivalence suite
+and the benchmark measure the exact same corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.ingest import VideoIngest
+from repro.storage.repository import VideoRepository
+from repro.storage.table import ClipScoreTable
+from repro.utils.intervals import IntervalSet
+
+#: The labels every synthetic video carries (one action, one object) —
+#: matching the benchmark's standing ``car & jumping`` query.
+SYNTH_ACTION = "jumping"
+SYNTH_OBJECT = "car"
+
+
+def synthetic_ingest(
+    video_id: str, n_clips: int, rng: np.random.Generator
+) -> VideoIngest:
+    """One synthetic video's ingest: random scores, dense run structure."""
+    act_scores = np.round(rng.random(n_clips), 3)
+    obj_scores = np.round(rng.random(n_clips), 3)
+
+    def spans() -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        pos = 0
+        while pos < n_clips:
+            start = pos + int(rng.integers(0, 3))
+            if start >= n_clips:
+                break
+            end = min(n_clips - 1, start + int(rng.integers(1, 5)))
+            out.append((start, end))
+            pos = end + 2
+        return out or [(0, n_clips - 1)]
+
+    return VideoIngest(
+        video_id=video_id,
+        n_clips=n_clips,
+        object_tables={
+            SYNTH_OBJECT: ClipScoreTable(
+                SYNTH_OBJECT, list(enumerate(obj_scores))
+            )
+        },
+        action_tables={
+            SYNTH_ACTION: ClipScoreTable(
+                SYNTH_ACTION, list(enumerate(act_scores))
+            )
+        },
+        object_sequences={SYNTH_OBJECT: IntervalSet(spans())},
+        action_sequences={SYNTH_ACTION: IntervalSet(spans())},
+    )
+
+
+def synthetic_repository(
+    n_videos: int, n_clips: int, seed: int
+) -> VideoRepository:
+    """Synthetic multi-video repository with dense overlapping runs, so
+    the candidate-sequence count scales with ``n_videos * n_clips``."""
+    rng = np.random.default_rng(seed)
+    repo = VideoRepository()
+    for v in range(n_videos):
+        repo.add(synthetic_ingest(f"v{v}", n_clips, rng))
+    return repo

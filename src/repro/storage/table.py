@@ -66,6 +66,31 @@ class ClipScoreTable:
         table._init_from_columns(label, cids, scores)
         return table
 
+    @classmethod
+    def _adopt_columns(
+        cls,
+        label: str,
+        cids: np.ndarray,
+        scores: np.ndarray,
+        cids_by_cid: np.ndarray,
+        scores_by_cid: np.ndarray,
+    ) -> "ClipScoreTable":
+        """Adopt all four persisted columns without sorting or validation.
+
+        The zero-copy load path for the format-3 memory-mapped layout: the
+        by-cid permutation was computed at save time, so opening a table is
+        four array (view) adoptions — no ``argsort``, no page reads, O(1)
+        in the number of clips.  Callers must pass columns produced by
+        :meth:`export_columns` (or equivalent); nothing is re-checked.
+        """
+        table = cls.__new__(cls)
+        table.label = label
+        table._cids = cids
+        table._scores = scores
+        table._cids_by_cid = cids_by_cid
+        table._scores_by_cid = scores_by_cid
+        return table
+
     # -- metadata ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -178,6 +203,13 @@ class ClipScoreTable:
         """The table's ``(cids, scores)`` columns in table (score) order —
         the persistence export path."""
         return self._cids.copy(), self._scores.copy()
+
+    def export_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All four internal columns ``(cids, scores, cids_by_cid,
+        scores_by_cid)`` — the format-3 persistence export, which pays the
+        by-cid sort once at save time so :meth:`_adopt_columns` can open
+        the table without touching a single data page."""
+        return self._cids, self._scores, self._cids_by_cid, self._scores_by_cid
 
     def shifted(self, offset: int) -> "ClipScoreTable":
         """A copy with all clip ids translated by ``offset`` — how the
