@@ -27,6 +27,17 @@ Writes ``BENCH_online_throughput.json``::
                     "shared": {..., "cached_units": ..., "hit_rate": ...},
                     "speedup": ...}, ...]}
 
+A second leg (``skew_cost``) measures the adaptive conjunct optimizer on
+a skewed-cost workload: the object detector runs at 10x its profile
+latency while the action recognizer stays cheap, and the query lists the
+expensive non-selective object *first*.  A :class:`WallCostMeter` burns
+real wall time proportional to every simulated millisecond charged, so
+``predicate_order="cost"`` (cheap likely-to-fail predicate first) must
+beat the fixed user order on the clock, not just on paper.  Before any
+timing, the serial and chunked paths are asserted result- and
+meter-identical per order, and the adaptive session is asserted to keep
+the chunked fast path.
+
 ``--smoke`` shrinks the sweep to a seconds-long CI sanity run.
 """
 
@@ -36,6 +47,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -44,7 +56,9 @@ from repro.core.config import OnlineConfig  # noqa: E402
 from repro.core.query import Query  # noqa: E402
 from repro.core.scheduler import MultiQueryScheduler, as_specs  # noqa: E402
 from repro.core.session import StreamSession  # noqa: E402
-from repro.detectors.zoo import default_zoo  # noqa: E402
+from repro.detectors.cost import CostMeter  # noqa: E402
+from repro.detectors.profiles import CENTERTRACK, I3D, MASK_RCNN  # noqa: E402
+from repro.detectors.zoo import build_zoo, default_zoo  # noqa: E402
 from repro.video.stream import ClipStream  # noqa: E402
 from repro.video.synthesis import (  # noqa: E402
     SceneSpec,
@@ -54,6 +68,18 @@ from repro.video.synthesis import (  # noqa: E402
 
 OBJECT_POOL = ("car", "person", "bicycle", "dog")
 ACTION = "crossing"
+
+#: Skewed-cost leg: the detector runs this many times its profile latency.
+SKEW_MULTIPLIER = 10.0
+#: Real seconds burned per simulated millisecond charged to the meter —
+#: scales the simulated cost skew into measurable wall time while keeping
+#: the smoke leg under a few seconds.
+SKEW_WALL_SCALE = 5e-7
+#: The expensive, non-selective object the skew query lists first.
+SKEW_OBJECT = "car"
+#: Regression floor: cost-based ordering must beat the user order by this
+#: factor on the skewed workload.
+SKEW_SPEEDUP_FLOOR = 1.3
 
 
 def build_video(duration_s: float, seed: int):
@@ -239,6 +265,137 @@ def run_workload(
     return row
 
 
+class WallCostMeter(CostMeter):
+    """A cost meter that burns real wall time for every fresh charge.
+
+    The simulated substrate charges milliseconds without sleeping, so a
+    "10x more expensive detector" is invisible to ``time.perf_counter``.
+    This meter busy-waits ``units * ms_per_unit * scale`` seconds inside
+    :meth:`record`, turning the simulated cost model into measurable wall
+    time; cache-served units stay free, exactly as on real hardware.
+    """
+
+    def __init__(self, scale_s_per_ms: float = SKEW_WALL_SCALE):
+        super().__init__()
+        self._scale_s_per_ms = scale_s_per_ms
+
+    def record(self, model: str, units: int, ms_per_unit: float) -> None:
+        super().record(model, units, ms_per_unit)
+        deadline = time.perf_counter() + units * ms_per_unit * self._scale_s_per_ms
+        while time.perf_counter() < deadline:
+            pass
+
+
+def build_skew_video(duration_s: float, seed: int):
+    """A scene where the expensive predicate almost never falsifies.
+
+    ``SKEW_OBJECT`` is on screen most of the time (evaluating it first
+    buys almost no short-circuiting) while the action is rare — the
+    cheap recognizer falsifies most clips on its own."""
+    spec = SceneSpec(
+        video_id="skew",
+        duration_s=duration_s,
+        tracks=(
+            TrackSpec(label=ACTION, kind="action",
+                      occupancy=0.12, mean_duration_s=10.0),
+            TrackSpec(label=SKEW_OBJECT, kind="object",
+                      occupancy=0.85, mean_duration_s=20.0),
+        ),
+    )
+    return synthesize_video(spec, seed=seed)
+
+
+def skew_zoo(cost_meter=None):
+    """The default line-up with the object detector at 10x latency."""
+    heavy = replace(
+        MASK_RCNN, ms_per_unit=MASK_RCNN.ms_per_unit * SKEW_MULTIPLIER
+    )
+    return build_zoo(heavy, I3D, CENTERTRACK, seed=3, cost_meter=cost_meter)
+
+
+def run_skew_session(video, order: str, *, cached: bool, cost_meter=None):
+    """One SVAQ session over the skew scene under the given conjunct
+    order; a fresh zoo (and so a fresh detection cache) per call keeps
+    repeat runs from being served entirely from memoised scores."""
+    zoo = skew_zoo(cost_meter)
+    config = OnlineConfig(
+        cache_detections=cached,
+        cache_chunk_clips=0,  # plan the chunk grain from measured costs
+        predicate_order=order,
+    )
+    query = Query(objects=[SKEW_OBJECT], action=ACTION)
+    session = StreamSession.for_query(zoo, query, video, config, dynamic=False)
+    chunkable = session.chunkable
+    stream = ClipStream(video.meta)
+    t0 = time.perf_counter()
+    while not stream.end():
+        session.process(stream.next())
+    result = session.finish()
+    wall = time.perf_counter() - t0
+    return wall, result, zoo, chunkable
+
+
+def run_skew_workload(duration_s: float, seed: int, repeats: int) -> dict:
+    """The skewed-cost leg: fixed user order vs cost-based ordering.
+
+    Correctness first, clock second: for each order the chunked adaptive
+    path is asserted bit-identical to the serial reference (results and
+    meter), and the adaptive session must keep the chunked fast path.
+    Only then are the two orders timed under a :class:`WallCostMeter`.
+    """
+    video = build_skew_video(duration_s, seed)
+    n_clips = video.meta.n_clips
+
+    references = {}
+    for order in ("user", "cost"):
+        _, serial, serial_zoo, _ = run_skew_session(
+            video, order, cached=False
+        )
+        _, chunked, chunked_zoo, chunkable = run_skew_session(
+            video, order, cached=True
+        )
+        assert chunkable, f"adaptive order {order!r} lost the chunked path"
+        assert chunked.sequences == serial.sequences, "sequences diverged"
+        assert chunked.evaluations == serial.evaluations, (
+            "per-clip evaluations diverged"
+        )
+        for model in (serial_zoo.detector.name, serial_zoo.recognizer.name):
+            assert chunked_zoo.cost_meter.units(model) == (
+                serial_zoo.cost_meter.units(model)
+            ), f"meter diverged for {model} under order {order!r}"
+        references[order] = chunked
+    assert (
+        references["user"].sequences == references["cost"].sequences
+    ), "cost ordering changed the answer"
+
+    rows = {}
+    for order in ("user", "cost"):
+        best_wall = float("inf")
+        for _ in range(repeats):
+            wall, result, zoo, _ = run_skew_session(
+                video, order, cached=True, cost_meter=WallCostMeter()
+            )
+            assert result.sequences == references[order].sequences
+            best_wall = min(best_wall, wall)
+        rows[order] = {
+            "wall_s": round(best_wall, 6),
+            "clips_per_s": round(n_clips / best_wall, 1),
+            "fresh_units": zoo.cost_meter.units(),
+            "simulated_ms": round(zoo.cost_meter.ms(), 1),
+            "conjunct_reorders": result.stats.conjunct_reorders,
+        }
+    return {
+        "name": "skew_cost",
+        "algorithm": "svaq",
+        "n_queries": 1,
+        "n_clips": n_clips,
+        "detector_multiplier": SKEW_MULTIPLIER,
+        "wall_scale_s_per_ms": SKEW_WALL_SCALE,
+        "orders": rows,
+        "speedup": round(rows["user"]["wall_s"] / rows["cost"]["wall_s"], 3),
+    }
+
+
 def run_chaos(video, profile_name: str, seed: int, out: Path) -> int:
     """Fault-injection smoke leg: the query fleet must finish, degrade
     gracefully and report its retry accounting — zero crashes allowed."""
@@ -357,6 +514,26 @@ def main(argv: list[str] | None = None) -> int:
                 f"is below the 1.5x floor"
             )
             return 1
+
+    skew_duration_s = 120.0 if args.smoke else 600.0
+    skew = run_skew_workload(skew_duration_s, args.seed, repeats)
+    workloads.append(skew)
+    print(
+        f"{skew['name']:10s} queries=  1 clips={skew['n_clips']:5d}  "
+        f"user={skew['orders']['user']['wall_s']*1e3:11.2f}ms  "
+        f"cost={skew['orders']['cost']['wall_s']*1e3:9.2f}ms  "
+        f"reorders={skew['orders']['cost']['conjunct_reorders']:d}  "
+        f"speedup={skew['speedup']:6.2f}x"
+    )
+    # Regression floor for the adaptive conjunct optimizer: on the skewed
+    # workload, cost-based ordering must beat the fixed user order on the
+    # wall clock (identity between the orders was asserted before timing).
+    if args.smoke and skew["speedup"] < SKEW_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: skew_cost speedup {skew['speedup']:.2f}x is below "
+            f"the {SKEW_SPEEDUP_FLOOR}x floor"
+        )
+        return 1
 
     payload = {
         "benchmark": "online_throughput",

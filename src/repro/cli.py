@@ -56,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scale", type=float, default=0.1)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
+        "--predicate-order", default="user",
+        choices=["user", "selective", "cost"],
+        help="conjunct evaluation order for online runs: the query's own "
+             "order, probe-learned ascending selectivity, or full "
+             "cost-based ranking (expected cost to falsify, from measured "
+             "per-model unit costs)",
+    )
+    query.add_argument(
         "--stats", action="store_true",
         help="print per-stage execution counters after an online run",
     )
@@ -247,6 +255,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         cache_detections=not profile.active,
         retry_max_attempts=args.retries,
         failure_policy=args.on_failure,
+        predicate_order=args.predicate_order,
     )
     if profile.active:
         print(f"faults: profile={profile.name} retries={args.retries} "
@@ -264,14 +273,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
             spans = [(iv.start, iv.end) for iv in result.degraded_sequences]
             print(f"degraded : {spans}")
         if context is not None:
+            selectivity = dict(getattr(result, "selectivity", {}) or {})
             if args.stats_json:
                 import json
 
-                print(json.dumps(
-                    context.snapshot().as_dict(), sort_keys=True
-                ))
+                payload = context.snapshot().as_dict()
+                if selectivity:
+                    # None = label never probed; strict JSON, never NaN.
+                    payload["selectivity"] = selectivity
+                print(json.dumps(payload, sort_keys=True, allow_nan=False))
             if args.stats:
                 _print_stats(context.snapshot())
+                if selectivity:
+                    rendered = ", ".join(
+                        f"{label}={rate:.3f}" if rate is not None
+                        else f"{label}=?"
+                        for label, rate in sorted(selectivity.items())
+                    )
+                    print(f"  selectivity          : {rendered}")
         return 0
 
     engine = OfflineEngine(zoo=zoo, config=RankingConfig(online=online_config))

@@ -81,10 +81,14 @@ class OnlineConfig:
     #: Predicate evaluation order (footnote 5).  "user" evaluates in query
     #: order as the paper does; "selective" reorders by empirical clip-level
     #: selectivity (estimated from the probe clips) so the predicate most
-    #: likely to fail is checked first, maximising short-circuit savings.
-    #: With static quotas (SVAQ) answers are identical either way; with
-    #: dynamic quotas the order decides which predicates observe
-    #: short-circuited clips, so borderline decisions can differ slightly.
+    #: likely to fail is checked first, maximising short-circuit savings;
+    #: "cost" additionally weighs each predicate's per-clip model cost
+    #: (observed ``CostMeter`` ms-per-unit, falling back to the deployed
+    #: profile) and ranks by expected cost-to-falsify — the cheapest
+    #: likely-to-fail predicate runs first.  With static quotas (SVAQ)
+    #: answers are identical either way; with dynamic quotas the order
+    #: decides which predicates observe short-circuited clips, so
+    #: borderline decisions can differ slightly.
     predicate_order: str = "user"
     #: Route per-clip predicate counting through a
     #: :class:`repro.detectors.cache.DetectionScoreCache` (count columns
@@ -96,7 +100,10 @@ class OnlineConfig:
     #: Clips per lazily-materialised cache chunk; larger chunks amortise
     #: the vectorised pass further at the cost of scoring ahead of the
     #: stream cursor (a chunk's column is a few KB per label, so memory
-    #: is not the constraint).
+    #: is not the constraint).  0 asks the engine to plan the chunk size
+    #: from the deployed models' measured per-clip cost
+    #: (:func:`repro.core.optimizer.planned_chunk_clips`) instead of a
+    #: constant.
     cache_chunk_clips: int = 256
     #: Model-invocation retry budget.  1 = fail fast (the fault-free
     #: default, which keeps every hot path bit-identical to the
@@ -172,12 +179,13 @@ class OnlineConfig:
             raise ConfigurationError("probe_every must be >= 0")
         if self.markov_burstiness is not None and self.markov_burstiness < 1.0:
             raise ConfigurationError("markov_burstiness must be >= 1")
-        if self.predicate_order not in ("user", "selective"):
+        if self.predicate_order not in ("user", "selective", "cost"):
             raise ConfigurationError(
-                f"predicate_order must be user/selective; "
+                f"predicate_order must be user/selective/cost; "
                 f"got {self.predicate_order!r}"
             )
-        require_positive_int(self.cache_chunk_clips, "cache_chunk_clips")
+        if self.cache_chunk_clips != 0:  # 0 = plan from measured costs
+            require_positive_int(self.cache_chunk_clips, "cache_chunk_clips")
         require_positive_int(self.retry_max_attempts, "retry_max_attempts")
         if self.retry_backoff_s < 0.0:
             raise ConfigurationError("retry_backoff_s must be >= 0")

@@ -62,6 +62,9 @@ class ExecutionStats:
     #: estimate stayed inside its last quantised bucket (the incremental
     #: refresh fast path) — the dynamic-path analogue of a cache hit.
     refresh_skipped: int = 0
+    #: Times the adaptive conjunct optimizer changed the evaluation order
+    #: (``predicate_order="selective"``/``"cost"``; 0 under user order).
+    conjunct_reorders: int = 0
     sequences_emitted: int = 0
     #: Fault-tolerance accounting: failed attempts that were retried, of
     #: which how many were deadline timeouts, and invocations whose retry
@@ -116,6 +119,7 @@ class ExecutionStats:
             "short_circuit_savings": self.short_circuit_savings,
             "quota_refreshes": self.quota_refreshes,
             "refresh_skipped": self.refresh_skipped,
+            "conjunct_reorders": self.conjunct_reorders,
             "sequences_emitted": self.sequences_emitted,
             "model_retries": self.model_retries,
             "model_timeouts": self.model_timeouts,
@@ -141,7 +145,8 @@ class ExecutionStats:
                 "detector_invocations", "recognizer_invocations",
                 "detector_cache_hits", "recognizer_cache_hits",
                 "predicates_evaluated", "predicates_skipped",
-                "quota_refreshes", "refresh_skipped", "sequences_emitted",
+                "quota_refreshes", "refresh_skipped", "conjunct_reorders",
+                "sequences_emitted",
                 "model_retries", "model_timeouts", "model_giveups",
                 "predicates_degraded", "clips_degraded",
                 "sequences_degraded",
@@ -177,6 +182,11 @@ class ExecutionStats:
             f" ({self.refresh_skipped} label lookups skipped)",
             f"  sequences emitted    : {self.sequences_emitted}",
         ]
+        if self.conjunct_reorders:
+            lines.insert(
+                -1,
+                f"  conjunct reorders    : {self.conjunct_reorders}",
+            )
         if (
             self.model_retries or self.model_timeouts or self.model_giveups
             or self.predicates_degraded or self.clips_degraded
@@ -209,6 +219,7 @@ class ExecutionContext:
     predicates_skipped: int = 0
     quota_refreshes: int = 0
     refresh_skipped: int = 0
+    conjunct_reorders: int = 0
     sequences_emitted: int = 0
     model_retries: int = 0
     model_timeouts: int = 0
@@ -278,6 +289,7 @@ class ExecutionContext:
         self.predicates_skipped += other.predicates_skipped
         self.quota_refreshes += other.quota_refreshes
         self.refresh_skipped += other.refresh_skipped
+        self.conjunct_reorders += other.conjunct_reorders
         self.sequences_emitted += other.sequences_emitted
         self.model_retries += other.model_retries
         self.model_timeouts += other.model_timeouts
@@ -311,6 +323,7 @@ class ExecutionContext:
         self.predicates_skipped = stats.predicates_skipped
         self.quota_refreshes = stats.quota_refreshes
         self.refresh_skipped = stats.refresh_skipped
+        self.conjunct_reorders = stats.conjunct_reorders
         self.sequences_emitted = stats.sequences_emitted
         self.model_retries = stats.model_retries
         self.model_timeouts = stats.model_timeouts
@@ -339,6 +352,7 @@ class ExecutionContext:
             predicates_skipped=self.predicates_skipped,
             quota_refreshes=self.quota_refreshes,
             refresh_skipped=self.refresh_skipped,
+            conjunct_reorders=self.conjunct_reorders,
             sequences_emitted=self.sequences_emitted,
             model_retries=self.model_retries,
             model_timeouts=self.model_timeouts,

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.config import OnlineConfig
 from repro.core.context import ExecutionContext
+from repro.core.optimizer import resolved_chunk_clips
 from repro.core.query import Query
 from repro.detectors.cache import DetectionScoreCache
 from repro.detectors.retry import ensure_finite, invoke_with_retry
@@ -171,6 +172,13 @@ class ClipEvaluator:
             if self._config.action_threshold is not None
             else zoo.recognizer.threshold
         )
+        # Resolve the chunk grain once: the config constant, or the
+        # cost-planned size under the ``cache_chunk_clips=0`` sentinel.
+        # Serial (cache-free) sessions use the same value as their epoch
+        # length so adaptive ordering refreshes on identical boundaries.
+        self._chunk_clips = resolved_chunk_clips(
+            self._config, zoo, video.geometry
+        )
         if cache is None and self._config.cache_detections:
             cache = DetectionScoreCache(
                 zoo,
@@ -178,7 +186,7 @@ class ClipEvaluator:
                 truth,
                 object_threshold=self._object_threshold,
                 action_threshold=self._action_threshold,
-                chunk_clips=self._config.cache_chunk_clips,
+                chunk_clips=self._chunk_clips,
             )
         elif cache is not None:
             cache.check_compatible(
@@ -186,7 +194,16 @@ class ClipEvaluator:
                 object_threshold=self._object_threshold,
                 action_threshold=self._action_threshold,
             )
+            self._chunk_clips = cache.chunk_clips
         self._cache = cache
+        #: Charge ledger of the last materialised chunk: per evaluated
+        #: label, the fresh/evaluated masks :meth:`evaluate_chunk` charged
+        #: with, so :meth:`reconcile_chunk` can refund the unconsumed
+        #: suffix when the session invalidates its buffer mid-chunk.
+        self._chunk_ledger: (
+            list[tuple[str, str, np.ndarray, np.ndarray]] | None
+        ) = None
+        self._ledger_start = 0
         # Precomputed Algorithm-2 defaults so the per-clip fast path does
         # no list/set building when the caller uses the user order.
         self._user_labels = [*query.frame_level_labels, *query.actions]
@@ -236,6 +253,29 @@ class ClipEvaluator:
     def cache(self) -> DetectionScoreCache | None:
         """The detection score cache counts come from (None = serial path)."""
         return self._cache
+
+    @property
+    def chunk_clips(self) -> int:
+        """The resolved chunk grain — the cache's block size, and the
+        epoch length adaptive ordering refreshes on (identical for the
+        cache-free reference path, so both paths reorder in lockstep)."""
+        return self._chunk_clips
+
+    def unit_cost_ms(self, label: str) -> float:
+        """Expected fresh model cost of evaluating ``label`` on one clip,
+        in simulated milliseconds: occurrence units × the meter's observed
+        ms-per-unit (profile rate before any charge).  The cost signal the
+        conjunct optimizer ranks predicates by."""
+        if label in self._action_set:
+            model = self._zoo.recognizer
+            units = self._video.geometry.shots_per_clip
+        else:
+            model = self._zoo.detector
+            units = self._video.geometry.frames_per_clip
+        rate = self._zoo.cost_meter.observed_ms_per_unit(model.name)
+        if rate is None:
+            rate = model.profile.ms_per_unit
+        return units * rate
 
     # -- per-predicate counting --------------------------------------------------
 
@@ -407,6 +447,9 @@ class ClipEvaluator:
         k_crit: Mapping[str, int],
         *,
         short_circuit: bool = True,
+        order: Sequence[str] | None = None,
+        probe_every: int = 0,
+        probe_offset: int = 0,
     ) -> tuple[list[ClipEvaluation], list[tuple[int, int, int, int, int]]]:
         """Algorithm 2 over every clip from ``start`` to the end of its
         cache chunk, in one vectorised pass per predicate.
@@ -414,11 +457,17 @@ class ClipEvaluator:
         Requires an attached :class:`DetectionScoreCache`; quotas are
         fixed for the whole block (the static-policy fast path — SVAQD
         moves quotas between clips and must stay per-clip).  Semantics are
-        identical to calling :meth:`evaluate` clip by clip in user order:
-        a predicate is evaluated on a clip iff every earlier predicate's
-        indicator held there (Algorithm 2's short-circuit), and exactly
-        those evaluations are charged, fresh or cached, via
-        :meth:`DetectionScoreCache.charge_block`.
+        identical to calling :meth:`evaluate` clip by clip in ``order``
+        (default: user order): a predicate is evaluated on a clip iff
+        every earlier predicate's indicator held there (Algorithm 2's
+        short-circuit), and exactly those evaluations are charged, fresh
+        or cached, via :meth:`DetectionScoreCache.charge_block`.
+
+        ``probe_every``/``probe_offset`` mark probe rows the way the
+        serial path does (row ``i`` is a probe iff ``probe_offset + i``,
+        the session's clip index for that row, is a multiple of
+        ``probe_every``): probe rows evaluate *every* predicate so the
+        optimizer's selectivity estimates stay unbiased by the order.
 
         Returns ``(evaluations, stats)`` where ``stats[i]`` is
         ``(evaluated_n, obj_fresh, obj_cached, act_fresh, act_cached)``
@@ -426,10 +475,26 @@ class ClipEvaluator:
         :class:`~repro.core.context.ExecutionContext` as it consumes each
         clip — meter charges land here, per-session counters land there.
         """
+        if order is None:
+            labels = self._user_labels
+        else:
+            labels = list(order)
+            if frozenset(labels) != self._expected:
+                raise QueryError(
+                    f"evaluation order {labels} does not cover the query "
+                    f"predicates {sorted(self._expected)}"
+                )
         cache = self._cache
         chunk = cache.chunk_clips
         hi = min(self._video.n_clips, (start // chunk + 1) * chunk)
         n = hi - start
+        probe: np.ndarray | None = None
+        if probe_every > 0 and short_circuit:
+            probe = (
+                np.arange(probe_offset, probe_offset + n) % probe_every
+            ) == 0
+            if not probe.any():
+                probe = None
         alive = np.ones(n, dtype=bool)
         ones = None if short_circuit else np.ones(n, dtype=bool)
         zeros = np.zeros(n, dtype=np.int64)
@@ -437,12 +502,19 @@ class ClipEvaluator:
         fresh_by_kind = {"object": zeros.copy(), "action": zeros.copy()}
         cached_by_kind = {"object": zeros.copy(), "action": zeros.copy()}
         outcome_cols: list[list[PredicateOutcome]] = []
-        for label in self._user_labels:
+        ledger: list[tuple[str, str, np.ndarray, np.ndarray]] = []
+        for label in labels:
             kind = "action" if label in self._action_set else "object"
             counts = cache.counts_block(kind, label, start, hi)
-            evaluated = alive.copy() if short_circuit else ones
+            if not short_circuit:
+                evaluated = ones
+            elif probe is not None:
+                evaluated = alive | probe
+            else:
+                evaluated = alive.copy()
             indicator = counts >= k_crit[label]
             fresh = cache.charge_block(kind, label, start, evaluated)
+            ledger.append((kind, label, fresh, evaluated))
             n_eval += evaluated
             fresh_by_kind[kind] += fresh
             cached_by_kind[kind] += evaluated & ~fresh
@@ -474,6 +546,8 @@ class ClipEvaluator:
                         col.append(skipped)
             outcome_cols.append(col)
             alive &= indicator
+        self._chunk_ledger = ledger
+        self._ledger_start = start
         # The conjunction of *all* indicators equals the serial positive:
         # short-circuiting only ever skips predicates after a negative.
         positive = alive.tolist()
@@ -495,3 +569,32 @@ class ClipEvaluator:
             )
             clip_id += 1
         return evaluations, stats
+
+    def reconcile_chunk(self, first_unconsumed: int) -> None:
+        """Refund the charges of buffer rows the session never consumed.
+
+        :meth:`evaluate_chunk` charges the whole chunk at materialisation
+        time.  When the session invalidates its buffer mid-chunk (a
+        ``short_circuit`` flip or a clip-id mismatch) the rows from
+        ``first_unconsumed`` on will be re-materialised — and re-charged —
+        so their prepaid charges must be reversed first, or the meter
+        counts the suffix twice.  Fresh rows also give their charged bits
+        back (:meth:`DetectionScoreCache.refund_block`), so the
+        re-materialisation charges them fresh exactly once, keeping the
+        accounting identical to the per-clip path.
+        """
+        ledger = self._chunk_ledger
+        if ledger is None:
+            return
+        self._chunk_ledger = None
+        offset = first_unconsumed - self._ledger_start
+        if not ledger or offset < 0 or offset >= len(ledger[0][2]):
+            return
+        cache = self._cache
+        for kind, label, fresh, evaluated in ledger:
+            fresh_tail = fresh[offset:]
+            cached_tail = evaluated[offset:] & ~fresh_tail
+            if fresh_tail.any() or cached_tail.any():
+                cache.refund_block(
+                    kind, label, first_unconsumed, fresh_tail, cached_tail
+                )

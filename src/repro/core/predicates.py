@@ -28,6 +28,7 @@ from repro.core.indicators import (
     PredicateOutcome,
     resolve_giveup,
 )
+from repro.core.optimizer import resolved_chunk_clips
 from repro.core.query import CompoundQuery, Query
 from repro.core.results import CompoundEvaluation, CompoundResult, OnlineResult
 from repro.detectors.cache import DetectionScoreCache
@@ -129,12 +130,30 @@ class ConjunctivePredicate:
         quotas: Mapping[str, int],
         *,
         short_circuit: bool,
+        order: Sequence[str] | None = None,
+        probe_every: int = 0,
+        probe_offset: int = 0,
     ) -> tuple[list[ClipEvaluation], list[tuple[int, int, int, int, int]]]:
         """Vectorised Algorithm 2 over ``start``'s whole cache chunk (see
         :meth:`repro.core.indicators.ClipEvaluator.evaluate_chunk`)."""
         return self._evaluator.evaluate_chunk(
-            start, quotas, short_circuit=short_circuit
+            start, quotas, short_circuit=short_circuit,
+            order=order, probe_every=probe_every, probe_offset=probe_offset,
         )
+
+    def reconcile_chunk(self, first_unconsumed: int) -> None:
+        """Refund prepaid charges for unconsumed buffer rows (see
+        :meth:`repro.core.indicators.ClipEvaluator.reconcile_chunk`)."""
+        self._evaluator.reconcile_chunk(first_unconsumed)
+
+    @property
+    def chunk_clips(self) -> int:
+        """The resolved chunk grain (= the adaptive-order epoch length)."""
+        return self._evaluator.chunk_clips
+
+    def unit_cost_ms(self, label: str) -> float:
+        """Expected fresh model cost of one clip evaluation of ``label``."""
+        return self._evaluator.unit_cost_ms(label)
 
     def outcome_map(
         self, evaluation: ClipEvaluation
@@ -175,6 +194,7 @@ class ConjunctivePredicate:
         k_crit_trace: tuple[Mapping[str, int], ...],
         stats: ExecutionStats | None,
         degraded_clips: tuple[int, ...] = (),
+        selectivity: Mapping[str, float | None] | None = None,
     ) -> OnlineResult:
         return OnlineResult(
             query=self._query,
@@ -185,6 +205,7 @@ class ConjunctivePredicate:
             final_rates=final_rates,
             stats=stats,
             degraded_clips=degraded_clips,
+            selectivity=dict(selectivity) if selectivity else {},
         )
 
 
@@ -258,7 +279,9 @@ class CnfPredicate:
                 video.truth,
                 object_threshold=self._object_threshold,
                 action_threshold=self._action_threshold,
-                chunk_clips=config.cache_chunk_clips,
+                chunk_clips=resolved_chunk_clips(
+                    config, zoo, video.meta.geometry
+                ),
             )
         elif cache is not None:
             cache.check_compatible(
@@ -474,6 +497,7 @@ class CnfPredicate:
         k_crit_trace: tuple[Mapping[str, int], ...],
         stats: ExecutionStats | None,
         degraded_clips: tuple[int, ...] = (),
+        selectivity: Mapping[str, float | None] | None = None,
     ) -> CompoundResult:
         return CompoundResult(
             compound=self._compound,
@@ -484,4 +508,5 @@ class CnfPredicate:
             k_crit_trace=k_crit_trace,
             stats=stats,
             degraded_clips=degraded_clips,
+            selectivity=dict(selectivity) if selectivity else {},
         )

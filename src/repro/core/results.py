@@ -57,6 +57,9 @@ class OnlineResult:
     #: Clips on which at least one predicate was resolved by a degradation
     #: policy (empty unless fault tolerance was armed and models gave up).
     degraded_clips: tuple[int, ...] = ()
+    #: Probe-based per-label firing-rate estimates at stream end (``None``
+    #: = never probed).  Strict-JSON safe — no NaN sentinels.
+    selectivity: Mapping[str, float | None] = field(default_factory=dict)
 
     @property
     def n_clips(self) -> int:
@@ -115,6 +118,9 @@ class CompoundResult:
     #: Clips on which at least one predicate was resolved by a degradation
     #: policy (empty unless fault tolerance was armed and models gave up).
     degraded_clips: tuple[int, ...] = ()
+    #: Probe-based per-label firing-rate estimates at stream end (``None``
+    #: = never probed).  Strict-JSON safe — no NaN sentinels.
+    selectivity: Mapping[str, float | None] = field(default_factory=dict)
 
     @property
     def n_clips(self) -> int:

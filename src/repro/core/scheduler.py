@@ -49,6 +49,7 @@ from repro.core.context import (
     ExecutionContext,
     ExecutionStats,
 )
+from repro.core.optimizer import resolved_chunk_clips
 from repro.core.query import CompoundQuery, Query
 from repro.core.ratebook import SharedRateBook
 from repro.core.session import StreamSession
@@ -74,8 +75,11 @@ __all__ = [
 #: Format tag of :meth:`FleetRun.state_dict` bundles.  Version 2 adds the
 #: shared rate book's grouping table; version-1 bundles still load, with
 #: rate sharing disabled for the restored fleet (a perf-only downgrade —
-#: results are identical either way).
-FLEET_STATE_VERSION = 2
+#: results are identical either way).  Version 3 records the shared
+#: cache's chunk size, so a fleet built with cost-planned chunks
+#: (``cache_chunk_clips=0``) resumes on the exact chunk grid it
+#: checkpointed with; version-2 bundles load with the config's size.
+FLEET_STATE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -278,7 +282,15 @@ class FleetRun:
         self._video = video
         self._config = config or OnlineConfig()
         if cache is None and self._config.cache_detections:
-            cache = DetectionScoreCache.for_video(zoo, video, self._config)
+            # Resolve the chunk size here (honouring the
+            # ``cache_chunk_clips=0`` plan-from-measured-costs sentinel)
+            # so every member session lands on the same chunk grid.
+            cache = DetectionScoreCache.for_video(
+                zoo, video, self._config,
+                chunk_clips=resolved_chunk_clips(
+                    self._config, zoo, video.meta.geometry
+                ),
+            )
         self._cache = cache
         # The estimator-side analogue of the detection cache: SVAQD
         # sessions with identical query shape registered at the same
@@ -414,6 +426,7 @@ class FleetRun:
         self._sessions[spec.name] = session
         self._contexts[spec.name] = session.context
         self._order.append(spec.name)
+        self._push_label_sharing()
         return spec.name
 
     def _build_session(self, spec: QuerySpec) -> StreamSession:
@@ -452,6 +465,27 @@ class FleetRun:
         del payload["name"]
         return f"{json.dumps(payload, sort_keys=True)}@{self._position}"
 
+    def label_sharing(self) -> dict[str, int]:
+        """Cross-query sharing degrees: label -> live queries watching it.
+
+        This is the fleet's planning signal for the adaptive conjunct
+        optimizer — a label shared by k queries costs each of them 1/k of
+        its fresh inference through the detection cache, so shared labels
+        rank cheaper under ``predicate_order="cost"``.
+        """
+        degrees: dict[str, int] = {}
+        for session in self._sessions.values():
+            for label in set(session.predicate_labels):
+                degrees[label] = degrees.get(label, 0) + 1
+        return degrees
+
+    def _push_label_sharing(self) -> None:
+        """Recompute sharing degrees and push them to every live session
+        (membership just changed: a register or a cancel)."""
+        degrees = self.label_sharing()
+        for session in self._sessions.values():
+            session.set_label_sharing(degrees)
+
     def cancel(self, name: str) -> Any:
         """Retire one live query and return its result so far.
 
@@ -473,6 +507,7 @@ class FleetRun:
         self._results[name] = result
         del self._sessions[name]
         del self._specs[name]
+        self._push_label_sharing()
         return result
 
     # -- stepping ----------------------------------------------------------------
@@ -566,6 +601,9 @@ class FleetRun:
             "video_id": self._video.video_id,
             "position": self._position,
             "auto_counter": self._auto_counter,
+            "chunk_clips": (
+                self._cache.chunk_clips if self._cache is not None else None
+            ),
             "retired": sorted(self._results),
             "rate_book": (
                 self._rate_book.state_dict()
@@ -604,6 +642,21 @@ class FleetRun:
             )
         self._position = int(state["position"])
         self._auto_counter = int(state.get("auto_counter", 0))
+        # v3 bundles pin the shared cache's chunk grid; a run whose config
+        # planned a different size (e.g. the meter has observations now
+        # that it lacked at first registration) must rebuild on the
+        # checkpointed grid before any session attaches, or the restored
+        # sessions' epoch cadence would diverge from the source fleet's.
+        stored_chunk = state.get("chunk_clips")
+        if (
+            stored_chunk is not None
+            and self._cache is not None
+            and self._cache.chunk_clips != int(stored_chunk)
+        ):
+            self._cache = DetectionScoreCache.for_video(
+                self._zoo, self._video, self._config,
+                chunk_clips=int(stored_chunk),
+            )
         book_state = state.get("rate_book")
         if book_state is None:
             # Version-1 bundle, or the source fleet ran unshared: restore

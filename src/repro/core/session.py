@@ -52,6 +52,7 @@ from repro.core.context import (
     ExecutionContext,
 )
 from repro.core.indicators import ClipEvaluation
+from repro.core.optimizer import ConjunctOptimizer
 from repro.core.policies import (
     DynamicQuotaPolicy,
     QuotaPolicy,
@@ -79,9 +80,11 @@ if TYPE_CHECKING:
 
 #: Format tag written into checkpoints; bump on incompatible changes.
 #: v3 adds the detection-score-cache charge state; v4 adds the
-#: fault-tolerance state (degraded clips + hold-last-estimate memory).
-#: v1–v3 checkpoints (missing entries) still load.
-CHECKPOINT_VERSION = 4
+#: fault-tolerance state (degraded clips + hold-last-estimate memory);
+#: v5 replaces the bare selectivity counters with the conjunct
+#: optimizer's state (probe statistics, reorder counter, stored epoch
+#: order).  v1–v4 checkpoints (missing entries) still load.
+CHECKPOINT_VERSION = 5
 
 #: Session lifecycle states.  A session is born RUNNING; the service layer
 #: marks it DRAINING when no further clips will arrive (cancel requested or
@@ -122,6 +125,8 @@ class StreamSession:
             "_n_labels",
             "_armed",
             "_chunkable",
+            "_adaptive",
+            "_epoch_clips",
             "_evaluations",
             "_record_trace",
             "_final_stats",
@@ -180,11 +185,26 @@ class StreamSession:
         self._record_trace = record_trace
         self._trace: list[dict[str, int]] = []
         self._final_stats = None
-        # Selectivity statistics from probe clips (footnote 5): per label,
-        # (indicator fired, evaluations) — probes evaluate every predicate,
-        # so these rates are unbiased by the evaluation order itself.
-        self._fired: dict[str, int] = {l: 0 for l in predicate.labels}
-        self._probed: dict[str, int] = {l: 0 for l in predicate.labels}
+        # The conjunct optimizer owns the probe selectivity statistics
+        # (footnote 5) and, under predicate_order="selective"/"cost",
+        # ranks the conjuncts by firing rate / expected cost-to-falsify.
+        # Probes evaluate every predicate, so the rates are unbiased by
+        # the evaluation order itself.
+        self._adaptive = (
+            self._config.predicate_order != "user"
+            and getattr(predicate, "supports_ordering", False)
+        )
+        cost_fn = getattr(predicate, "unit_cost_ms", None)
+        self._optimizer = ConjunctOptimizer(
+            predicate.labels, self._config.predicate_order, cost_fn=cost_fn
+        )
+        self._reorders_seen = 0
+        # Static adaptive sessions refresh their order on cache-chunk
+        # boundaries (the epoch), chunked or not, so the serial reference
+        # path stays bit-identical to the chunked fast path.
+        self._epoch_clips = (
+            getattr(predicate, "chunk_clips", 0) if self._adaptive else 0
+        )
 
     # -- construction ------------------------------------------------------------
 
@@ -367,40 +387,71 @@ class StreamSession:
         ``config.predicate_order = "selective"`` sorts predicates by their
         empirical clip-level selectivity (ascending firing rate — the
         predicate most likely to fail first) once at least three probe
-        clips have been observed; before that, and under ``"user"``, the
-        query's own order stands (footnote 5).  CNF predicates fix their
-        own clause order and return ``None``.
+        clips have been observed; ``"cost"`` ranks by expected model
+        cost-to-falsify (cheapest likely-to-fail predicate first, sharing
+        degrees included); before selectivity converges, and under
+        ``"user"``, the query's own order stands (footnote 5).  CNF
+        predicates fix their own clause order and return ``None``.
         """
         if not self._predicate.supports_ordering:
             return None
         override = self._order_override()
         return override if override is not None else list(self._predicate.labels)
 
-    def _order_override(self) -> list[str] | None:
-        """Selectivity-sorted order, or None when the user order stands —
-        the hot loop passes None through so the evaluator can take its
-        precomputed fast path (identical semantics to the user order)."""
-        if not self._predicate.supports_ordering:
-            return None
-        if self._config.predicate_order != "selective":
-            return None
-        if min(self._probed.values(), default=0) < 3:
-            return None
-        user_order = self._predicate.labels
-        rates = {
-            label: self._fired[label] / self._probed[label]
-            for label in user_order
-        }
-        return sorted(user_order, key=lambda label: rates[label])
+    def _order_override(self, clip_id: int | None = None) -> list[str] | None:
+        """The optimizer's order, or None when the user order stands — the
+        hot loop passes None through so the evaluator can take its
+        precomputed fast path (identical semantics to the user order).
 
-    def selectivity_estimates(self) -> dict[str, float]:
-        """Empirical per-predicate firing rates from probe clips."""
-        return {
-            label: (self._fired[label] / self._probed[label])
-            if self._probed[label]
-            else float("nan")
-            for label in self._predicate.labels
-        }
+        Dynamic sessions refresh per clip; static adaptive sessions pass
+        the clip id and refresh once per chunk-aligned epoch, so the
+        serial and chunked paths reorder on identical boundaries.
+        """
+        if not self._adaptive:
+            return None
+        if clip_id is not None and not self._policy.dynamic and self._epoch_clips:
+            order = self._optimizer.order_for_epoch(clip_id // self._epoch_clips)
+        else:
+            order = self._optimizer.current_order()
+        return list(order) if order is not None else None
+
+    def _sync_reorders(self) -> None:
+        """Mirror newly-counted order changes into the execution stats."""
+        reorders = self._optimizer.reorders
+        if reorders != self._reorders_seen:
+            self._context.conjunct_reorders += reorders - self._reorders_seen
+            self._reorders_seen = reorders
+
+    def selectivity_estimates(self) -> dict[str, float | None]:
+        """Empirical per-predicate firing rates from probe clips.
+
+        ``None`` (not NaN) for labels no probe has observed yet, so the
+        payload stays valid under strict JSON (``--stats-json``, the
+        service health endpoint)."""
+        return self._optimizer.selectivity_estimates()
+
+    def unit_cost_estimates(self) -> dict[str, float] | None:
+        """Per-label expected fresh cost of one clip evaluation in
+        simulated ms, or ``None`` when the predicate carries no cost
+        signal (CNF)."""
+        return self._optimizer.unit_costs_ms()
+
+    @property
+    def chunkable(self) -> bool:
+        """Whether this session runs the chunked static-quota fast path
+        (adaptive ordering composes with it rather than disabling it)."""
+        return self._chunkable
+
+    @property
+    def predicate_labels(self) -> tuple[str, ...]:
+        """All predicate labels, in the user's order (for fleet planning)."""
+        return self._labels
+
+    def set_label_sharing(self, degrees: Mapping[str, int]) -> None:
+        """Receive the fleet's label → live-query-count map; shared labels
+        rank cheaper under cost ordering (their fresh inference amortises
+        across sessions through the shared detection cache)."""
+        self._optimizer.set_sharing(degrees)
 
     # -- streaming --------------------------------------------------------------
 
@@ -422,10 +473,12 @@ class StreamSession:
             )
         context = self._context
         if self._chunkable:
-            # Static quotas, no probing, user evaluation order: the whole
-            # pipeline reduces to consuming the chunk buffer plus a few
-            # counter increments, so this branch stays deliberately lean
-            # (one timing pair, charged to the evaluate stage).
+            # Static quotas: the whole pipeline reduces to consuming the
+            # chunk buffer plus a few counter increments, so this branch
+            # stays deliberately lean (one timing pair, charged to the
+            # evaluate stage).  Adaptive ordering composes with it — the
+            # order is decided at chunk-materialisation time, once per
+            # epoch, and probe rows are marked inside the chunk.
             quotas = self._static_quotas
             if self._record_trace:
                 self._trace.append(dict(quotas))
@@ -438,15 +491,41 @@ class StreamSession:
                 or buffer[pos][0].clip_id != clip_id
                 or self._buffer_short_circuit != short_circuit
             ):
+                if pos < len(buffer):
+                    # Mid-chunk invalidation: the unconsumed suffix was
+                    # charged at materialisation time and is about to be
+                    # re-materialised (and re-charged) — refund it first
+                    # so the meter matches the per-clip path exactly.
+                    self._predicate.reconcile_chunk(buffer[pos][0].clip_id)
+                order = None
+                probe_every = 0
+                if self._adaptive:
+                    probe_every = self._config.probe_every
+                    order = self._order_override(clip_id)
+                    self._sync_reorders()
                 self._chunk_buffer = buffer = list(zip(
                     *self._predicate.evaluate_chunk(
-                        clip_id, quotas, short_circuit=short_circuit
+                        clip_id, quotas, short_circuit=short_circuit,
+                        order=order, probe_every=probe_every,
+                        probe_offset=self._clip_index,
                     )
                 ))
                 self._buffer_short_circuit = short_circuit
                 pos = 0
             evaluation, chunk_stats = buffer[pos]
             self._buffer_pos = pos + 1
+            if self._adaptive:
+                probe_every = self._config.probe_every
+                if (
+                    probe_every > 0
+                    and self._clip_index % probe_every == 0
+                ):
+                    context.probe_clips += 1
+                    for outcome in evaluation.outcomes:
+                        if outcome.evaluated and not outcome.degraded:
+                            self._optimizer.observe(
+                                outcome.label, outcome.indicator
+                            )
             evaluated_n, obj_fresh, obj_cached, act_fresh, act_cached = (
                 chunk_stats
             )
@@ -476,8 +555,10 @@ class StreamSession:
             return evaluation
         dynamic = self._policy.dynamic
         probe_every = self._config.probe_every
+        # Adaptive static sessions probe too — their selectivity estimates
+        # need unbiased observations just like the dynamic estimators do.
         probing = (
-            dynamic
+            (dynamic or self._adaptive)
             and probe_every > 0
             and self._clip_index % probe_every == 0
         )
@@ -488,12 +569,15 @@ class StreamSession:
         )
         if self._record_trace:
             self._trace.append(dict(quotas))
+        order = self._order_override(clip.clip_id)
+        if self._adaptive:
+            self._sync_reorders()
         start = time.perf_counter()
         evaluation = self._predicate.evaluate(
             clip.clip_id,
             quotas,
             short_circuit=short_circuit and not probing,
-            order=self._order_override(),
+            order=order,
         )
         context.add_stage_time(STAGE_EVALUATE, time.perf_counter() - start)
         outcome_map = self._predicate.outcome_map(evaluation)
@@ -507,8 +591,7 @@ class StreamSession:
                 # Degraded outcomes carry no fresh model evidence, so they
                 # must not teach the selectivity estimator.
                 if outcome.evaluated and not outcome.degraded:
-                    self._probed[outcome.label] += 1
-                    self._fired[outcome.label] += int(outcome.indicator)
+                    self._optimizer.observe(outcome.label, outcome.indicator)
         self._clip_index += 1
         context.clips_processed += 1
         context.predicates_evaluated += evaluated_n
@@ -591,6 +674,7 @@ class StreamSession:
             k_crit_trace=tuple(self._trace) if self._record_trace else (),
             stats=self._final_stats,
             degraded_clips=tuple(self._degraded_clips),
+            selectivity=self.selectivity_estimates(),
         )
 
     # -- checkpointing -------------------------------------------------------------
@@ -621,7 +705,10 @@ class StreamSession:
             ),
             "policy": self._policy.state_dict(),
             "assembler": self._assembler.state_dict(),
-            "selectivity": {"fired": self._fired, "probed": self._probed},
+            # v5: the conjunct optimizer's full state (probe statistics,
+            # reorder counter, stored epoch order) — superset of the v4
+            # "selectivity" payload.
+            "optimizer": self._optimizer.state_dict(),
             "trace": list(self._trace),
             "cache": cache.state_dict() if cache is not None else None,
             # v4: fault-tolerance state.  The degraded-clip list feeds the
@@ -682,9 +769,12 @@ class StreamSession:
         held = state.get("held")
         if held and hasattr(self._predicate, "load_held_state"):
             self._predicate.load_held_state(held)
-        selectivity = state.get("selectivity", {})
-        self._fired.update(selectivity.get("fired", {}))
-        self._probed.update(selectivity.get("probed", {}))
+        optimizer_state = state.get("optimizer")
+        if optimizer_state is None:
+            # v2–v4 checkpoints carried only the bare probe counters.
+            optimizer_state = state.get("selectivity", {})
+        self._optimizer.load_state_dict(optimizer_state)
+        self._reorders_seen = self._optimizer.reorders
         self._trace = [
             {label: int(k) for label, k in entry.items()}
             for entry in state.get("trace", [])

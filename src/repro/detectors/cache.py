@@ -125,10 +125,18 @@ class DetectionScoreCache:
         zoo: ModelZoo,
         video: "LabeledVideo",
         config: "OnlineConfig | None" = None,
+        *,
+        chunk_clips: int | None = None,
     ) -> "DetectionScoreCache":
         """A cache for one :class:`~repro.video.synthesis.LabeledVideo`,
         with thresholds resolved the way :class:`ClipEvaluator` resolves
-        them (config override, else the deployed profile's)."""
+        them (config override, else the deployed profile's).
+
+        ``chunk_clips`` overrides the config's chunk size — callers that
+        support the ``cache_chunk_clips=0`` auto-planning sentinel resolve
+        it (:func:`repro.core.optimizer.resolved_chunk_clips`) before
+        constructing the cache, since this module must not import core.
+        """
         from repro.core.config import OnlineConfig
 
         config = config or OnlineConfig()
@@ -146,7 +154,10 @@ class DetectionScoreCache:
                 if config.action_threshold is not None
                 else zoo.recognizer.threshold
             ),
-            chunk_clips=config.cache_chunk_clips,
+            chunk_clips=(
+                chunk_clips if chunk_clips is not None
+                else config.cache_chunk_clips
+            ),
         )
 
     # -- introspection -----------------------------------------------------------
@@ -273,6 +284,39 @@ class DetectionScoreCache:
         if n_cached:
             meter.record_cached(model.name, n_cached * units)
         return fresh
+
+    def refund_block(
+        self,
+        kind: str,
+        label: str,
+        lo: int,
+        fresh: np.ndarray,
+        cached: np.ndarray,
+    ) -> None:
+        """Reverse a :meth:`charge_block` charge for one label over clips
+        ``[lo, lo + len(fresh))``.
+
+        ``fresh``/``cached`` are the masks a prior charge attributed (the
+        evaluator keeps them per materialised chunk).  Fresh clips give
+        back their meter units *and* clear their charged bits, so the next
+        evaluation — under a different short-circuit regime, say — charges
+        them fresh again exactly once; cached clips only give back cached
+        units.  This is how a chunked session un-pays for buffer rows it
+        never consumed (mid-chunk invalidation) without perturbing any
+        other session's accounting.
+        """
+        key = (kind, label)
+        n_fresh = int(fresh.sum())
+        n_cached = int(cached.sum())
+        if n_fresh:
+            self._charged[key][lo : lo + len(fresh)] &= ~fresh
+        units = self._units[kind]
+        model = self._zoo.detector if kind == "object" else self._zoo.recognizer
+        meter = self._zoo.cost_meter
+        if n_fresh:
+            meter.refund(model.name, n_fresh * units, model.profile.ms_per_unit)
+        if n_cached:
+            meter.refund_cached(model.name, n_cached * units)
 
     def counts(self, kind: str, label: str, clip_id: int) -> tuple[int, int]:
         """Charge-free peek at one clip's count (diagnostics, tests)."""

@@ -63,11 +63,17 @@ def build_zoo(
     seed: int = 0,
     object_vocabulary: frozenset[str] | None = None,
     action_vocabulary: frozenset[str] | None = None,
+    cost_meter: CostMeter | None = None,
 ) -> ModelZoo:
-    """Assemble a zoo from profiles; one shared :class:`CostMeter`."""
+    """Assemble a zoo from profiles; one shared :class:`CostMeter`.
+
+    ``cost_meter`` substitutes the shared meter — benchmarks inject a
+    wall-clock-burning subclass to turn simulated milliseconds into real
+    elapsed time.
+    """
     if object_profile.kind != "object" or action_profile.kind != "action":
         raise ConfigurationError("profiles passed to the wrong zoo slots")
-    meter = CostMeter()
+    meter = cost_meter if cost_meter is not None else CostMeter()
     return ModelZoo(
         detector=SimulatedObjectDetector(
             object_profile, seed=seed, vocabulary=object_vocabulary, cost_meter=meter

@@ -392,7 +392,13 @@ class QueryService:
             queries: StateDict = {}
             for qname in state.fleet.live:
                 snap = state.fleet.context(qname).snapshot()
-                queries[qname] = snap.as_dict()
+                payload = snap.as_dict()
+                # Probe-based firing-rate estimates (None = unprobed — a
+                # strict-JSON-safe null, never NaN).
+                payload["selectivity"] = (
+                    state.fleet.session(qname).selectivity_estimates()
+                )
+                queries[qname] = payload
             for qname in state.fleet.names():
                 totals.merge(state.fleet.context(qname))
             streams[name] = {

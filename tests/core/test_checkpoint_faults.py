@@ -132,7 +132,7 @@ class TestCheckpointDegradationState:
 
     def test_state_carries_degradation_keys(self):
         state = self.run_prefix(10).state_dict()
-        assert state["version"] == 4
+        assert state["version"] == 5
         assert state["degraded_clips"], "dead label should degrade clips"
         assert "held" in state
 

@@ -318,7 +318,7 @@ class TestSharedRateEquivalence:
             assert dict(run[name].final_rates) == dict(full.final_rates)
 
     def test_checkpoint_restores_rate_groups(self, seed):
-        """A v2 fleet checkpoint records who shared with whom; the resumed
+        """A fleet checkpoint records who shared with whom; the resumed
         fleet regroups identically and finishes bit-identical to the
         uninterrupted sharing run."""
         video, query = random_video(seed, GEOMETRIES["paper"])
@@ -331,7 +331,7 @@ class TestSharedRateEquivalence:
         for _ in range(half):
             fleet.advance([clips.next()])
         state = json.loads(json.dumps(fleet.state_dict()))
-        assert state["version"] == 2
+        assert state["version"] == 3
         # Grouping must partition members exactly by query shape (all five
         # register at position 0, so shape alone decides who shares; for
         # single-object seeds every query collapses into one group).
@@ -499,3 +499,102 @@ class TestFleetMigrationEquivalence:
             assert (
                 zoo_a.cost_meter.units(model) + zoo_b.cost_meter.units(model)
             ) == reference_zoo.cost_meter.units(model)
+
+
+@pytest.mark.parametrize("order", ["user", "selective", "cost"])
+@pytest.mark.parametrize("short_circuit", [True, False])
+@pytest.mark.parametrize("seed", [11, 23])
+class TestAdaptiveOrderEquivalence:
+    """Adaptive conjunct ordering composes with the chunked fast path.
+
+    Under every ``predicate_order`` × algorithm × ``short_circuit``
+    combination, the chunked cached path must stay bit-identical to the
+    serial per-clip reference — sequences, evaluations, execution stats
+    *and* the cost meter — and a mid-stream checkpoint must carry the
+    optimizer's selectivity/order state so the resumed run reorders on
+    the exact same clips."""
+
+    def _config(self, order: str, cached: bool) -> OnlineConfig:
+        # Small chunks force several reorder epochs per stream; both
+        # backends share the size so their epoch grids coincide.
+        return OnlineConfig(
+            cache_detections=cached,
+            cache_chunk_clips=8,
+            probe_every=3,
+            predicate_order=order,
+        )
+
+    @pytest.mark.parametrize("dynamic", [False, True])
+    def test_chunked_identical_to_serial(
+        self, seed, order, short_circuit, dynamic
+    ):
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        runs = {}
+        sessions = {}
+        for backend in ("cached", "serial"):
+            zoo = default_zoo(seed=3)
+            session = StreamSession.for_query(
+                zoo, query, video, self._config(order, backend == "cached"),
+                dynamic=dynamic,
+            )
+            sessions[backend] = session
+            for clip in ClipStream(video.meta):
+                session.process(clip, short_circuit=short_circuit)
+            runs[backend] = (session.finish(), zoo)
+        # Adaptive ordering must not disarm the static fast path.
+        if not dynamic:
+            assert sessions["cached"].chunkable
+        assert not sessions["serial"].chunkable
+        cached, serial = runs["cached"][0], runs["serial"][0]
+        assert_equivalent(*runs["cached"], *runs["serial"])
+        assert dict(cached.selectivity) == dict(serial.selectivity)
+
+    @pytest.mark.parametrize("dynamic", [False, True])
+    def test_checkpoint_resume_carries_optimizer_state(
+        self, seed, order, short_circuit, dynamic
+    ):
+        video, query = random_video(seed, GEOMETRIES["paper"])
+        config = self._config(order, True)
+
+        def reference():
+            zoo = default_zoo(seed=3)
+            session = StreamSession.for_query(
+                zoo, query, video, config, dynamic=dynamic
+            )
+            for clip in ClipStream(video.meta):
+                session.process(clip, short_circuit=short_circuit)
+            return session.finish()
+
+        ref = reference()
+        # Snapshot mid-chunk AND mid-epoch (clip 11 of 8-clip chunks), the
+        # worst case for order-refresh cadence on resume.
+        zoo = default_zoo(seed=3)
+        first = StreamSession.for_query(
+            zoo, query, video, config, dynamic=dynamic
+        )
+        stream = ClipStream(video.meta)
+        for _ in range(11):
+            first.process(stream.next(), short_circuit=short_circuit)
+        prefix_reorders = first.context.conjunct_reorders
+        state = json.loads(json.dumps(first.state_dict()))
+        resumed = StreamSession.for_query(
+            default_zoo(seed=3), query, video, config, dynamic=dynamic
+        )
+        resumed.load_state_dict(state)
+        while not stream.end():
+            resumed.process(stream.next(), short_circuit=short_circuit)
+        result = resumed.finish()
+        assert result.sequences == ref.sequences
+        # Optimizer state rode the checkpoint: the resumed stream's probe
+        # statistics end identical to the uninterrupted run's.
+        assert dict(result.selectivity) == dict(ref.selectivity)
+        # The resumed context counts the tail's reorders; prefix + tail
+        # must equal the uninterrupted count (no reorder lost or doubled).
+        assert (
+            prefix_reorders + result.stats.conjunct_reorders
+            == ref.stats.conjunct_reorders
+        )
+        # Tail evaluations are bit-identical (prefix evaluations are not
+        # part of the session checkpoint contract).
+        n_tail = len(result.evaluations)
+        assert result.evaluations == ref.evaluations[-n_tail:]

@@ -375,13 +375,13 @@ class TestSelectiveOrdering:
 class TestCacheCheckpointState:
     """v3 checkpoints carry the detection cache's charge bookkeeping."""
 
-    def test_version_is_4_and_cache_state_rides_along(self, zoo):
+    def test_version_is_5_and_cache_state_rides_along(self, zoo):
         stream = ClipStream(VIDEO.meta)
         session = SvaqdSession(zoo, QUERY, VIDEO, OnlineConfig())
         for _ in range(6):
             session.process(stream.next())
         state = session.state_dict()
-        assert state["version"] == 4
+        assert state["version"] == 5
         charged = state["cache"]["charged"]
         # Six clips evaluated the leading predicate without interruption.
         assert charged["object:faucet"] == [[0, 5]]

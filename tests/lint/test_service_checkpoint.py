@@ -30,6 +30,22 @@ class TestShippedModulesClean:
         assert report.parse_errors == []
         assert [str(f) for f in report.findings] == []
 
+    def test_optimizer_state_rides_session_checkpoints(self):
+        """The conjunct optimizer and the session that embeds it both
+        carry ``state_dict``/``load_state_dict``; every ``__init__``
+        attribute must be checkpointed or excluded with rationale —
+        otherwise a resumed adaptive session would silently reorder on
+        different clips than the source run."""
+        report = lint_paths(
+            [
+                REPO_ROOT / "src" / "repro" / "core" / "optimizer.py",
+                REPO_ROOT / "src" / "repro" / "core" / "session.py",
+            ],
+            select=["RL002"],
+        )
+        assert report.parse_errors == []
+        assert [str(f) for f in report.findings] == []
+
 
 class TestRuleFiresOnServiceShapedClasses:
     def test_uncovered_attribute_is_flagged(self):
