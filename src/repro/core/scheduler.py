@@ -268,6 +268,12 @@ class FleetRun:
          "_results", "_finished", "_rate_book"}
     )
 
+    #: The declared state machine (RL007): a fleet run is live until
+    #: :meth:`finish` latches it closed, and only ``finish`` may flip the
+    #: latch (idempotently — hence both source states are legal).
+    _LIFECYCLE_ATTR = "_finished"
+    _LIFECYCLE_TRANSITIONS = {"finish": (False, True)}
+
     def __init__(
         self,
         zoo: ModelZoo,
@@ -639,6 +645,12 @@ class FleetRun:
             raise ConfigurationError(
                 f"fleet checkpoint holds video {state.get('video_id')!r}, "
                 f"not {self._video.video_id!r}"
+            )
+        version = int(state.get("version", 1))
+        if not 1 <= version <= FLEET_STATE_VERSION:
+            raise ConfigurationError(
+                f"unsupported fleet state version {version}; this build "
+                f"reads versions 1..{FLEET_STATE_VERSION}"
             )
         self._position = int(state["position"])
         self._auto_counter = int(state.get("auto_counter", 0))

@@ -135,6 +135,16 @@ class StreamSession:
         }
     )
 
+    #: The declared state machine (RL007).  Only the methods named here
+    #: may assign ``self._lifecycle``, each guarded on the current state;
+    #: the values document the states a transition may fire from.
+    _LIFECYCLE_ATTR = "_lifecycle"
+    _LIFECYCLE_TRANSITIONS = {
+        "drain": (SESSION_RUNNING, SESSION_DRAINING),
+        "mark_snapshotted": (SESSION_RUNNING, SESSION_DRAINING),
+        "finish": (SESSION_RUNNING, SESSION_DRAINING, SESSION_CLOSED),
+    }
+
     def __init__(
         self,
         video: LabeledVideo,
@@ -729,7 +739,18 @@ class StreamSession:
         The deterministic components (models, video, query, config) are
         reconstructed by the caller — build the session exactly as the
         checkpointed one was built, then load.  Returns ``self``.
+
+        Accepts every version the lattice has seen (1..5, each widening
+        handled by a keyed fallback below); anything outside that range —
+        notably a checkpoint written by a *newer* build — is rejected
+        rather than silently misread.
         """
+        version = int(state.get("version", 1))
+        if not 1 <= version <= CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint version {version}; this build "
+                f"reads versions 1..{CHECKPOINT_VERSION}"
+            )
         self._clip_index = int(state["clip_index"])
         self._prev_positive = bool(state["prev_positive"])
         pending = state.get("pending")

@@ -13,7 +13,8 @@ from typing import Sequence
 
 from repro.lint.base import all_rules
 from repro.lint.baseline import Baseline
-from repro.lint.runner import lint_paths
+from repro.lint.project import DEFAULT_LOCK_PATH
+from repro.lint.runner import lint_paths, update_version_lock
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -26,8 +27,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src tests)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="finding output format",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the check pass out over N worker processes",
+    )
+    parser.add_argument(
+        "--cache", metavar="FILE", type=Path,
+        help="content-hash result cache file (skips unchanged files)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-rule wall time after the findings",
+    )
+    parser.add_argument(
+        "--update-version-lock", action="store_true",
+        help="re-record the version lock (RL008) from the current tree and exit",
     )
     parser.add_argument(
         "--select", metavar="CODES",
@@ -64,10 +81,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{code} {rule.name}: {rule.rationale}")
         return 0
 
+    if args.update_version_lock:
+        lock = update_version_lock([Path(p) for p in args.paths])
+        print(
+            f"recorded {len(lock.entries)} versioned class(es) "
+            f"in {DEFAULT_LOCK_PATH}"
+        )
+        return 0
+
     select = (
         [c for c in args.select.split(",") if c.strip()] if args.select else None
     )
     ignore = [c for c in args.ignore.split(",") if c.strip()]
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     if args.write_baseline and args.baseline is None:
         print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
@@ -87,6 +116,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         select=select,
         ignore=ignore,
         baseline=baseline,
+        jobs=args.jobs,
+        cache_path=args.cache,
     )
 
     if args.write_baseline:
@@ -98,11 +129,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
     else:
         print(report.render_text())
     if args.summary:
         print()
         print(report.render_summary())
+    if args.stats:
+        print()
+        print(report.render_stats())
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,432 @@
+"""Intraprocedural dataflow for flow-sensitive lint rules.
+
+Three pieces, all stdlib-only and statement-granular:
+
+* :func:`build_cfg` — a control-flow graph over one function body.  Each
+  simple statement is a node; ``if``/``while``/``for``/``try``/``with``
+  introduce the edges you expect, ``raise`` statements flow to a
+  distinguished *raise exit* (routed through enclosing ``finally``
+  blocks), and ``return`` flows to the normal exit.
+* :func:`reaching_definitions` — the classic forward may-analysis over
+  local names, so a rule can ask "what was ``pool`` bound to at this
+  call site?" (e.g. RL009 resolving an executor variable back to its
+  ``ProcessPoolExecutor(...)`` constructor).
+* Path queries — :func:`always_passes_through` (every entry→target path
+  crosses a guard: the RL007 typestate check) and
+  :func:`paths_reaching` (forward reachability avoiding a node set: the
+  RL010 charge/refund pairing check).
+
+The CFG is deliberately conservative: a construct the builder does not
+model precisely (``match``, nested comprehensions, ``async for``) falls
+back to straight-line flow through the statement, which over-approximates
+reachability — rules built on it may miss exotic violations but do not
+invent paths that cannot happen the other way around for dominance
+queries, because a guard inside an unmodelled construct is simply not
+credited.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "reaching_definitions",
+    "always_passes_through",
+    "paths_reaching",
+]
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic entry/exit) in the flow graph."""
+
+    index: int
+    stmt: ast.stmt | None = None
+    #: Synthetic kind: "entry", "exit" (normal return/fall-off) or
+    #: "raise-exit" (any uncaught raise in the function).
+    kind: str = "stmt"
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.kind if self.stmt is None else ast.dump(self.stmt)[:40]
+        return f"<CFGNode {self.index} {label}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry = self._add(kind="entry")
+        self.exit = self._add(kind="exit")
+        self.raise_exit = self._add(kind="raise-exit")
+        #: Statement AST node -> CFG node index (first node for compound
+        #: statements — the test/header of an ``if``/``while``/``for``).
+        self.stmt_index: dict[ast.stmt, int] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    def _add(self, stmt: ast.stmt | None = None, kind: str = "stmt") -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        if stmt is not None and stmt not in self.stmt_index:
+            self.stmt_index[stmt] = node.index
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    # -- queries -----------------------------------------------------------------
+
+    def node_of(self, stmt: ast.stmt) -> int | None:
+        """CFG node index of a statement (None if it was never linked —
+        e.g. code inside a nested function, which has its own CFG)."""
+        return self.stmt_index.get(stmt)
+
+    def statements(self) -> Iterator[tuple[int, ast.stmt]]:
+        for node in self.nodes:
+            if node.stmt is not None and node.kind == "stmt":
+                yield node.index, node.stmt
+
+    def reachable_from(
+        self, start: int, *, avoiding: frozenset[int] = frozenset()
+    ) -> set[int]:
+        """All node indices reachable from ``start`` along edges that do
+        not pass *through* a node in ``avoiding`` (the start itself is
+        allowed to be in the set; it is not re-entered)."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for succ in self.nodes[current].succs:
+                if succ in seen or succ in avoiding:
+                    continue
+                seen.add(succ)
+                stack.append(succ)
+        return seen
+
+
+@dataclass
+class _Frame:
+    """Loop / finally context the builder threads through nested blocks."""
+
+    break_to: int | None = None
+    continue_to: int | None = None
+    #: Innermost-first chain of ``finally`` entry points an abrupt exit
+    #: (raise/return/break/continue) must route through.
+    finally_chain: tuple[list[ast.stmt], ...] = ()
+
+
+class _CFGBuilder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._breaks_stack: list[list[int]] = []
+
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        ends = self._block(func.body, [self.cfg.entry], _Frame())
+        for end in ends:
+            self.cfg._edge(end, self.cfg.exit)
+        return self.cfg
+
+    # Each _block/_stmt call returns the set of "live out" node indices —
+    # the nodes whose successor the *next* statement becomes.
+
+    def _block(
+        self, stmts: list[ast.stmt], preds: list[int], frame: _Frame
+    ) -> list[int]:
+        current = preds
+        for stmt in stmts:
+            if not current:
+                # Unreachable code after a return/raise still gets nodes
+                # (rules may anchor findings there) but no inbound edges.
+                current = []
+            current = self._stmt(stmt, current, frame)
+        return current
+
+    def _stmt(
+        self, stmt: ast.stmt, preds: list[int], frame: _Frame
+    ) -> list[int]:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.If,)):
+            head = cfg._add(stmt)
+            for p in preds:
+                cfg._edge(p, head)
+            body_ends = self._block(stmt.body, [head], frame)
+            if stmt.orelse:
+                else_ends = self._block(stmt.orelse, [head], frame)
+            else:
+                else_ends = [head]
+            return body_ends + else_ends
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = cfg._add(stmt)
+            for p in preds:
+                cfg._edge(p, head)
+            after: list[int] = [head]
+            loop_frame = _Frame(
+                continue_to=head, finally_chain=frame.finally_chain
+            )
+            # "After the loop" does not exist as a node yet, so break
+            # statements park their sources here and the loop's callers
+            # wire them to whatever follows.
+            breaks: list[int] = []
+            self._breaks_stack.append(breaks)
+            body_ends = self._block(stmt.body, [head], loop_frame)
+            self._breaks_stack.pop()
+            for end in body_ends:
+                cfg._edge(end, head)  # back edge
+            if stmt.orelse:
+                after = self._block(stmt.orelse, [head], frame)
+            return after + breaks
+        if isinstance(stmt, (ast.Try,)):
+            return self._try(stmt, preds, frame)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = cfg._add(stmt)
+            for p in preds:
+                cfg._edge(p, head)
+            return self._block(stmt.body, [head], frame)
+        # Simple statements.
+        node = cfg._add(stmt)
+        for p in preds:
+            cfg._edge(p, node)
+        if isinstance(stmt, ast.Return):
+            self._route_abrupt(node, frame, cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._route_abrupt(node, frame, cfg.raise_exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self._breaks_stack:
+                self._breaks_stack[-1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if frame.continue_to is not None:
+                self._route_abrupt(node, frame, frame.continue_to)
+            return []
+        return [node]
+
+    def _route_abrupt(self, src: int, frame: _Frame, target: int) -> None:
+        """Route an abrupt exit through enclosing ``finally`` bodies."""
+        cfg = self.cfg
+        current = [src]
+        for finally_body in frame.finally_chain:
+            current = self._block(finally_body, current, _Frame())
+        for end in current:
+            cfg._edge(end, target)
+
+    def _try(
+        self, stmt: ast.Try, preds: list[int], frame: _Frame
+    ) -> list[int]:
+        cfg = self.cfg
+        inner_frame = _Frame(
+            break_to=frame.break_to,
+            continue_to=frame.continue_to,
+            finally_chain=(
+                ((stmt.finalbody,) + frame.finally_chain)
+                if stmt.finalbody
+                else frame.finally_chain
+            ),
+        )
+        body_ends = self._block(stmt.body, preds, inner_frame)
+        # Any statement in the try body may raise into the handlers: give
+        # every body node an edge to each handler head (conservative).
+        body_nodes = [
+            index
+            for s in stmt.body
+            if (index := cfg.node_of(s)) is not None
+        ]
+        handler_ends: list[int] = []
+        for handler in stmt.handlers:
+            # A synthetic head standing for "exception dispatched here".
+            head = cfg._add(None, "stmt")
+            for src in body_nodes:
+                cfg._edge(src, head)
+            for p in preds:
+                # The very first bytecode of the try can raise too.
+                cfg._edge(p, head)
+            handler_ends.extend(self._block(handler.body, [head], inner_frame))
+        else_ends = (
+            self._block(stmt.orelse, body_ends, inner_frame)
+            if stmt.orelse
+            else body_ends
+        )
+        normal_ends = else_ends + handler_ends
+        if stmt.finalbody:
+            return self._block(stmt.finalbody, normal_ends, frame)
+        return normal_ends
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The control-flow graph of one function's own body.
+
+    Nested function/class bodies are *not* linked in — they execute at
+    call time, not inline — but their ``def`` statement is a node.
+    """
+    return _CFGBuilder().build(func)
+
+
+# -- reaching definitions ------------------------------------------------------------
+
+
+def _assigned_names(stmt: ast.stmt) -> Iterator[str]:
+    """Local names a statement (re)binds, including tuple unpacking,
+    ``with ... as``, ``for`` targets and walrus expressions."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets.extend(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets.append(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets.append(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets.append(item.optional_vars)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name
+        return
+    # Walrus bindings anywhere in the statement's expressions.
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+            yield sub.target.id
+    stack = list(targets)
+    while stack:
+        target = stack.pop()
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            stack.append(target.value)
+
+
+def reaching_definitions(
+    cfg: CFG,
+) -> dict[int, dict[str, frozenset[int]]]:
+    """Classic forward may-analysis: for each node, the set of definition
+    nodes (by index) that may reach its *entry*, per local name.
+
+    A definition is any statement that rebinds the name (see
+    :func:`_assigned_names`).  The result maps
+    ``node index -> {name -> defining node indices}``.
+    """
+    gen: dict[int, dict[str, int]] = {}
+    for index, stmt in cfg.statements():
+        for name in _assigned_names(stmt):
+            gen.setdefault(index, {})[name] = index
+
+    n = len(cfg.nodes)
+    in_sets: list[dict[str, frozenset[int]]] = [{} for _ in range(n)]
+    out_sets: list[dict[str, frozenset[int]]] = [{} for _ in range(n)]
+    worklist = list(range(n))
+    while worklist:
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        merged: dict[str, set[int]] = {}
+        for pred in node.preds:
+            for name, defs in out_sets[pred].items():
+                merged.setdefault(name, set()).update(defs)
+        new_in = {name: frozenset(defs) for name, defs in merged.items()}
+        new_out = dict(new_in)
+        for name, def_index in gen.get(index, {}).items():
+            new_out[name] = frozenset({def_index})
+        if new_in != in_sets[index] or new_out != out_sets[index]:
+            in_sets[index] = new_in
+            out_sets[index] = new_out
+            worklist.extend(node.succs)
+    return {index: in_sets[index] for index in range(n)}
+
+
+# -- path queries --------------------------------------------------------------------
+
+
+def always_passes_through(
+    cfg: CFG, target: int, guards: Iterable[int]
+) -> bool:
+    """True when every entry→``target`` path crosses a guard node.
+
+    Equivalently: with the guard nodes removed from the graph, ``target``
+    is unreachable from the entry.  With no guards at all this is False
+    (unless the target itself is unreachable).
+    """
+    blocked = frozenset(guards)
+    if target in blocked:
+        return True
+    reachable = cfg.reachable_from(cfg.entry, avoiding=blocked)
+    return target not in reachable
+
+
+def paths_reaching(
+    cfg: CFG,
+    start: int,
+    targets: Iterable[int],
+    *,
+    avoiding: Iterable[int] = (),
+) -> set[int]:
+    """Which of ``targets`` some path from ``start`` reaches without
+    passing through an ``avoiding`` node.  The gen/kill pairing query:
+    ``paths_reaching(cfg, charge, raises, avoiding=refunds)`` returns the
+    raise sites a charged unit can escape to un-refunded.
+    """
+    reachable = cfg.reachable_from(start, avoiding=frozenset(avoiding))
+    return {t for t in targets if t in reachable and t != start}
+
+
+def find_calls(
+    tree: ast.AST, predicate: Callable[[ast.Call], bool]
+) -> list[ast.Call]:
+    """All calls under ``tree`` (nested defs included) matching ``predicate``."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call) and predicate(node)
+    ]
+
+
+def enclosing_statements(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[ast.AST, ast.stmt]:
+    """Map every AST node inside ``func``'s body to the *top-level-in-a-
+    block* statement containing it — the statement the CFG has a node
+    for.  Nested function bodies are excluded (they have their own CFG).
+    """
+    mapping: dict[ast.AST, ast.stmt] = {}
+
+    def visit_stmt(stmt: ast.stmt) -> None:
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            mapping[node] = stmt
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    mapping[child] = stmt  # the def statement itself
+                    continue  # ...but not its body
+                if isinstance(child, ast.stmt):
+                    continue  # nested block statement: visited separately
+                stack.append(child)
+
+    def visit_block(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            visit_stmt(stmt)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scopes keep their own statements
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and inner and isinstance(inner[0], ast.stmt):
+                    visit_block(inner)
+            for handler in getattr(stmt, "handlers", []):
+                visit_block(handler.body)
+
+    visit_block(func.body)
+    return mapping

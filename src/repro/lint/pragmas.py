@@ -3,7 +3,10 @@
 Three forms, mirroring the linters people already know:
 
 * ``# reprolint: disable=RL001`` — suppress on the same line;
-* ``# reprolint: disable-next=RL001`` — suppress on the following line;
+* ``# reprolint: disable-next=RL001`` — suppress on the next *code*
+  line (blank and comment lines are skipped); when that line opens a
+  decorated definition, the suppression also covers the ``def``/``class``
+  line itself, since that is where rules anchor their findings;
 * ``# reprolint: disable-file=RL001`` — suppress everywhere in the file.
 
 Codes are comma-separated; ``all`` matches every rule.  Pragmas are an
@@ -26,13 +29,44 @@ _PRAGMA_RE = re.compile(
 )
 
 
+def _disable_next_targets(lines: list[str], pragma_lineno: int) -> list[int]:
+    """Line numbers a ``disable-next`` pragma on ``pragma_lineno`` covers.
+
+    The next non-blank, non-comment line; if that opens a decorator
+    stack, the ``def``/``class`` line underneath it as well (findings on
+    decorated definitions anchor at the ``def``, not the ``@``).  A
+    pragma on the last line covers nothing.
+    """
+    targets: list[int] = []
+    lineno = pragma_lineno  # 1-based; lines[lineno] is the next line
+    while lineno < len(lines):
+        stripped = lines[lineno].strip()
+        lineno += 1
+        if not stripped or stripped.startswith("#"):
+            continue
+        targets.append(lineno)
+        if not stripped.startswith("@"):
+            break
+        # Scan past the decorator stack (including multi-line decorator
+        # calls) to the definition it applies to.
+        while lineno < len(lines):
+            stripped = lines[lineno].strip()
+            lineno += 1
+            if stripped.startswith(("def ", "async def ", "class ")):
+                targets.append(lineno)
+                return targets
+        break
+    return targets
+
+
 class FilePragmas:
     """Suppression state for one source file."""
 
     def __init__(self, source: str) -> None:
         self.file_wide: set[str] = set()
         self.by_line: dict[int, set[str]] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
+        lines = source.splitlines()
+        for lineno, line in enumerate(lines, start=1):
             if "reprolint" not in line:
                 continue
             for match in _PRAGMA_RE.finditer(line):
@@ -45,7 +79,8 @@ class FilePragmas:
                 if kind == "disable-file":
                     self.file_wide |= codes
                 elif kind == "disable-next":
-                    self.by_line.setdefault(lineno + 1, set()).update(codes)
+                    for target in _disable_next_targets(lines, lineno):
+                        self.by_line.setdefault(target, set()).update(codes)
                 else:
                     self.by_line.setdefault(lineno, set()).update(codes)
 

@@ -1,0 +1,115 @@
+"""RL006 async-safety: the service event loop must never block.
+
+``repro.service`` runs a single-threaded asyncio loop multiplexing every
+tenant; one ``time.sleep`` or synchronous ``Pipe.recv`` inside an
+``async def`` stalls *all* sessions at once, and nothing crashes — the
+service just goes quiet.  This rule flags three shapes inside
+``async def`` bodies:
+
+* a call from the known-blocking table (``time.sleep``, ``subprocess``,
+  ``open``, Pipe/file reads — see
+  :data:`repro.lint.project.BLOCKING_CALLS`);
+* a call to a project function that *transitively* reaches a blocking
+  call, resolved through the phase-one index's call graph (the helper
+  two modules away that ends in ``time.sleep`` is still a stall);
+* a ``while`` loop whose body contains no ``await`` — a busy loop never
+  yields control back to the event loop, which starves every other
+  coroutine even when each iteration is cheap.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.base import Finding, LintContext, Rule, register
+from repro.lint.project import call_target, is_blocking_call
+
+_AsyncDef = ast.AsyncFunctionDef
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body, not the bodies of nested defs/lambdas
+    (those run at *their* call time, which may be off-loop)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+@dataclass
+class AsyncSafetyRule(Rule):
+    code: str = "RL006"
+    name: str = "async-safety"
+    rationale: str = (
+        "blocking calls or never-yielding loops inside async def stall "
+        "the single-threaded service event loop for every tenant"
+    )
+    scopes: tuple[tuple[str, ...], ...] = (("repro", "service"),)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        blocking = project.blocking_functions() if project is not None else {}
+        module = (
+            project.module_by_path(ctx.path) if project is not None else None
+        )
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, _AsyncDef):
+                continue
+            caller = None
+            if module is not None:
+                caller = next(
+                    (
+                        fn
+                        for fn in module.functions
+                        if fn.lineno == func.lineno and fn.is_async
+                    ),
+                    None,
+                )
+            for node in _own_nodes(func):
+                if isinstance(node, ast.Call):
+                    target = call_target(node)
+                    if target is None:
+                        continue
+                    if is_blocking_call(node, target):
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"blocking call {target}(...) inside "
+                            f"async def {func.name}; it stalls the event "
+                            "loop — use the asyncio equivalent or move it "
+                            "to an executor",
+                        )
+                        continue
+                    if project is None or module is None or caller is None:
+                        continue
+                    resolved = project.resolve_call(module, caller, target)
+                    if resolved is not None and resolved in blocking:
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"call to {resolved}(...) blocks "
+                            f"({blocking[resolved]}) inside "
+                            f"async def {func.name}",
+                        )
+                elif isinstance(node, ast.While):
+                    if not any(
+                        isinstance(sub, (ast.Await, ast.AsyncFor, ast.AsyncWith))
+                        for stmt in node.body
+                        for sub in ast.walk(stmt)
+                    ):
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"while loop in async def {func.name} never "
+                            "awaits; a busy loop starves every other "
+                            "coroutine — await inside the loop body",
+                        )

@@ -1,0 +1,332 @@
+"""RL009 fork-safety: nothing unpicklable crosses a process boundary.
+
+PR 8's worst bug was exactly this: an object holding a live resource
+(the model zoo, a lock, an open memmap) rode into a
+``ProcessPoolExecutor`` task and either failed to pickle at submit time
+— the lucky case — or pickled a *copy* whose file handle pointed
+somewhere stale.  The rule finds process-boundary crossings and checks
+the payloads flow-sensitively:
+
+* ``pool.submit(...)``/``pool.map(...)`` where ``pool``'s reaching
+  definition is a ``ProcessPoolExecutor(...)`` construction (plain
+  thread pools pass by reference and are exempt);
+* ``ctx.Process(target=..., args=(...))`` construction;
+* ``conn.send(...)`` where ``conn`` came from a ``Pipe()`` unpack;
+* ``ProcessPoolExecutor(initializer=..., initargs=(...))`` itself.
+
+A payload is flagged when it is a lambda or closure-captured nested
+function, a name whose reaching definition constructs a lock / open
+handle / memmap (:data:`repro.lint.project.RISKY_FACTORIES`) or an
+instance of an indexed class carrying such attributes, or a bound
+``self.method`` on such a class — unless the class declares its own
+``__getstate__``/``__reduce__``, which is the documented way to say
+"I drop my unpicklable members" (see ``CostMeter``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.base import Finding, LintContext, Rule, dotted_name, register
+from repro.lint.dataflow import (
+    CFG,
+    build_cfg,
+    enclosing_statements,
+    reaching_definitions,
+)
+from repro.lint.project import (
+    RISKY_FACTORIES,
+    ClassSummary,
+    ModuleSummary,
+    ProjectIndex,
+)
+
+_EXECUTOR_METHODS = frozenset({"submit", "map"})
+
+
+def _constructs(stmt: ast.stmt | None, class_name: str) -> bool:
+    """Does this definition statement bind its target to ``class_name(...)``?"""
+    if stmt is None:
+        return False
+    values: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        values.append(stmt.value)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        values.append(stmt.value)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        values.extend(item.context_expr for item in stmt.items)
+    for value in values:
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name is not None and name.rpartition(".")[2] == class_name:
+                return True
+    return False
+
+
+@dataclass
+class _FunctionView:
+    """Lazily built per-function flow facts."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    cfg: CFG
+    reaching: dict[int, dict[str, frozenset[int]]]
+    enclosing: dict[ast.AST, ast.stmt]
+
+    @classmethod
+    def build(
+        cls, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> "_FunctionView":
+        cfg = build_cfg(func)
+        return cls(func, cfg, reaching_definitions(cfg), enclosing_statements(func))
+
+    def defs_of(self, node: ast.AST, name: str) -> list[ast.stmt]:
+        """Definition statements of ``name`` reaching the statement
+        containing ``node`` (empty for parameters/globals)."""
+        stmt = self.enclosing.get(node)
+        index = self.cfg.node_of(stmt) if stmt is not None else None
+        if index is None:
+            return []
+        out: list[ast.stmt] = []
+        for def_index in self.reaching[index].get(name, frozenset()):
+            def_stmt = self.cfg.nodes[def_index].stmt
+            if def_stmt is not None:
+                out.append(def_stmt)
+        return out
+
+
+@register
+@dataclass
+class ForkSafetyRule(Rule):
+    code: str = "RL009"
+    name: str = "fork-safety"
+    rationale: str = (
+        "locks, memmaps, open handles and closures do not survive the "
+        "pickle across ProcessPoolExecutor/Pipe boundaries"
+    )
+    scopes: tuple[tuple[str, ...], ...] = (("repro",),)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        module = (
+            project.module_by_path(ctx.path) if project is not None else None
+        )
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            candidates = [
+                node
+                for node in ast.walk(func)
+                if isinstance(node, ast.Call) and self._maybe_boundary(node)
+            ]
+            if not candidates:
+                continue
+            view = _FunctionView.build(func)
+            for call in candidates:
+                payloads = self._boundary_payloads(call, view)
+                if payloads is None:
+                    continue
+                for payload in payloads:
+                    reason = self._payload_risk(
+                        ctx, project, module, view, payload
+                    )
+                    if reason is not None:
+                        yield ctx.finding(
+                            payload,
+                            self.code,
+                            f"{reason} crosses a process boundary here; it "
+                            "will not survive pickling — pass plain data "
+                            "or define __getstate__ to drop live resources",
+                        )
+
+    # -- boundary detection ------------------------------------------------------
+
+    @staticmethod
+    def _maybe_boundary(call: ast.Call) -> bool:
+        """Cheap syntactic pre-filter; the real check is flow-sensitive."""
+        name = dotted_name(call.func)
+        if name is not None and name.rpartition(".")[2] in (
+            "ProcessPoolExecutor",
+            "Process",
+        ):
+            return True
+        return (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.attr in (*_EXECUTOR_METHODS, "send")
+        )
+
+    def _boundary_payloads(
+        self, call: ast.Call, view: _FunctionView
+    ) -> list[ast.expr] | None:
+        """The expressions shipped across a boundary, or None if ``call``
+        is not a boundary site."""
+        func = call.func
+        name = dotted_name(func)
+        # ProcessPoolExecutor(initializer=..., initargs=(...)) itself.
+        if name is not None and name.rpartition(".")[2] == "ProcessPoolExecutor":
+            payloads: list[ast.expr] = []
+            for keyword in call.keywords:
+                if keyword.arg == "initializer":
+                    payloads.append(keyword.value)
+                elif keyword.arg == "initargs":
+                    payloads.extend(self._tuple_elements(keyword.value))
+            return payloads or None
+        # ctx.Process(target=..., args=(...)) / Process(...).
+        if name is not None and name.rpartition(".")[2] == "Process":
+            payloads = []
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    payloads.append(keyword.value)
+                elif keyword.arg in ("args", "kwargs"):
+                    payloads.extend(self._tuple_elements(keyword.value))
+            return payloads or None
+        if not isinstance(func, ast.Attribute) or not isinstance(
+            func.value, ast.Name
+        ):
+            return None
+        receiver = func.value.id
+        if func.attr in _EXECUTOR_METHODS:
+            defs = view.defs_of(call, receiver)
+            if any(_constructs(d, "ProcessPoolExecutor") for d in defs):
+                return [*call.args, *(kw.value for kw in call.keywords)]
+            return None
+        if func.attr == "send":
+            defs = view.defs_of(call, receiver)
+            if any(_constructs(d, "Pipe") for d in defs):
+                return list(call.args)
+            return None
+        return None
+
+    @staticmethod
+    def _tuple_elements(value: ast.expr) -> list[ast.expr]:
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return list(value.elts)
+        if isinstance(value, ast.Dict):
+            return [v for v in value.values if v is not None]
+        return [value]
+
+    # -- payload classification ----------------------------------------------------
+
+    def _payload_risk(
+        self,
+        ctx: LintContext,
+        project: ProjectIndex | None,
+        module: ModuleSummary | None,
+        view: _FunctionView,
+        payload: ast.expr,
+    ) -> str | None:
+        if isinstance(payload, ast.Lambda):
+            return "a lambda"
+        if isinstance(payload, ast.Call):
+            return self._constructor_risk(
+                project, module, dotted_name(payload.func)
+            )
+        if isinstance(payload, ast.Attribute) and isinstance(
+            payload.value, ast.Name
+        ):
+            if payload.value.id == "self":
+                return self._self_attr_risk(ctx, project, payload)
+            for def_stmt in view.defs_of(payload, payload.value.id):
+                risk = self._definition_risk(project, module, def_stmt)
+                if risk is not None:
+                    return f"{risk} (via bound attribute {payload.value.id}.{payload.attr})"
+            return None
+        if isinstance(payload, ast.Name):
+            for def_stmt in view.defs_of(payload, payload.id):
+                risk = self._definition_risk(project, module, def_stmt)
+                if risk is not None:
+                    return risk
+            return None
+        return None
+
+    def _definition_risk(
+        self,
+        project: ProjectIndex | None,
+        module: ModuleSummary | None,
+        def_stmt: ast.stmt,
+    ) -> str | None:
+        if isinstance(def_stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return f"the nested function {def_stmt.name} (a closure)"
+        value: ast.expr | None = None
+        if isinstance(def_stmt, ast.Assign):
+            value = def_stmt.value
+        elif isinstance(def_stmt, ast.AnnAssign):
+            value = def_stmt.value
+        if isinstance(value, ast.Call):
+            return self._constructor_risk(
+                project, module, dotted_name(value.func)
+            )
+        return None
+
+    def _constructor_risk(
+        self,
+        project: ProjectIndex | None,
+        module: ModuleSummary | None,
+        ctor: str | None,
+    ) -> str | None:
+        if ctor is None:
+            return None
+        if ctor in RISKY_FACTORIES:
+            return f"a {RISKY_FACTORIES[ctor]}"
+        summary = self._resolve_class(project, module, ctor)
+        if (
+            summary is not None
+            and summary.risky_attrs
+            and not summary.defines_pickle_protocol
+        ):
+            attrs = ", ".join(
+                f"{attr} ({kind})" for attr, kind in summary.risky_attrs
+            )
+            return f"an instance of {summary.name} carrying {attrs}"
+        return None
+
+    @staticmethod
+    def _resolve_class(
+        project: ProjectIndex | None,
+        module: ModuleSummary | None,
+        ctor: str,
+    ) -> ClassSummary | None:
+        if project is None or module is None:
+            return None
+        if "." not in ctor:
+            return project.class_by_local_name(module, ctor)
+        head, _, rest = ctor.partition(".")
+        imports = dict(module.imports)
+        base = imports.get(head)
+        if base is None:
+            return None
+        return project.classes().get(f"{base}.{rest}")
+
+    def _self_attr_risk(
+        self,
+        ctx: LintContext,
+        project: ProjectIndex | None,
+        payload: ast.Attribute,
+    ) -> str | None:
+        if project is None:
+            return None
+        owner = next(
+            (
+                anc
+                for anc in ctx.ancestors(payload)
+                if isinstance(anc, ast.ClassDef)
+            ),
+            None,
+        )
+        if owner is None:
+            return None
+        summary = project.classes().get(f"{ctx.module_name}.{owner.name}")
+        if summary is None or summary.defines_pickle_protocol:
+            return None
+        risky = dict(summary.risky_attrs)
+        if payload.attr in risky:
+            return f"self.{payload.attr}, a {risky[payload.attr]},"
+        if payload.attr in summary.methods and risky:
+            attrs = ", ".join(f"{a} ({k})" for a, k in summary.risky_attrs)
+            return (
+                f"the bound method self.{payload.attr} (pickles the whole "
+                f"{owner.name}, which carries {attrs})"
+            )
+        return None

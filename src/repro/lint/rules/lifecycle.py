@@ -1,0 +1,228 @@
+"""RL007 lifecycle-typestate: state transitions must be declared and guarded.
+
+:class:`~repro.core.session.StreamSession` moves through
+RUNNING → DRAINING → SNAPSHOTTED → CLOSED and a pile of invariants hang
+off that order (you cannot ``process`` after ``drain``, cannot
+``finish`` before ``mark_snapshotted``).  The machine itself lives only
+in convention: any method can scribble ``self._lifecycle`` and nothing
+objects until a checkpoint round-trips wrong.  This rule makes the
+machine declared and checked:
+
+* a lifecycle class declares ``_LIFECYCLE_ATTR`` (the attribute holding
+  the state) and ``_LIFECYCLE_TRANSITIONS`` (method name → tuple of
+  states the method may fire from);
+* only methods named in the table (plus ``__init__`` and the restore
+  methods) may assign the attribute;
+* inside a table method, every assignment must be *dominated* by a guard
+  statement that reads the attribute first — checked on the CFG with
+  :func:`repro.lint.dataflow.always_passes_through`, so a guard hidden
+  behind ``if fast_path:`` does not count;
+* a class that assigns ``self._lifecycle`` from two or more methods
+  without declaring the table is flagged too — the machine exists,
+  declare it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.base import Finding, LintContext, Rule, register
+from repro.lint.dataflow import always_passes_through, build_cfg, enclosing_statements
+
+#: Methods allowed to assign the lifecycle attribute without appearing in
+#: the transition table: construction and checkpoint restore *set* state,
+#: they do not transition it.
+_EXEMPT_METHODS = frozenset(
+    {"__init__", "__setstate__", "load_state_dict", "from_state_dict", "from_dict"}
+)
+
+#: The conventional attribute name the discovery check looks for in
+#: classes that have not declared a table yet.
+_DISCOVERY_ATTR = "_lifecycle"
+
+
+def _declared_contract(cls: ast.ClassDef) -> tuple[str | None, dict[str, int] | None]:
+    """(lifecycle attr, {table method: lineno}) from class-level declarations."""
+    attr: str | None = None
+    table: dict[str, int] | None = None
+    for stmt in cls.body:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            value = stmt.value
+            if target.id == "_LIFECYCLE_ATTR":
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    attr = value.value
+            elif target.id == "_LIFECYCLE_TRANSITIONS":
+                if isinstance(value, ast.Dict):
+                    table = {
+                        key.value: key.lineno
+                        for key in value.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    }
+    return attr, table
+
+
+def _attr_assignments(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, attr: str
+) -> list[ast.stmt]:
+    """Statements in ``func``'s own body assigning ``self.<attr>``."""
+    enclosing = enclosing_statements(func)
+    out: list[ast.stmt] = []
+    for node, stmt in enclosing.items():
+        if (
+            isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign))
+            and node is stmt
+        ):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if any(
+                isinstance(t, ast.Attribute)
+                and t.attr == attr
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in targets
+            ):
+                out.append(stmt)
+    return out
+
+
+def _guard_statements(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    attr: str,
+    assignments: list[ast.stmt],
+) -> list[ast.stmt]:
+    """Statements that *read* ``self.<attr>`` (candidate guards).
+
+    The assignment statements themselves are excluded — a transition that
+    reads the state only to compute the next one has not validated it.
+    """
+    enclosing = enclosing_statements(func)
+    guards: set[ast.stmt] = set()
+    for node, stmt in enclosing.items():
+        if stmt in assignments:
+            continue
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            guards.add(stmt)
+    return list(guards)
+
+
+@register
+@dataclass
+class LifecycleTypestateRule(Rule):
+    code: str = "RL007"
+    name: str = "lifecycle-typestate"
+    rationale: str = (
+        "lifecycle transitions outside the declared table, or not guarded "
+        "by a state check, silently corrupt the session state machine"
+    )
+    scopes: tuple[tuple[str, ...], ...] = (("repro",),)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(ctx, cls)
+
+    def _check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        attr, table = _declared_contract(cls)
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if table is None:
+            # Discovery: an undeclared state machine (>= 2 mutators).
+            if attr is None:
+                attr = _DISCOVERY_ATTR
+            mutators = [
+                name
+                for name, func in methods.items()
+                if name not in _EXEMPT_METHODS and _attr_assignments(func, attr)
+            ]
+            if len(mutators) >= 2:
+                yield ctx.finding(
+                    cls,
+                    self.code,
+                    f"class {cls.name} assigns self.{attr} from "
+                    f"{len(mutators)} methods ({', '.join(sorted(mutators))}) "
+                    "without declaring _LIFECYCLE_TRANSITIONS; declare the "
+                    "state machine so transitions are checkable",
+                )
+            return
+        if attr is None:
+            yield ctx.finding(
+                cls,
+                self.code,
+                f"class {cls.name} declares _LIFECYCLE_TRANSITIONS but not "
+                "_LIFECYCLE_ATTR; name the attribute the table governs",
+            )
+            return
+        for name in sorted(set(table) - set(methods)):
+            yield ctx.finding(
+                cls,
+                self.code,
+                f"_LIFECYCLE_TRANSITIONS names method {name!r} which "
+                f"{cls.name} does not define",
+            )
+        for name, func in methods.items():
+            assignments = _attr_assignments(func, attr)
+            if not assignments:
+                continue
+            if name in _EXEMPT_METHODS:
+                continue
+            if name not in table:
+                yield ctx.finding(
+                    func,
+                    self.code,
+                    f"{cls.name}.{name} assigns self.{attr} but is not in "
+                    "_LIFECYCLE_TRANSITIONS; transitions go through "
+                    "declared setters only",
+                )
+                continue
+            guards = _guard_statements(func, attr, assignments)
+            if not guards:
+                yield ctx.finding(
+                    func,
+                    self.code,
+                    f"{cls.name}.{name} transitions self.{attr} without "
+                    "ever reading it; guard on the current state first",
+                )
+                continue
+            cfg = build_cfg(func)
+            guard_nodes = [
+                index
+                for stmt in guards
+                if (index := cfg.node_of(stmt)) is not None
+            ]
+            for assign in assignments:
+                target = cfg.node_of(assign)
+                if target is None:
+                    continue
+                if not always_passes_through(cfg, target, guard_nodes):
+                    yield ctx.finding(
+                        assign,
+                        self.code,
+                        f"{cls.name}.{name} can reach this self.{attr} "
+                        "assignment without passing a statement that reads "
+                        "the current state; the guard must dominate the "
+                        "transition",
+                    )

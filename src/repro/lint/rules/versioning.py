@@ -1,0 +1,199 @@
+"""RL008 version-lattice: state_dict changes must move the version constant.
+
+A checkpoint written by version N of the code and read by version N+1 is
+the highest-risk moment this engine has (PR 3's resume, PR 4's fleet
+state, PR 7's service bundles).  The convention is a paired module
+constant — change the ``state_dict`` key set, bump ``CHECKPOINT_VERSION``
+— but nothing enforced the pairing, and a silent miss means old
+checkpoints *appear* to load.  This rule is cross-module by
+construction; it runs against the phase-one project index:
+
+* every versioned class (a ``state_dict``/``to_dict`` whose dict literal
+  carries a ``"version"`` entry naming a ``*_VERSION`` constant, or a
+  ``version=CONSTANT`` construction keyword) must appear in the
+  committed **version lock** (``lint/version_lock.json``);
+* if the live key set differs from the locked one while the constant
+  still equals the locked value, the bump was forgotten — finding;
+* if the constant moved, the lock is stale — run
+  ``python -m repro.lint --update-version-lock`` (in the same PR, which
+  is the point: the diff shows the recorded lattice moving);
+* at least one restore method (``load_state_dict``/``from_state_dict``/
+  ``from_dict``) must read the ``"version"`` entry and reject
+  out-of-range values with a :mod:`repro.errors` taxonomy error.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.base import Finding, LintContext, Rule, dotted_name, register
+from repro.lint.project import ClassSummary, ProjectIndex
+
+_RESTORE_METHODS = ("load_state_dict", "from_state_dict", "from_dict")
+
+
+def _reads_version(func: ast.AST) -> bool:
+    """True when the function indexes/gets the ``"version"`` entry."""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.slice, ast.Constant)
+            and node.slice.value == "version"
+        ):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "version"
+        ):
+            return True
+    return False
+
+
+def _raises_taxonomy(
+    func: ast.AST, ctx: LintContext, project: ProjectIndex
+) -> bool:
+    """True when some raise in the function resolves to ``repro.errors``."""
+    module = project.module_by_path(ctx.path)
+    imports = dict(module.imports) if module is not None else {}
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Raise) and node.exc is not None):
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = dotted_name(exc)
+        if name is None:
+            continue
+        head, _, rest = name.partition(".")
+        resolved = imports.get(head, head) + (f".{rest}" if rest else "")
+        if resolved.startswith("repro.errors."):
+            return True
+    return False
+
+
+@register
+@dataclass
+class VersionLatticeRule(Rule):
+    code: str = "RL008"
+    name: str = "version-lattice"
+    rationale: str = (
+        "state_dict key changes without a version bump make old "
+        "checkpoints appear to load; restores must dispatch on version"
+    )
+    scopes: tuple[tuple[str, ...], ...] = (("repro",),)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        project = ctx.project
+        if project is None:
+            return
+        for cls in ctx.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            summary = project.classes().get(f"{ctx.module_name}.{cls.name}")
+            if (
+                summary is None
+                or summary.version_constant is None
+                or summary.state_dict_keys is None
+            ):
+                continue
+            yield from self._check_lock(ctx, project, cls, summary)
+            yield from self._check_dispatch(ctx, project, cls, summary)
+
+    def _check_lock(
+        self,
+        ctx: LintContext,
+        project: ProjectIndex,
+        cls: ast.ClassDef,
+        summary: ClassSummary,
+    ) -> Iterator[Finding]:
+        constant = summary.version_constant
+        version = project.version_value(summary)
+        if version is None:
+            yield ctx.finding(
+                cls,
+                self.code,
+                f"{cls.name} pairs its state_dict with {constant} but no "
+                f"module-level integer {constant} exists in "
+                f"{summary.module}",
+            )
+            return
+        entry = project.version_lock.entries.get(summary.qualified)
+        if entry is None:
+            yield ctx.finding(
+                cls,
+                self.code,
+                f"versioned checkpoint class {cls.name} "
+                f"({constant}={version}) is not recorded in the version "
+                "lock; run `python -m repro.lint --update-version-lock` "
+                "to record its key set",
+            )
+            return
+        _, locked_version, locked_keys = entry
+        if version != locked_version:
+            yield ctx.finding(
+                cls,
+                self.code,
+                f"{constant}={version} differs from the locked value "
+                f"{locked_version}; run `python -m repro.lint "
+                "--update-version-lock` in this PR to re-record the "
+                "key set",
+            )
+            return
+        live = set(summary.state_dict_keys)
+        locked = set(locked_keys)
+        if live != locked:
+            added = ", ".join(sorted(live - locked)) or "-"
+            removed = ", ".join(sorted(locked - live)) or "-"
+            yield ctx.finding(
+                cls,
+                self.code,
+                f"{cls.name}.state_dict keys changed (added: {added}; "
+                f"removed: {removed}) but {constant} is still {version}; "
+                "bump the version constant and re-record the lock",
+            )
+
+    def _check_dispatch(
+        self,
+        ctx: LintContext,
+        project: ProjectIndex,
+        cls: ast.ClassDef,
+        summary: ClassSummary,
+    ) -> Iterator[Finding]:
+        restores = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in _RESTORE_METHODS
+        ]
+        if not restores:
+            return
+        if any(
+            _reads_version(func) and _raises_taxonomy(func, ctx, project)
+            for func in restores
+        ):
+            return
+        anchor = restores[0]
+        if any(_reads_version(func) for func in restores):
+            yield ctx.finding(
+                anchor,
+                self.code,
+                f"{cls.name}.{anchor.name} reads the checkpoint version "
+                "but never rejects out-of-range values; raise the "
+                "repro.errors taxonomy for versions outside "
+                f"1..{summary.version_constant}",
+            )
+        else:
+            yield ctx.finding(
+                anchor,
+                self.code,
+                f"{cls.name}.{anchor.name} restores without dispatching "
+                'on the "version" entry; validate it against '
+                f"{summary.version_constant} and raise the repro.errors "
+                "taxonomy on mismatch",
+            )

@@ -1,24 +1,64 @@
-"""File discovery, rule execution, pragma/baseline filtering, reporting."""
+"""File discovery, two-phase execution, pragma/baseline filtering, reporting.
+
+The runner executes in two phases.  **Index** parses every file exactly
+once and folds each tree into a :class:`~repro.lint.project.ProjectIndex`
+— the shared symbol table cross-module rules (RL008's version lattice,
+RL006's transitive blocking closure) consult.  **Check** then runs every
+rule over every file; in-process the check pass reuses the phase-one
+ASTs, under ``--jobs N`` worker processes receive the merged (picklable)
+index and re-parse their chunk locally, which is cheaper than shipping
+ASTs across the pipe.
+
+A content-hash result cache (``jobs``-independent) skips the check pass
+for files whose source, active rule set, and project index are all
+unchanged since the cached run.  The cache key includes the *whole-index*
+digest: coarse, but it is what makes caching sound for cross-module
+rules — editing ``core/session.py`` must invalidate the cached verdict
+on ``core/scheduler.py`` if the two share a version lattice.
+"""
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
-from repro.lint.base import Finding, LintContext, Rule, all_rules
+from repro.lint.base import Finding, LintContext, Rule, _module_parts, all_rules
 from repro.lint.baseline import Baseline
 from repro.lint.pragmas import FilePragmas
-
-__all__ = ["LintReport", "collect_files", "lint_paths", "lint_source"]
-
-#: Directory names never scanned: fixture trees hold *intentional*
-#: violations the test suite feeds to the linter directly.
-_SKIPPED_DIRS = frozenset(
-    {"fixtures", "__pycache__", ".git", ".venv", "build", "dist"}
+from repro.lint.project import (
+    DEFAULT_LOCK_PATH,
+    ModuleSummary,
+    ProjectIndex,
+    VersionLock,
+    index_module,
 )
+
+__all__ = [
+    "LintReport",
+    "build_index",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "update_version_lock",
+]
+
+#: Directory names never scanned anywhere in the tree.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+#: The lint fixture tree holds *intentional* violations the test suite
+#: feeds to the linter directly.  Only that one tree is exempt — a
+#: ``src/repro/**/fixtures/`` package is ordinary code and gets linted
+#: (the old blanket ``fixtures`` skip silently exempted it).
+_FIXTURE_TREE = ("tests", "lint", "fixtures")
+
+#: Bump to invalidate every cached result when checker semantics change.
+_CACHE_FORMAT = 1
 
 
 @dataclass
@@ -30,6 +70,12 @@ class LintReport:
     suppressed: int = 0
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    #: Files whose check-pass result came from the content-hash cache.
+    cache_hits: int = 0
+    #: Per-rule wall time (seconds) across the check pass, plus the
+    #: synthetic ``"<index>"`` entry for phase one.  Empty unless timing
+    #: was requested.
+    rule_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -41,6 +87,12 @@ class LintReport:
         for finding in self.findings:
             counts[finding.code] = counts.get(finding.code, 0) + 1
         return counts
+
+    def _ordered_findings(self) -> list[Finding]:
+        """Findings in the stable machine-output order: path, line, code."""
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.code, f.col)
+        )
 
     # -- output formats ----------------------------------------------------------
 
@@ -63,7 +115,7 @@ class LintReport:
         return json.dumps(
             {
                 "version": 1,
-                "findings": [f.to_json() for f in self.findings],
+                "findings": [f.to_json() for f in self._ordered_findings()],
                 "counts": self.counts(),
                 "files_checked": self.files_checked,
                 "baselined": len(self.baselined),
@@ -71,29 +123,115 @@ class LintReport:
                 "parse_errors": self.parse_errors,
             },
             indent=2,
+            allow_nan=False,
         )
+
+    def render_sarif(self) -> str:
+        """SARIF 2.1.0 — the payload GitHub code scanning ingests."""
+        rules = all_rules()
+        descriptors = [
+            {
+                "id": code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+            for code, rule in rules.items()
+        ]
+        results = [
+            {
+                "ruleId": finding.code,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reprolint/v1": "/".join(finding.fingerprint()),
+                },
+            }
+            for finding in self._ordered_findings()
+        ]
+        payload = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "reprolint",
+                            "informationUri": (
+                                "https://example.invalid/repro/lint"
+                            ),
+                            "rules": descriptors,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(payload, indent=2, allow_nan=False)
 
     def render_summary(self) -> str:
         """One markdown table — the CI job-summary payload."""
         rules = all_rules()
         counts = self.counts()
-        lines = [
-            "### reprolint",
-            "",
-            "| rule | name | findings |",
-            "| --- | --- | ---: |",
-        ]
+        timed = bool(self.rule_seconds)
+        header = "| rule | name | findings |"
+        divider = "| --- | --- | ---: |"
+        if timed:
+            header += " wall (ms) |"
+            divider += " ---: |"
+        lines = ["### reprolint", "", header, divider]
         for code, rule in rules.items():
-            lines.append(f"| {code} | {rule.name} | {counts.get(code, 0)} |")
-        lines.append(
-            f"| | **total** | **{len(self.findings)}** |",
-        )
+            row = f"| {code} | {rule.name} | {counts.get(code, 0)} |"
+            if timed:
+                row += f" {self.rule_seconds.get(code, 0.0) * 1000:.1f} |"
+            lines.append(row)
+        total = f"| | **total** | **{len(self.findings)}** |"
+        if timed:
+            total += f" **{sum(self.rule_seconds.values()) * 1000:.1f}** |"
+        lines.append(total)
         lines.append("")
         lines.append(
             f"{self.files_checked} files checked, "
-            f"{len(self.baselined)} baselined, {self.suppressed} suppressed."
+            f"{len(self.baselined)} baselined, {self.suppressed} suppressed, "
+            f"{self.cache_hits} cached."
         )
         return "\n".join(lines)
+
+    def render_stats(self) -> str:
+        """Per-rule wall time, slowest first (``--stats``)."""
+        lines = ["rule        wall (ms)"]
+        for code, seconds in sorted(
+            self.rule_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"{code:<12}{seconds * 1000:>8.1f}")
+        lines.append(f"{'total':<12}{sum(self.rule_seconds.values()) * 1000:>8.1f}")
+        return "\n".join(lines)
+
+
+def _in_fixture_tree(path: Path) -> bool:
+    parts = path.parts
+    for i in range(len(parts) - len(_FIXTURE_TREE) + 1):
+        if parts[i : i + len(_FIXTURE_TREE)] == _FIXTURE_TREE:
+            return True
+    return False
 
 
 def collect_files(paths: Sequence[Path]) -> list[Path]:
@@ -104,33 +242,247 @@ def collect_files(paths: Sequence[Path]) -> list[Path]:
             out.append(path)
         elif path.is_dir():
             for sub in sorted(path.rglob("*.py")):
-                if not _SKIPPED_DIRS.intersection(sub.parts):
-                    out.append(sub)
+                if _SKIPPED_DIRS.intersection(sub.parts):
+                    continue
+                if _in_fixture_tree(sub):
+                    continue
+                out.append(sub)
     return out
+
+
+# -- phase one: index ----------------------------------------------------------------
+
+
+def build_index(
+    parsed: Mapping[str, ast.Module], *, lock_path: Path | None = DEFAULT_LOCK_PATH
+) -> ProjectIndex:
+    """Fold parsed trees (path → tree) into a project index."""
+    index = ProjectIndex()
+    for rel, tree in parsed.items():
+        index.add(index_module(rel, ".".join(_module_parts(rel)), tree))
+    if lock_path is not None and lock_path.exists():
+        index.version_lock = VersionLock.load(lock_path)
+    return index
+
+
+def update_version_lock(
+    paths: Sequence[Path], *, lock_path: Path = DEFAULT_LOCK_PATH
+) -> VersionLock:
+    """Regenerate the version lock from the current tree and save it."""
+    parsed: dict[str, ast.Module] = {}
+    for file_path in collect_files(paths):
+        rel = file_path.as_posix()
+        try:
+            parsed[rel] = ast.parse(
+                file_path.read_text(encoding="utf-8"), filename=rel
+            )
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+    index = build_index(parsed, lock_path=None)
+    lock = VersionLock.from_index(index)
+    lock.save(lock_path)
+    return lock
+
+
+# -- phase two: check ----------------------------------------------------------------
+
+
+def _check_tree(
+    rel: str,
+    source: str,
+    tree: ast.Module,
+    rules: Mapping[str, Rule],
+    index: ProjectIndex,
+    rule_seconds: dict[str, float] | None = None,
+) -> tuple[list[Finding], int]:
+    """Run the active rules over one parsed file: (kept findings, suppressed)."""
+    ctx = LintContext(path=rel, source=source, tree=tree, project=index)
+    pragmas = FilePragmas(source)
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules.values():
+        if not rule.applies_to(ctx):
+            continue
+        start = time.perf_counter()
+        found = list(rule.check(ctx))
+        if rule_seconds is not None:
+            rule_seconds[rule.code] = (
+                rule_seconds.get(rule.code, 0.0) + time.perf_counter() - start
+            )
+        for finding in found:
+            if pragmas.suppresses(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
 
 
 def lint_source(
     path: str,
     source: str,
     rules: Mapping[str, Rule] | None = None,
+    *,
+    project: ProjectIndex | None = None,
 ) -> list[Finding]:
     """Lint one in-memory source file (pragmas applied, no baseline).
 
     This is the entry point the test suite uses to feed fixture files
-    through individual rules.
+    through individual rules.  Without an explicit ``project`` a
+    single-file index is built from the source itself, so project-backed
+    rules see the file's own symbols (and an *empty* version lock).
     """
     active = rules if rules is not None else all_rules()
     tree = ast.parse(source, filename=path)
-    ctx = LintContext(path=path, source=source, tree=tree)
-    pragmas = FilePragmas(source)
-    findings: list[Finding] = []
-    for rule in active.values():
-        if not rule.applies_to(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if not pragmas.suppresses(finding):
-                findings.append(finding)
+    if project is None:
+        project = build_index({path: tree}, lock_path=None)
+    findings, _ = _check_tree(path, source, tree, active, project)
     return sorted(findings)
+
+
+# -- result cache --------------------------------------------------------------------
+
+
+@dataclass
+class _CacheEntry:
+    """One file's cached check-pass verdict."""
+
+    key: str
+    findings: list[Finding]
+    suppressed: int
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "key": self.key,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": self.suppressed,
+        }
+
+
+def _cache_key(source: str, rule_codes: Sequence[str], index_digest: str) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(f"{_CACHE_FORMAT}|{','.join(rule_codes)}|{index_digest}|".encode())
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _load_cache(cache_path: Path | None) -> dict[str, _CacheEntry]:
+    if cache_path is None or not cache_path.exists():
+        return {}
+    try:
+        data = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("format") != _CACHE_FORMAT:
+        return {}
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        return {}
+    out: dict[str, _CacheEntry] = {}
+    try:
+        for rel, entry in entries.items():
+            out[str(rel)] = _CacheEntry(
+                key=str(entry["key"]),
+                findings=[
+                    Finding(
+                        path=str(f["path"]),
+                        line=int(str(f["line"])),
+                        col=int(str(f["col"])),
+                        code=str(f["code"]),
+                        message=str(f["message"]),
+                        context=str(f["context"]),
+                    )
+                    for f in entry["findings"]
+                ],
+                suppressed=int(str(entry["suppressed"])),
+            )
+    except (KeyError, TypeError, ValueError):
+        return {}  # corrupt cache: fall back to a cold run
+    return out
+
+
+def _save_cache(cache_path: Path | None, entries: dict[str, _CacheEntry]) -> None:
+    if cache_path is None:
+        return
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    cache_path.write_text(
+        json.dumps(
+            {
+                "format": _CACHE_FORMAT,
+                "entries": {
+                    rel: entry.to_json() for rel, entry in entries.items()
+                },
+            },
+            sort_keys=True,
+        ),
+        encoding="utf-8",
+    )
+
+
+# -- worker-process plumbing ---------------------------------------------------------
+
+_WORKER_INDEX: ProjectIndex | None = None
+_WORKER_CODES: tuple[str, ...] = ()
+
+
+def _index_chunk(
+    chunk: Sequence[str],
+) -> tuple[list[ModuleSummary], list[str]]:
+    """Round-one worker task: parse and summarise one chunk of files."""
+    summaries: list[ModuleSummary] = []
+    errors: list[str] = []
+    for rel in chunk:
+        try:
+            source = Path(rel).read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{rel}: {exc}")
+            continue
+        summaries.append(index_module(rel, ".".join(_module_parts(rel)), tree))
+    return summaries, errors
+
+
+def _init_check_worker(index: ProjectIndex, codes: tuple[str, ...]) -> None:
+    global _WORKER_INDEX, _WORKER_CODES
+    _WORKER_INDEX = index
+    _WORKER_CODES = codes
+
+
+def _check_chunk(
+    chunk: Sequence[str],
+) -> tuple[list[tuple[str, list[Finding], int]], dict[str, float]]:
+    """Round-two worker task: re-parse one chunk and run the rules.
+
+    Returns ``(per-file (path, findings, suppressed), per-rule seconds)``.
+    """
+    assert _WORKER_INDEX is not None
+    rules = {
+        code: rule
+        for code, rule in all_rules().items()
+        if code in _WORKER_CODES
+    }
+    per_file: list[tuple[str, list[Finding], int]] = []
+    seconds: dict[str, float] = {}
+    for rel in chunk:
+        try:
+            source = Path(rel).read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=rel)
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue  # already reported by the index round
+        kept, n_suppressed = _check_tree(
+            rel, source, tree, rules, _WORKER_INDEX, seconds
+        )
+        per_file.append((rel, kept, n_suppressed))
+    return per_file, seconds
+
+
+def _chunked(items: Sequence[str], n_chunks: int) -> list[list[str]]:
+    chunks: list[list[str]] = [[] for _ in range(max(1, n_chunks))]
+    for i, item in enumerate(items):
+        chunks[i % len(chunks)].append(item)
+    return [chunk for chunk in chunks if chunk]
+
+
+# -- driver --------------------------------------------------------------------------
 
 
 def lint_paths(
@@ -139,6 +491,9 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] = (),
     baseline: Baseline | None = None,
+    jobs: int = 1,
+    cache_path: Path | None = None,
+    lock_path: Path | None = DEFAULT_LOCK_PATH,
 ) -> LintReport:
     """Lint files/directories and return a filtered :class:`LintReport`."""
     rules = all_rules()
@@ -147,28 +502,114 @@ def lint_paths(
         rules = {code: rule for code, rule in rules.items() if code in wanted}
     for code in ignore:
         rules.pop(code.upper(), None)
+    rule_codes = tuple(sorted(rules))
 
     report = LintReport()
-    raw: list[Finding] = []
-    for file_path in collect_files(paths):
-        rel = file_path.as_posix()
-        try:
-            source = file_path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=rel)
-        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
-            report.parse_errors.append(f"{rel}: {exc}")
-            continue
-        report.files_checked += 1
-        ctx = LintContext(path=rel, source=source, tree=tree)
-        pragmas = FilePragmas(source)
-        for rule in rules.values():
-            if not rule.applies_to(ctx):
+    files = [file_path.as_posix() for file_path in collect_files(paths)]
+
+    # Phase one: parse everything once, build the project index.
+    index_start = time.perf_counter()
+    sources: dict[str, str] = {}
+    parsed: dict[str, ast.Module] = {}
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rounds = list(pool.map(_index_chunk, _chunked(files, jobs)))
+        index = ProjectIndex()
+        good: set[str] = set()
+        for summaries, errors in rounds:
+            report.parse_errors.extend(errors)
+            for summary in summaries:
+                index.add(summary)
+                good.add(summary.path)
+        files = [rel for rel in files if rel in good]
+        if lock_path is not None and lock_path.exists():
+            index.version_lock = VersionLock.load(lock_path)
+    else:
+        for rel in files:
+            try:
+                source = Path(rel).read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=rel)
+            except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+                report.parse_errors.append(f"{rel}: {exc}")
                 continue
-            for finding in rule.check(ctx):
-                if pragmas.suppresses(finding):
-                    report.suppressed += 1
-                else:
-                    raw.append(finding)
+            sources[rel] = source
+            parsed[rel] = tree
+        files = list(parsed)
+        index = build_index(parsed, lock_path=lock_path)
+    report.rule_seconds["<index>"] = time.perf_counter() - index_start
+
+    # Result cache: a file's verdict survives while its content, the
+    # active rules, and the whole-project index are unchanged.
+    index_digest = index.digest()
+    cache = _load_cache(cache_path)
+    new_cache: dict[str, _CacheEntry] = {}
+    to_check: list[str] = []
+    raw: list[Finding] = []
+    for rel in files:
+        source = sources.get(rel)
+        if source is None:
+            try:
+                source = Path(rel).read_text(encoding="utf-8")
+                sources[rel] = source
+            except OSError:
+                continue
+        key = _cache_key(source, rule_codes, index_digest)
+        entry = cache.get(rel)
+        if entry is not None and entry.key == key:
+            report.cache_hits += 1
+            report.files_checked += 1
+            raw.extend(entry.findings)
+            report.suppressed += entry.suppressed
+            new_cache[rel] = entry
+        else:
+            to_check.append(rel)
+
+    # Phase two: the check pass, fanned out when requested.
+    fresh: dict[str, tuple[list[Finding], int]] = {}
+    if jobs > 1 and to_check:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_check_worker,
+            initargs=(index, rule_codes),
+        ) as pool:
+            for per_file, seconds in pool.map(
+                _check_chunk, _chunked(to_check, jobs)
+            ):
+                for rel, kept, suppressed in per_file:
+                    report.files_checked += 1
+                    report.suppressed += suppressed
+                    raw.extend(kept)
+                    fresh[rel] = (kept, suppressed)
+                for code, spent in seconds.items():
+                    report.rule_seconds[code] = (
+                        report.rule_seconds.get(code, 0.0) + spent
+                    )
+    else:
+        for rel in to_check:
+            tree = parsed.get(rel)
+            if tree is None:
+                try:
+                    tree = ast.parse(sources[rel], filename=rel)
+                except SyntaxError as exc:
+                    report.parse_errors.append(f"{rel}: {exc}")
+                    continue
+            report.files_checked += 1
+            kept, suppressed = _check_tree(
+                rel, sources[rel], tree, rules, index, report.rule_seconds
+            )
+            report.suppressed += suppressed
+            raw.extend(kept)
+            fresh[rel] = (kept, suppressed)
+
+    if cache_path is not None:
+        for rel, (kept, suppressed) in fresh.items():
+            new_cache[rel] = _CacheEntry(
+                key=_cache_key(sources[rel], rule_codes, index_digest),
+                findings=kept,
+                suppressed=suppressed,
+            )
+        _save_cache(cache_path, new_cache)
+
     raw.sort()
     if baseline is not None:
         report.findings, report.baselined = baseline.partition(raw)

@@ -1,0 +1,53 @@
+"""RL006 fixture — linted under a fake src/repro/service path by the tests."""
+
+import asyncio
+import time
+
+
+def _blocks_directly():
+    time.sleep(0.01)  # sync def: legal here, the *async* caller is the bug
+    return 1
+
+
+def _blocks_transitively():
+    return _blocks_directly()
+
+
+async def bad_direct_sleep():
+    time.sleep(0.5)  # line 17: finding
+    return 1
+
+
+async def bad_pipe_read(conn):
+    return conn.recv()  # line 22: finding
+
+
+async def bad_transitive_block():
+    return _blocks_transitively()  # line 26: finding
+
+
+async def bad_busy_wait(task):
+    while not task.done():  # line 30: finding
+        pass
+    return task.result()
+
+
+async def good_asyncio_sleep():
+    await asyncio.sleep(0.5)
+    return 1
+
+
+async def good_awaiting_loop(queue):
+    while True:
+        item = await queue.get()
+        if item is None:
+            return item
+
+
+async def good_sync_call(records):
+    return sorted(records)
+
+
+async def good_pragma():
+    time.sleep(0.01)  # reprolint: disable=RL006 - startup only, loop not live
+    return 1

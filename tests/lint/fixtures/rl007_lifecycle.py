@@ -1,0 +1,90 @@
+"""RL007 fixture — linted under a fake src/repro/core path by the tests."""
+
+from repro.errors import ConfigurationError
+
+RUNNING = "running"
+DRAINING = "draining"
+CLOSED = "closed"
+
+
+class GoodGate:
+    """Declared table, guarded transitions: clean."""
+
+    _LIFECYCLE_ATTR = "_state"
+    _LIFECYCLE_TRANSITIONS = {
+        "drain": (RUNNING,),
+        "close": (RUNNING, DRAINING),
+    }
+
+    def __init__(self):
+        self._state = RUNNING
+
+    def drain(self):
+        if self._state != RUNNING:
+            raise ConfigurationError("can only drain a running gate")
+        self._state = DRAINING
+
+    def close(self):
+        if self._state == CLOSED:
+            raise ConfigurationError("already closed")
+        self._state = CLOSED
+
+
+class BadRogueSetter:
+    _LIFECYCLE_ATTR = "_state"
+    _LIFECYCLE_TRANSITIONS = {"close": (RUNNING,)}
+
+    def __init__(self):
+        self._state = RUNNING
+
+    def close(self):
+        if self._state == CLOSED:
+            raise ConfigurationError("already closed")
+        self._state = CLOSED
+
+    def reset(self):  # line 44: finding — assigns outside the table
+        self._state = RUNNING
+
+
+class BadNeverReads:
+    _LIFECYCLE_ATTR = "_state"
+    _LIFECYCLE_TRANSITIONS = {"close": (RUNNING,)}
+
+    def __init__(self):
+        self._state = RUNNING
+
+    def close(self):  # line 55: finding — transitions without any guard
+        self._state = CLOSED
+
+
+class BadSkippableGuard:
+    _LIFECYCLE_ATTR = "_state"
+    _LIFECYCLE_TRANSITIONS = {"close": (RUNNING,)}
+
+    def __init__(self):
+        self._state = RUNNING
+
+    def close(self, fast=False):
+        if not fast:
+            if self._state == CLOSED:
+                raise ConfigurationError("already closed")
+        self._state = CLOSED  # line 70: finding — fast path skips the guard
+
+
+class BadGhostMethod:  # line 73: finding — table names an undefined method
+    _LIFECYCLE_ATTR = "_state"
+    _LIFECYCLE_TRANSITIONS = {"open": (CLOSED,)}
+
+    def __init__(self):
+        self._state = RUNNING
+
+
+class BadUndeclaredMachine:  # line 81: finding — 2 mutators, no table
+    def __init__(self):
+        self._lifecycle = RUNNING
+
+    def drain(self):
+        self._lifecycle = DRAINING
+
+    def close(self):
+        self._lifecycle = CLOSED

@@ -1,0 +1,83 @@
+"""RL008 fixture — linted under a fake src/repro/core path by the tests.
+
+The test suite feeds this file through a *single-file* project index with
+an empty version lock, so every versioned class here draws the
+"not recorded in the version lock" finding — that is the rule refusing
+to trust an unrecorded lattice.  The bump/stale checks against a
+populated lock are exercised by the cross-module tests in
+``test_project_rules.py``.
+"""
+
+from repro.errors import ConfigurationError
+
+BUNDLE_VERSION = 2
+
+GHOST_VERSION = "not-an-integer"
+
+
+class BadUnlocked:  # line 18: finding — versioned but not in the lock
+    def __init__(self):
+        self._pos = 0
+
+    def state_dict(self):
+        return {"version": BUNDLE_VERSION, "pos": self._pos}
+
+    def load_state_dict(self, state):
+        version = int(state.get("version", 1))
+        if not 1 <= version <= BUNDLE_VERSION:
+            raise ConfigurationError(f"unsupported version {version}")
+        self._pos = int(state["pos"])
+        return self
+
+
+class BadNoDispatch:  # line 33: finding — unlocked, like every class here
+    def __init__(self):
+        self._pos = 0
+
+    def state_dict(self):
+        return {"version": BUNDLE_VERSION, "pos": self._pos}
+
+    def load_state_dict(self, state):  # line 40: finding — ignores "version"
+        self._pos = int(state["pos"])
+        return self
+
+
+class BadReadsButNeverRejects:  # line 45: finding — unlocked
+    def __init__(self):
+        self._pos = 0
+
+    def state_dict(self):
+        return {"version": BUNDLE_VERSION, "pos": self._pos}
+
+    def load_state_dict(self, state):  # line 52: finding — no taxonomy raise
+        self._pos = int(state["pos"]) if state.get("version") else 0
+        return self
+
+
+class BadMissingConstant:  # line 57: finding — GHOST_VERSION is not an int
+    def __init__(self):
+        self._pos = 0
+
+    def state_dict(self):
+        return {"version": GHOST_VERSION, "pos": self._pos}
+
+    def load_state_dict(self, state):
+        version = int(state.get("version", 1))
+        if version != 1:
+            raise ConfigurationError(f"unsupported version {version}")
+        self._pos = int(state["pos"])
+        return self
+
+
+class GoodUnversioned:
+    """No version pairing at all — RL008 has nothing to hold it to."""
+
+    def __init__(self):
+        self._pos = 0
+
+    def state_dict(self):
+        return {"pos": self._pos}
+
+    def load_state_dict(self, state):
+        self._pos = int(state["pos"])
+        return self

@@ -1,0 +1,96 @@
+"""RL009 fixture — linted under a fake src/repro/core path by the tests."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+
+def _task(payload):
+    return payload
+
+
+class HandleCarrier:
+    """Carries a lock and no pickle protocol: must not cross a boundary."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pos = 0
+
+    def step(self):
+        with self._lock:
+            self._pos += 1
+        return self._pos
+
+
+class SafeCarrier:
+    """Also carries a lock, but declares how to drop it when pickled."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pos = 0
+
+    def __getstate__(self):
+        return {"_pos": self._pos}
+
+    def __setstate__(self, state):
+        self._pos = state["_pos"]
+        self._lock = threading.Lock()
+
+
+def bad_lambda_payload(items):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(lambda x: x + 1, i) for i in items]  # line 41: finding
+
+
+def bad_closure_payload(offset):
+    def shifted(n):
+        return n + offset
+
+    with ProcessPoolExecutor() as pool:
+        return pool.submit(shifted, 3)  # line 49: finding
+
+
+def bad_carrier_payload(items):
+    carrier = HandleCarrier()
+    with ProcessPoolExecutor() as pool:
+        return pool.submit(_task, carrier)  # line 55: finding
+
+
+def bad_open_handle_over_pipe(path):
+    ctx = get_context("spawn")
+    parent, child = ctx.Pipe()
+    handle = open(path, "rb")
+    parent.send(handle)  # line 62: finding
+    return child
+
+
+def bad_bound_method_target():
+    carrier = HandleCarrier()
+    ctx = get_context("spawn")
+    return ctx.Process(target=carrier.step, args=())  # line 69: finding
+
+
+def good_module_level_target(items):
+    ctx = get_context("spawn")
+    return ctx.Process(target=_task, args=(list(items),))
+
+
+def good_safe_carrier(items):
+    carrier = SafeCarrier()
+    with ProcessPoolExecutor() as pool:
+        return pool.submit(_task, carrier)
+
+
+def good_thread_pool_is_exempt(pool_factory, offset):
+    def shifted(n):
+        return n + offset
+
+    pool = pool_factory()
+    return pool.submit(shifted, 3)
+
+
+def good_plain_data_over_pipe(records):
+    ctx = get_context("spawn")
+    parent, child = ctx.Pipe()
+    parent.send(sorted(records))
+    return child

@@ -1,0 +1,225 @@
+"""Unit tests for the CFG / reaching-definitions engine behind the
+flow-sensitive rules (RL007/RL009/RL010)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import (
+    always_passes_through,
+    build_cfg,
+    enclosing_statements,
+    paths_reaching,
+    reaching_definitions,
+)
+
+
+def _func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return func
+
+
+def _stmt_node(cfg, func, lineno: int) -> int:
+    for index, stmt in cfg.statements():
+        if stmt.lineno == lineno:
+            return index
+    raise AssertionError(f"no CFG node at line {lineno}")
+
+
+class TestDominance:
+    SOURCE = """\
+def f(self, fast):
+    if self._state == "closed":
+        raise ValueError("closed")
+    self._state = "closed"
+"""
+
+    def test_straight_line_guard_dominates(self) -> None:
+        func = _func(self.SOURCE)
+        cfg = build_cfg(func)
+        guard = _stmt_node(cfg, func, 2)
+        target = _stmt_node(cfg, func, 4)
+        assert always_passes_through(cfg, target, [guard])
+
+    def test_guard_behind_condition_does_not_dominate(self) -> None:
+        func = _func(
+            """\
+def f(self, fast):
+    if not fast:
+        if self._state == "closed":
+            raise ValueError("closed")
+    self._state = "closed"
+"""
+        )
+        cfg = build_cfg(func)
+        guard = _stmt_node(cfg, func, 3)
+        target = _stmt_node(cfg, func, 5)
+        assert not always_passes_through(cfg, target, [guard])
+
+    def test_no_guards_means_not_dominated(self) -> None:
+        func = _func(self.SOURCE)
+        cfg = build_cfg(func)
+        target = _stmt_node(cfg, func, 4)
+        assert not always_passes_through(cfg, target, [])
+
+
+class TestPathQueries:
+    def test_raise_reachable_avoiding_refund(self) -> None:
+        func = _func(
+            """\
+def f(meter, clips):
+    meter.record("d", 1)
+    if not clips:
+        raise ValueError("empty")
+    return clips
+"""
+        )
+        cfg = build_cfg(func)
+        charge = _stmt_node(cfg, func, 2)
+        bad_raise = _stmt_node(cfg, func, 4)
+        assert paths_reaching(cfg, charge, [bad_raise]) == {bad_raise}
+
+    def test_refund_on_path_blocks_the_raise(self) -> None:
+        func = _func(
+            """\
+def f(meter, clips):
+    meter.record("d", 1)
+    if not clips:
+        meter.refund("d", 1)
+        raise ValueError("empty")
+    return clips
+"""
+        )
+        cfg = build_cfg(func)
+        charge = _stmt_node(cfg, func, 2)
+        refund = _stmt_node(cfg, func, 4)
+        the_raise = _stmt_node(cfg, func, 5)
+        assert (
+            paths_reaching(cfg, charge, [the_raise], avoiding=[refund])
+            == set()
+        )
+
+    def test_raise_routes_through_finally(self) -> None:
+        """An abrupt exit passes through the enclosing finally body, so a
+        settlement there lands on every escaping path."""
+        func = _func(
+            """\
+def f(meter, clips):
+    meter.record("d", 1)
+    try:
+        if not clips:
+            raise ValueError("empty")
+        out = clips
+    finally:
+        meter.refund("d", 1)
+    return out
+"""
+        )
+        cfg = build_cfg(func)
+        the_raise = _stmt_node(cfg, func, 5)
+        refund = _stmt_node(cfg, func, 8)
+        # Every path from the raise must cross the finally's refund.
+        assert cfg.raise_exit not in cfg.reachable_from(
+            the_raise, avoiding=frozenset({refund})
+        )
+
+
+class TestReachingDefinitions:
+    def test_two_defs_merge_at_join(self) -> None:
+        func = _func(
+            """\
+def f(flag):
+    if flag:
+        pool = make_a()
+    else:
+        pool = make_b()
+    use(pool)
+"""
+        )
+        cfg = build_cfg(func)
+        reaching = reaching_definitions(cfg)
+        use = _stmt_node(cfg, func, 6)
+        def_lines = {
+            cfg.nodes[i].stmt.lineno for i in reaching[use]["pool"]
+        }
+        assert def_lines == {3, 5}
+
+    def test_rebinding_kills_the_old_definition(self) -> None:
+        func = _func(
+            """\
+def f():
+    pool = make_a()
+    pool = make_b()
+    use(pool)
+"""
+        )
+        cfg = build_cfg(func)
+        reaching = reaching_definitions(cfg)
+        use = _stmt_node(cfg, func, 4)
+        def_lines = {
+            cfg.nodes[i].stmt.lineno for i in reaching[use]["pool"]
+        }
+        assert def_lines == {3}
+
+    def test_loop_definition_reaches_back_to_the_header(self) -> None:
+        func = _func(
+            """\
+def f(items):
+    total = 0
+    for item in items:
+        total = total + item
+    return total
+"""
+        )
+        cfg = build_cfg(func)
+        reaching = reaching_definitions(cfg)
+        ret = _stmt_node(cfg, func, 5)
+        def_lines = {
+            cfg.nodes[i].stmt.lineno for i in reaching[ret]["total"]
+        }
+        assert def_lines == {2, 4}
+
+    def test_with_as_binds_its_target(self) -> None:
+        func = _func(
+            """\
+def f():
+    with make_pool() as pool:
+        pool.submit(task)
+"""
+        )
+        cfg = build_cfg(func)
+        reaching = reaching_definitions(cfg)
+        submit = _stmt_node(cfg, func, 3)
+        defs = reaching[submit]["pool"]
+        assert {cfg.nodes[i].stmt.lineno for i in defs} == {2}
+
+
+class TestEnclosingStatements:
+    def test_maps_nested_expressions_to_block_statements(self) -> None:
+        func = _func(
+            """\
+def f(x):
+    if x:
+        y = g(h(x))
+    return y
+"""
+        )
+        mapping = enclosing_statements(func)
+        calls = [n for n in mapping if isinstance(n, ast.Call)]
+        assert len(calls) == 2
+        for call in calls:
+            assert isinstance(mapping[call], ast.Assign)
+
+    def test_nested_function_bodies_are_excluded(self) -> None:
+        func = _func(
+            """\
+def f(x):
+    def inner():
+        return h(x)
+    return inner
+"""
+        )
+        mapping = enclosing_statements(func)
+        assert not any(isinstance(n, ast.Call) for n in mapping)

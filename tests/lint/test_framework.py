@@ -65,6 +65,98 @@ def test_pragma_all_and_multiple_codes() -> None:
     assert pragmas.by_line[1] == {"RL001", "RL005"}
 
 
+def test_disable_next_with_multiple_codes_suppresses_each() -> None:
+    source = BAD_DETERMINISM.replace(
+        "    return random.random()",
+        "    # reprolint: disable-next=RL001, RL003\n"
+        "    return random.random()",
+    )
+    assert lint_source(FAKE_PATH, source) == []
+
+
+def test_disable_next_skips_blank_and_comment_lines() -> None:
+    source = BAD_DETERMINISM.replace(
+        "    return random.random()",
+        "    # reprolint: disable-next=RL003\n"
+        "\n"
+        "    # the RNG below is intentional\n"
+        "    return random.random()",
+    )
+    assert lint_source(FAKE_PATH, source) == []
+
+
+_LIFECYCLE_PREFIX = (
+    "from repro.errors import ConfigurationError\n"
+    "\n"
+    "def deco(fn):\n"
+    "    return fn\n"
+    "\n"
+    "class Gate:\n"
+    '    _LIFECYCLE_ATTR = "_state"\n'
+    '    _LIFECYCLE_TRANSITIONS = {"close": ("running",)}\n'
+    "\n"
+    "    def __init__(self):\n"
+    '        self._state = "running"\n'
+    "\n"
+    "    def close(self):\n"
+    '        if self._state != "running":\n'
+    '            raise ConfigurationError("already closed")\n'
+    '        self._state = "closed"\n'
+    "\n"
+)
+
+
+def test_disable_next_covers_a_decorated_def() -> None:
+    """The finding anchors on the ``def`` line, two lines below the
+    pragma — the decorator stack in between must not break suppression."""
+    rogue = (
+        "    @deco\n"
+        "    def reset(self):\n"
+        '        self._state = "running"\n'
+    )
+    findings = lint_source(FAKE_PATH, _LIFECYCLE_PREFIX + rogue)
+    assert [f.code for f in findings] == ["RL007"]
+    suppressed = (
+        _LIFECYCLE_PREFIX + "    # reprolint: disable-next=RL007\n" + rogue
+    )
+    assert lint_source(FAKE_PATH, suppressed) == []
+
+
+def test_disable_next_covers_a_multi_line_decorator_call() -> None:
+    rogue = (
+        "    @deco(\n"
+        "    )\n"
+        "    def reset(self):\n"
+        '        self._state = "running"\n'
+    )
+    suppressed = (
+        _LIFECYCLE_PREFIX + "    # reprolint: disable-next=RL007\n" + rogue
+    )
+    assert lint_source(FAKE_PATH, suppressed) == []
+
+
+def test_disable_next_on_a_multi_line_signature() -> None:
+    rogue = (
+        "    def reset(\n"
+        "        self,\n"
+        "        hard=False,\n"
+        "    ):\n"
+        '        self._state = "running"\n'
+    )
+    findings = lint_source(FAKE_PATH, _LIFECYCLE_PREFIX + rogue)
+    assert [f.code for f in findings] == ["RL007"]
+    suppressed = (
+        _LIFECYCLE_PREFIX + "    # reprolint: disable-next=RL007\n" + rogue
+    )
+    assert lint_source(FAKE_PATH, suppressed) == []
+
+
+def test_disable_next_on_the_last_line_is_harmless() -> None:
+    source = BAD_DETERMINISM + "# reprolint: disable-next=RL003"
+    findings = lint_source(FAKE_PATH, source)
+    assert [f.code for f in findings] == ["RL003"]
+
+
 # -- baseline --------------------------------------------------------------------
 
 
@@ -125,6 +217,18 @@ def test_fixture_directories_are_never_scanned(tmp_path: Path) -> None:
     (nested / "bad.py").write_text(BAD_DETERMINISM, encoding="utf-8")
     report = lint_paths([tmp_path])
     assert report.files_checked == 0
+
+
+def test_fixtures_package_under_src_is_scanned(tmp_path: Path) -> None:
+    """Regression: only ``tests/lint/fixtures`` is exempt.  A directory
+    that merely *contains* ``fixtures`` in its name or path — e.g. a
+    ``src/repro/**/fixtures/`` data package — is ordinary code."""
+    nested = tmp_path / "src" / "repro" / "core" / "fixtures"
+    nested.mkdir(parents=True)
+    (nested / "mod.py").write_text(BAD_DETERMINISM, encoding="utf-8")
+    report = lint_paths([tmp_path / "src"])
+    assert report.files_checked == 1
+    assert [f.code for f in report.findings] == ["RL003"]
 
 
 def test_parse_error_fails_the_run(tmp_path: Path) -> None:
@@ -190,3 +294,114 @@ def test_cli_list_rules_and_summary(tmp_path: Path, capsys) -> None:
     root = _write_bad_tree(tmp_path)
     assert main([str(root), "--summary"]) == 1
     assert "### reprolint" in capsys.readouterr().out
+
+
+# -- deterministic machine output ------------------------------------------------
+
+
+def test_render_json_orders_findings_by_path_line_code() -> None:
+    from repro.lint.runner import LintReport
+
+    scrambled = [
+        _finding(line=9),
+        Finding(path="src/repro/b.py", line=2, col=0, code="RL005",
+                message="m", context="f"),
+        Finding(path="src/repro/b.py", line=2, col=0, code="RL001",
+                message="m", context="f"),
+        _finding(line=4),
+    ]
+    report = LintReport(findings=scrambled)
+    data = json.loads(report.render_json())
+    ordered = [(f["path"], f["line"], f["code"]) for f in data["findings"]]
+    assert ordered == sorted(ordered)
+    # Rendering twice is byte-identical (no set/dict iteration leaks).
+    assert report.render_json() == report.render_json()
+
+
+def test_cli_sarif_output(tmp_path: Path, capsys) -> None:
+    root = _write_bad_tree(tmp_path)
+    assert main([str(root), "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= {
+        "RL001", "RL006", "RL010",
+    }
+    result = run["results"][0]
+    assert result["ruleId"] == "RL003"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 4
+    assert "reprolint/v1" in result["partialFingerprints"]
+
+
+# -- parallel execution and the result cache -------------------------------------
+
+
+def _write_two_file_tree(tmp_path: Path) -> Path:
+    src = tmp_path / "src" / "repro" / "core"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text(BAD_DETERMINISM, encoding="utf-8")
+    (src / "clean.py").write_text("def g():\n    return 1\n", encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_jobs_fanout_matches_serial_results(tmp_path: Path) -> None:
+    root = _write_two_file_tree(tmp_path)
+    serial = lint_paths([root])
+    fanned = lint_paths([root], jobs=2)
+    assert fanned.findings == serial.findings
+    assert fanned.files_checked == serial.files_checked
+    assert fanned.suppressed == serial.suppressed
+
+
+def test_cli_rejects_zero_jobs(tmp_path: Path, capsys) -> None:
+    assert main([str(tmp_path), "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_cache_replays_unchanged_files(tmp_path: Path) -> None:
+    root = _write_two_file_tree(tmp_path)
+    cache = tmp_path / "lint-cache.json"
+    cold = lint_paths([root], cache_path=cache)
+    assert cold.cache_hits == 0
+    warm = lint_paths([root], cache_path=cache)
+    assert warm.cache_hits == warm.files_checked == 2
+    assert warm.findings == cold.findings
+
+
+def test_cache_invalidates_on_any_project_change(tmp_path: Path) -> None:
+    """The cache key includes the whole-index digest, so editing one file
+    invalidates *every* cached verdict — the price of sound caching for
+    cross-module rules."""
+    root = _write_two_file_tree(tmp_path)
+    cache = tmp_path / "lint-cache.json"
+    lint_paths([root], cache_path=cache)
+    (root / "repro" / "core" / "clean.py").write_text(
+        "def g():\n    return 2\n\ndef h():\n    return 3\n",
+        encoding="utf-8",
+    )
+    edited = lint_paths([root], cache_path=cache)
+    assert edited.cache_hits == 0
+    # A run with nothing touched is fully cached again.
+    assert lint_paths([root], cache_path=cache).cache_hits == 2
+
+
+def test_corrupt_cache_falls_back_to_a_cold_run(tmp_path: Path) -> None:
+    root = _write_two_file_tree(tmp_path)
+    cache = tmp_path / "lint-cache.json"
+    cache.write_text("{not json", encoding="utf-8")
+    report = lint_paths([root], cache_path=cache)
+    assert report.cache_hits == 0
+    assert [f.code for f in report.findings] == ["RL003"]
+
+
+def test_stats_records_per_rule_wall_time(tmp_path: Path, capsys) -> None:
+    root = _write_two_file_tree(tmp_path)
+    report = lint_paths([root])
+    assert "<index>" in report.rule_seconds
+    assert "RL003" in report.rule_seconds
+    assert all(t >= 0 for t in report.rule_seconds.values())
+    stats = report.render_stats()
+    assert "wall (ms)" in stats and "total" in stats
+    assert main([str(root), "--stats"]) == 1
+    assert "wall (ms)" in capsys.readouterr().out
